@@ -1,0 +1,186 @@
+(* Benchmark harness.
+
+   Part 1 regenerates the data series behind every table/figure of the
+   paper's evaluation (sections 4.4, 5.9, 6.3, 6.4) plus the two
+   model-validation experiments — this is the reproduction artifact and
+   the numbers EXPERIMENTS.md discusses.
+
+   Part 2 runs Bechamel micro-benchmarks: one [Test.make] per figure
+   (timing the analytical-model computation that regenerates it) and a
+   set of end-to-end system benchmarks (ASR construction, supported vs
+   navigational queries, maintenance, parsing) over the executable
+   engine. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate every figure                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Besides printing, each table is dropped as CSV under results/ so the
+   series can be re-plotted without re-running. *)
+let results_dir = "results"
+
+let write_csv (t : Workload.Table.t) =
+  (try if not (Sys.is_directory results_dir) then raise Exit
+   with Sys_error _ | Exit -> ( try Sys.mkdir results_dir 0o755 with Sys_error _ -> ()));
+  let file = Filename.concat results_dir (t.Workload.Table.id ^ ".csv") in
+  try
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Workload.Table.to_csv t))
+  with Sys_error _ -> ()
+
+let regenerate_figures () =
+  Format.printf "===============================================================@.";
+  Format.printf " Access Support in Object Bases - evaluation reproduction@.";
+  Format.printf "===============================================================@.@.";
+  List.iter
+    (fun (e : Workload.Experiments.t) ->
+      Format.printf "--- %s (section %s): %s ---@.@." e.Workload.Experiments.id
+        e.Workload.Experiments.section e.Workload.Experiments.title;
+      let tables = e.Workload.Experiments.run () in
+      List.iter
+        (fun t ->
+          Workload.Table.render Format.std_formatter t;
+          write_csv t)
+        tables)
+    Workload.Experiments.all;
+  Format.printf "(CSV series written under %s/)@.@." results_dir
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One benchmark per figure: the full cost-model computation that
+   regenerates the figure's series. *)
+let figure_tests =
+  List.map
+    (fun (e : Workload.Experiments.t) ->
+      Test.make ~name:("regen/" ^ e.Workload.Experiments.id)
+        (Staged.stage (fun () -> ignore (e.Workload.Experiments.run ()))))
+    Workload.Experiments.all
+
+(* End-to-end engine benchmarks over a generated base. *)
+let engine_tests =
+  let spec =
+    Workload.Generator.spec ~seed:3
+      ~counts:[ 200; 400; 800; 1600 ]
+      ~defined:[ 180; 360; 720 ] ~fan:[ 2; 2; 2 ] ()
+  in
+  let store, path = Workload.Generator.build spec in
+  let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
+  let env = { Core.Exec.store; Core.Exec.heap } in
+  let m = Gom.Path.arity path - 1 in
+  let dec_bi = Core.Decomposition.binary ~m in
+  let index = Core.Asr.create store path Core.Extension.Full dec_bi in
+  let target =
+    match Gom.Store.extent store "T3" with
+    | o :: _ -> Gom.Value.Ref o
+    | [] -> assert false
+  in
+  let source = List.hd (Gom.Store.extent store "T0") in
+  let n = Gom.Path.length path in
+  let tag_path = Gom.Path.make (Gom.Store.schema store) "T0" [ "A1"; "A2"; "A3"; "Tag" ] in
+  let tag_index =
+    Core.Asr.create store tag_path Core.Extension.Full
+      (Core.Decomposition.binary ~m:(Gom.Path.arity tag_path - 1))
+  in
+  let maintained_store, mpath = Workload.Generator.build spec in
+  let mheap =
+    Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) maintained_store
+  in
+  let mgr =
+    Core.Maintenance.create
+      { Core.Exec.store = maintained_store; Core.Exec.heap = mheap }
+  in
+  Core.Maintenance.register mgr
+    (Core.Asr.create maintained_store mpath Core.Extension.Full
+       (Core.Decomposition.binary ~m:(Gom.Path.arity mpath - 1)));
+  let msources = Array.of_list (Gom.Store.extent maintained_store "T0") in
+  let mtargets = Array.of_list (Gom.Store.extent maintained_store "T1") in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"engine/asr-create-full-binary"
+      (Staged.stage (fun () ->
+           ignore (Core.Asr.create store path Core.Extension.Full dec_bi)));
+    Test.make ~name:"engine/backward-supported"
+      (Staged.stage (fun () ->
+           ignore (Core.Exec.backward_supported index ~i:0 ~j:n ~target)));
+    Test.make ~name:"engine/backward-scan"
+      (Staged.stage (fun () ->
+           ignore (Core.Exec.backward_scan env path ~i:0 ~j:n ~target)));
+    Test.make ~name:"engine/forward-supported"
+      (Staged.stage (fun () ->
+           ignore (Core.Exec.forward_supported index ~i:0 ~j:n source)));
+    Test.make ~name:"engine/forward-scan"
+      (Staged.stage (fun () ->
+           ignore (Core.Exec.forward_scan env path ~i:0 ~j:n source)));
+    Test.make ~name:"engine/maintenance-rotate-membership"
+      (Staged.stage (fun () ->
+           let i = !counter in
+           incr counter;
+           let src = msources.(i mod Array.length msources) in
+           let tgt = mtargets.(i mod Array.length mtargets) in
+           match Gom.Store.get_attr maintained_store src "A1" with
+           | Gom.Value.Ref set ->
+             Gom.Store.insert_elem maintained_store set (Gom.Value.Ref tgt);
+             Gom.Store.remove_elem maintained_store set (Gom.Value.Ref tgt)
+           | _ -> ()));
+    Test.make ~name:"engine/gql-parse-check"
+      (Staged.stage (fun () ->
+           ignore
+             (Gql.Typecheck.check store
+                (Gql.Parser.parse
+                   {|select t from t in T0 where t.A1.A2.A3.Tag = "t3_7"|}))));
+    Test.make ~name:"engine/gql-indexed-query"
+      (Staged.stage (fun () ->
+           ignore
+             (Gql.Eval.query ~env ~indexes:[ tag_index ]
+                {|select t from t in T0 where t.A1.A2.A3.Tag = "t3_7"|})));
+    Test.make ~name:"engine/advisor-rank"
+      (Staged.stage (fun () ->
+           ignore
+             (Costmodel.Advisor.rank Workload.Experiments.profile_storage
+                (Costmodel.Opmix.make
+                   ~queries:[ Costmodel.Opmix.query 0 4 1.0 ]
+                   ~updates:[ Costmodel.Opmix.ins 3 1.0 ])
+                ~p_up:0.2)));
+  ]
+
+let run_benchmarks tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.2) ~kde:None ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"asr" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+        (name, est, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  Format.printf "%-45s %16s %8s@." "benchmark" "ns/run" "r^2";
+  Format.printf "%s@." (String.make 71 '-');
+  List.iter
+    (fun (name, est, r2) ->
+      let r2s = if Float.is_nan r2 then "-" else Printf.sprintf "%.4f" r2 in
+      Format.printf "%-45s %16.1f %8s@." name est r2s)
+    rows
+
+let () =
+  regenerate_figures ();
+  Format.printf "===============================================================@.";
+  Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
+  Format.printf "===============================================================@.@.";
+  run_benchmarks (figure_tests @ engine_tests)

@@ -1,0 +1,424 @@
+(* Command-line interface to the access-support-relation reproduction:
+
+     asr_cli list                          enumerate experiments
+     asr_cli experiment fig6 [--csv]       regenerate one figure (or "all")
+     asr_cli advise --profile storage ...  rank physical designs for a mix
+     asr_cli query --base company "select ..." [--index full[:0,3,5]]
+*)
+
+let exit_usage msg =
+  prerr_endline msg;
+  exit 2
+
+(* ---------------- experiment commands ---------------- *)
+
+let list_cmd () =
+  Format.printf "%-8s %-10s %s@." "id" "section" "title";
+  Format.printf "%s@." (String.make 56 '-');
+  List.iter
+    (fun (e : Workload.Experiments.t) ->
+      Format.printf "%-8s %-10s %s@." e.Workload.Experiments.id
+        e.Workload.Experiments.section e.Workload.Experiments.title)
+    Workload.Experiments.all;
+  0
+
+let experiment_cmd id csv =
+  let run_one (e : Workload.Experiments.t) =
+    if csv then
+      List.iter
+        (fun t -> print_string (Workload.Table.to_csv t))
+        (e.Workload.Experiments.run ())
+    else Workload.Experiments.run_and_render Format.std_formatter e
+  in
+  match id with
+  | "all" ->
+    List.iter run_one Workload.Experiments.all;
+    0
+  | id -> (
+    match Workload.Experiments.find id with
+    | Some e ->
+      run_one e;
+      0
+    | None ->
+      exit_usage
+        (Printf.sprintf "unknown experiment %S; try `asr_cli list'" id))
+
+(* ---------------- advisor command ---------------- *)
+
+let profiles =
+  [ ("storage", Workload.Experiments.profile_storage);
+    ("query", Workload.Experiments.profile_query) ]
+
+let parse_query_spec s =
+  (* "i,j,bw,0.5" or "i,j,fw,0.5" *)
+  match String.split_on_char ',' s with
+  | [ i; j; kind; w ] -> (
+    try Costmodel.Opmix.query ~kind (int_of_string i) (int_of_string j) (float_of_string w)
+    with _ -> exit_usage (Printf.sprintf "bad query spec %S (want i,j,fw|bw,w)" s))
+  | _ -> exit_usage (Printf.sprintf "bad query spec %S (want i,j,fw|bw,w)" s)
+
+let parse_ins_spec s =
+  match String.split_on_char ',' s with
+  | [ pos; w ] -> (
+    try Costmodel.Opmix.ins (int_of_string pos) (float_of_string w)
+    with _ -> exit_usage (Printf.sprintf "bad update spec %S (want pos,w)" s))
+  | _ -> exit_usage (Printf.sprintf "bad update spec %S (want pos,w)" s)
+
+let advise_cmd profile p_up queries updates top =
+  let prof =
+    match List.assoc_opt profile profiles with
+    | Some p -> p
+    | None ->
+      exit_usage
+        (Printf.sprintf "unknown profile %S (available: %s)" profile
+           (String.concat ", " (List.map fst profiles)))
+  in
+  let n = Costmodel.Profile.n prof in
+  let queries =
+    match queries with [] -> [ Costmodel.Opmix.query 0 n 1.0 ] | qs -> List.map parse_query_spec qs
+  in
+  let updates =
+    match updates with [] -> [ Costmodel.Opmix.ins (n - 1) 1.0 ] | us -> List.map parse_ins_spec us
+  in
+  let mix =
+    try Costmodel.Opmix.make ~queries ~updates
+    with Invalid_argument m -> exit_usage m
+  in
+  let ranked = Costmodel.Advisor.rank prof mix ~p_up in
+  let shown = List.filteri (fun i _ -> i < top) ranked in
+  Format.printf "profile %s, P_up = %.3f, %d designs considered@.@." profile p_up
+    (List.length ranked);
+  Costmodel.Advisor.pp_ranked Format.std_formatter shown;
+  Format.printf "@.";
+  0
+
+(* ---------------- query command ---------------- *)
+
+let bases = [ "robots"; "company" ]
+
+let make_env base =
+  match base with
+  | "robots" ->
+    let b = Workload.Schemas.Robot.base () in
+    let store = b.Workload.Schemas.Robot.store in
+    let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+    (store, { Core.Exec.store; Core.Exec.heap },
+     Some (Workload.Schemas.Robot.location_path store))
+  | "company" ->
+    let b = Workload.Schemas.Company.base () in
+    let store = b.Workload.Schemas.Company.store in
+    let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+    (store, { Core.Exec.store; Core.Exec.heap },
+     Some (Workload.Schemas.Company.name_path store))
+  | other ->
+    exit_usage
+      (Printf.sprintf "unknown base %S (available: %s)" other (String.concat ", " bases))
+
+let parse_index store path spec =
+  (* "full" or "full:0,3,5" over the demo base's canonical path. *)
+  let kind_s, dec_s =
+    match String.index_opt spec ':' with
+    | Some i ->
+      (String.sub spec 0 i, Some (String.sub spec (i + 1) (String.length spec - i - 1)))
+    | None -> (spec, None)
+  in
+  let kind =
+    match Core.Extension.of_name kind_s with
+    | Some k -> k
+    | None -> exit_usage (Printf.sprintf "unknown extension %S" kind_s)
+  in
+  let m = Gom.Path.arity path - 1 in
+  let dec =
+    match dec_s with
+    | None -> Core.Decomposition.binary ~m
+    | Some s -> (
+      try Core.Decomposition.of_string ~m s
+      with Invalid_argument msg -> exit_usage msg)
+  in
+  Core.Asr.create store path kind dec
+
+let dump_cmd base file =
+  let store, _, _ = make_env base in
+  Gom.Serial.save store file;
+  Format.printf "wrote %s (%d objects)@." file
+    (Gom.Store.fold_objects store ~init:0 ~f:(fun acc _ -> acc + 1));
+  0
+
+let query_cmd base file path_spec index_spec text =
+  let store, env, index_path =
+    match file with
+    | None -> make_env base
+    | Some f -> (
+      match Gom.Serial.load f with
+      | exception Gom.Serial.Corrupt m -> exit_usage ("corrupt base file: " ^ m)
+      | exception Sys_error m -> exit_usage m
+      | store ->
+        let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+        (store, { Core.Exec.store; Core.Exec.heap }, None))
+  in
+  let index_path =
+    match path_spec with
+    | Some s -> (
+      try Some (Gom.Path.parse (Gom.Store.schema store) s)
+      with Gom.Path.Path_error m -> exit_usage m)
+    | None -> index_path
+  in
+  let indexes =
+    match (index_spec, index_path) with
+    | None, _ -> []
+    | Some spec, Some p -> [ parse_index store p spec ]
+    | Some _, None -> exit_usage "--index over a file base requires --path"
+  in
+  match Gql.Eval.query ~env ~indexes text with
+  | exception Gql.Parser.Parse_error m -> exit_usage ("parse error: " ^ m)
+  | exception Gql.Typecheck.Check_error m -> exit_usage ("type error: " ^ m)
+  | r ->
+    Format.printf "plan:  %s@." (Gql.Eval.plan_to_string r.Gql.Eval.plan);
+    Format.printf "pages: %d@." r.Gql.Eval.pages;
+    Format.printf "rows  (%d):@." (List.length r.Gql.Eval.rows);
+    List.iter
+      (fun row ->
+        Format.printf "  %s@."
+          (String.concat ", " (List.map Gom.Value.to_string row)))
+      r.Gql.Eval.rows;
+    0
+
+(* ---------------- auto design ---------------- *)
+
+let auto_cmd base file path_spec p_up queries updates =
+  let store, _env, index_path =
+    match file with
+    | None -> make_env base
+    | Some f -> (
+      match Gom.Serial.load f with
+      | exception Gom.Serial.Corrupt m -> exit_usage ("corrupt base file: " ^ m)
+      | exception Sys_error m -> exit_usage m
+      | store ->
+        let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+        (store, { Core.Exec.store; Core.Exec.heap }, None))
+  in
+  let path =
+    match path_spec with
+    | Some s -> (
+      try Gom.Path.parse (Gom.Store.schema store) s
+      with Gom.Path.Path_error m -> exit_usage m)
+    | None -> (
+      match index_path with
+      | Some p -> p
+      | None -> exit_usage "--path is required for a file base")
+  in
+  let n = Gom.Path.length path in
+  let queries =
+    match queries with
+    | [] -> [ Costmodel.Opmix.query 0 n 1.0 ]
+    | qs -> List.map parse_query_spec qs
+  in
+  let updates =
+    match updates with
+    | [] -> [ Costmodel.Opmix.ins (n - 1) 1.0 ]
+    | us -> List.map parse_ins_spec us
+  in
+  let mix =
+    try Costmodel.Opmix.make ~queries ~updates with Invalid_argument m -> exit_usage m
+  in
+  let best, built = Workload.Autodesign.auto store path mix ~p_up in
+  Format.printf "measured profile over %a:@.%a@.@." Gom.Path.pp path Costmodel.Profile.pp
+    (Workload.Profiler.profile_of_base store path);
+  Format.printf "winning design: %s (%.2f pages/op, %.4f vs no support)@."
+    (Costmodel.Opmix.design_name best.Costmodel.Advisor.design)
+    best.Costmodel.Advisor.expected_cost best.Costmodel.Advisor.normalized;
+  (match built with
+  | Some a ->
+    Format.printf "materialised: %d tuples over %d partitions, %d pages@."
+      (Core.Asr.cardinal a) (Core.Asr.partition_count a) (Core.Asr.total_pages a)
+  | None -> Format.printf "no index materialised (no support wins)@.");
+  0
+
+(* ---------------- repl ---------------- *)
+
+let repl_cmd base file path_spec index_spec =
+  let store, env, index_path =
+    match file with
+    | None -> make_env base
+    | Some f -> (
+      match Gom.Serial.load f with
+      | exception Gom.Serial.Corrupt m -> exit_usage ("corrupt base file: " ^ m)
+      | exception Sys_error m -> exit_usage m
+      | store ->
+        let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+        (store, { Core.Exec.store; Core.Exec.heap }, None))
+  in
+  let index_path =
+    match path_spec with
+    | Some s -> (
+      try Some (Gom.Path.parse (Gom.Store.schema store) s)
+      with Gom.Path.Path_error m -> exit_usage m)
+    | None -> index_path
+  in
+  let indexes =
+    match (index_spec, index_path) with
+    | None, _ -> []
+    | Some spec, Some p -> [ parse_index store p spec ]
+    | Some _, None -> exit_usage "--index requires --path on a file base"
+  in
+  Format.printf
+    "GOM-SQL repl - one query per line; \\schema shows the schema, \\names the \
+     roots, \\q quits.@.";
+  (try
+     while true do
+       Format.printf "gom> %!";
+       match input_line stdin with
+       | exception End_of_file -> raise Exit
+       | "\\q" | "\\quit" | "exit" -> raise Exit
+       | "\\schema" -> Format.printf "%a%!" Gom.Schema.pp (Gom.Store.schema store)
+       | "\\names" ->
+         List.iter
+           (fun (n, o) ->
+             Format.printf "%s -> %s@." n (Gom.Value.to_string (Gom.Value.Ref o)))
+           (Gom.Store.names store)
+       | "" -> ()
+       | line -> (
+         match Gql.Eval.query ~env ~indexes line with
+         | exception Gql.Parser.Parse_error m -> Format.printf "parse error: %s@." m
+         | exception Gql.Typecheck.Check_error m -> Format.printf "type error: %s@." m
+         | r ->
+           Format.printf "-- %s (%d pages)@." (Gql.Eval.plan_to_string r.Gql.Eval.plan)
+             r.Gql.Eval.pages;
+           List.iter
+             (fun row ->
+               Format.printf "%s@."
+                 (String.concat ", " (List.map Gom.Value.to_string row)))
+             r.Gql.Eval.rows)
+     done
+   with Exit -> ());
+  0
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+open Cmdliner
+
+let list_t = Term.(const list_cmd $ const ())
+
+let experiment_t =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id, or $(b,all).")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  Term.(const experiment_cmd $ id $ csv)
+
+let advise_t =
+  let profile =
+    Arg.(value & opt string "storage" & info [ "profile" ] ~docv:"NAME"
+           ~doc:"Application profile: $(b,storage) or $(b,query).")
+  in
+  let p_up =
+    Arg.(value & opt float 0.2 & info [ "pup" ] ~docv:"P" ~doc:"Update probability.")
+  in
+  let queries =
+    Arg.(value & opt_all string [] & info [ "query" ] ~docv:"I,J,KIND,W"
+           ~doc:"Weighted query, e.g. $(b,0,4,bw,0.5); repeatable.")
+  in
+  let updates =
+    Arg.(value & opt_all string [] & info [ "ins" ] ~docv:"POS,W"
+           ~doc:"Weighted insert update, e.g. $(b,3,1.0); repeatable.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Designs to display.")
+  in
+  Term.(const advise_cmd $ profile $ p_up $ queries $ updates $ top)
+
+let query_t =
+  let base =
+    Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
+           ~doc:"Demo base: $(b,robots) or $(b,company).")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Load the object base from a file written by $(b,dump) instead.")
+  in
+  let path =
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"T0.A1...."
+           ~doc:"Path expression to index (defaults to the demo base's path).")
+  in
+  let index =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"EXT[:DEC]"
+           ~doc:"Create an access support relation over the path, e.g. \
+                 $(b,full:0,3,5) or $(b,can).")
+  in
+  let text =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"GOM-SQL text.")
+  in
+  Term.(const query_cmd $ base $ file $ path $ index $ text)
+
+let repl_t =
+  let base =
+    Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
+           ~doc:"Demo base: $(b,robots) or $(b,company).")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Load the object base from a file written by $(b,dump) instead.")
+  in
+  let path =
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"T0.A1...."
+           ~doc:"Path expression to index.")
+  in
+  let index =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"EXT[:DEC]"
+           ~doc:"Create an access support relation over the path.")
+  in
+  Term.(const repl_cmd $ base $ file $ path $ index)
+
+let auto_t =
+  let base =
+    Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
+           ~doc:"Demo base: $(b,robots) or $(b,company).")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Load the object base from a file instead.")
+  in
+  let path =
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"T0.A1...."
+           ~doc:"Path expression to design for.")
+  in
+  let p_up =
+    Arg.(value & opt float 0.2 & info [ "pup" ] ~docv:"P" ~doc:"Update probability.")
+  in
+  let queries =
+    Arg.(value & opt_all string [] & info [ "query" ] ~docv:"I,J,KIND,W"
+           ~doc:"Weighted query; repeatable.")
+  in
+  let updates =
+    Arg.(value & opt_all string [] & info [ "ins" ] ~docv:"POS,W"
+           ~doc:"Weighted insert update; repeatable.")
+  in
+  Term.(const auto_cmd $ base $ file $ path $ p_up $ queries $ updates)
+
+let dump_t =
+  let base =
+    Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
+           ~doc:"Demo base: $(b,robots) or $(b,company).")
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Term.(const dump_cmd $ base $ file)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "list" ~doc:"List the paper's experiments.") list_t;
+    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a figure's data series.") experiment_t;
+    Cmd.v (Cmd.info "advise" ~doc:"Rank physical designs for an operation mix.") advise_t;
+    Cmd.v (Cmd.info "query" ~doc:"Run a GOM-SQL query against a demo or saved base.") query_t;
+    Cmd.v (Cmd.info "dump" ~doc:"Persist a demo base to a file.") dump_t;
+    Cmd.v (Cmd.info "repl" ~doc:"Interactive GOM-SQL shell.") repl_t;
+    Cmd.v
+      (Cmd.info "auto"
+         ~doc:"Measure a base's profile and materialise the advisor's winning design.")
+      auto_t;
+  ]
+
+let () =
+  let doc = "Access support relations for object bases (Kemper & Moerkotte, SIGMOD 1990)" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "asr_cli" ~doc) cmds))

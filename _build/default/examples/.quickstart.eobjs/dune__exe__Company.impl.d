@@ -1,0 +1,1 @@
+examples/company.ml: Core Format Gom Gql List Relation Storage String Workload

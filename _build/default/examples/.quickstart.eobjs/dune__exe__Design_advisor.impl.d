@@ -1,0 +1,1 @@
+examples/design_advisor.ml: Core Costmodel Format List Printf Workload

@@ -1,0 +1,1 @@
+examples/model_validation.ml: Core Costmodel Format Gom List Printf Storage Workload

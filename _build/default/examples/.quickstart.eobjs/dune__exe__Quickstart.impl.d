@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format Gom Gql List Relation Storage String Workload

@@ -1,0 +1,1 @@
+examples/shared_paths.ml: Core Costmodel Format Gom List Storage String Workload

@@ -1,0 +1,127 @@
+(* Sharing access support relations between overlapping path
+   expressions (paper, section 5.4), and the usage-monitoring loop the
+   conclusion proposes.
+
+   Two path expressions with a common tail -
+   Division.Manufactures.Composition.Name and
+   Factory.Makes.Composition.Name - are indexed against one sharing
+   pool: the Product->BasePart->Name partition is materialised once and
+   serves both.  A monitor then watches the running workload and re-runs
+   the design advisor against the measured profile.
+
+   Run with: dune exec examples/shared_paths.exe *)
+
+module A = Core.Asr
+module D = Core.Decomposition
+module X = Core.Extension
+module V = Gom.Value
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  section "1. A schema with two paths sharing a tail";
+  let s = Workload.Schemas.Company.schema () in
+  let s = Gom.Schema.define_tuple s "Factory" [ ("City", "STRING"); ("Makes", "ProdSET") ] in
+  let store = Gom.Store.create s in
+  (* Populate: two divisions and two factories over a shared product
+     catalogue. *)
+  let part name price =
+    let b = Gom.Store.new_object store "BasePart" in
+    Gom.Store.set_attr store b "Name" (V.Str name);
+    Gom.Store.set_attr store b "Price" (V.Dec price);
+    b
+  in
+  let collection ty elems =
+    let c = Gom.Store.new_object store ty in
+    List.iter (fun x -> Gom.Store.insert_elem store c (V.Ref x)) elems;
+    c
+  in
+  let product name parts =
+    let p = Gom.Store.new_object store "Product" in
+    Gom.Store.set_attr store p "Name" (V.Str name);
+    Gom.Store.set_attr store p "Composition" (V.Ref (collection "BasePartSET" parts));
+    p
+  in
+  let door = part "Door" 1205.5 and wheel = part "Wheel" 99.9 and seat = part "Seat" 49.0 in
+  let car = product "Car" [ door; wheel; seat ] in
+  let bike = product "Bike" [ wheel; seat ] in
+  let division name prods =
+    let d = Gom.Store.new_object store "Division" in
+    Gom.Store.set_attr store d "Name" (V.Str name);
+    Gom.Store.set_attr store d "Manufactures" (V.Ref (collection "ProdSET" prods));
+    d
+  in
+  let factory city prods =
+    let f = Gom.Store.new_object store "Factory" in
+    Gom.Store.set_attr store f "City" (V.Str city);
+    Gom.Store.set_attr store f "Makes" (V.Ref (collection "ProdSET" prods));
+    f
+  in
+  let _auto = division "Auto" [ car ] and _two = division "TwoWheelers" [ bike ] in
+  let _ulm = factory "Ulm" [ car; bike ] and _jena = factory "Jena" [ bike ] in
+  let div_path = Gom.Path.make s "Division" [ "Manufactures"; "Composition"; "Name" ] in
+  let fac_path = Gom.Path.make s "Factory" [ "Makes"; "Composition"; "Name" ] in
+  Format.printf "path 1: %a@.path 2: %a@." Gom.Path.pp div_path Gom.Path.pp fac_path;
+
+  section "2. Materialise both against one pool";
+  let pool = A.make_pool store in
+  let dec = D.make ~m:5 [ 0; 2; 5 ] in
+  let a1 = A.create ~pool store div_path X.Full dec in
+  let a2 = A.create ~pool store fac_path X.Full dec in
+  Format.printf "segments in the pool: %d (the Product tail is stored once)@."
+    (A.pool_segment_count pool);
+  Format.printf "pooled pages: %d vs unshared: %d@."
+    (A.pool_total_pages [ a1; a2 ])
+    (A.pool_total_pages
+       [ A.create store div_path X.Full dec; A.create store fac_path X.Full dec ]);
+  List.iteri
+    (fun i g ->
+      Format.printf "  a1 partition %d (cols %d-%d): %d tuples%s@." i g.A.lo g.A.hi
+        g.A.tuples
+        (if g.A.shared then " [shared]" else ""))
+    (A.geometry a1);
+
+  section "3. Both answer their queries from the shared tail";
+  let heap = Storage.Heap.create ~size_of:(fun _ -> 120) store in
+  let env = { Core.Exec.store; Core.Exec.heap } in
+  let mgr = Core.Maintenance.create env in
+  Core.Maintenance.register mgr a1;
+  Core.Maintenance.register mgr a2;
+  let ask a path label =
+    let who = Core.Exec.backward_supported a ~i:0 ~j:3 ~target:(V.Str "Wheel") in
+    Format.printf "%s using Wheel: %s@." label
+      (String.concat ", "
+         (List.map
+            (fun o ->
+              let attr = if label = "divisions" then "Name" else "City" in
+              V.to_string (Gom.Store.get_attr store o attr))
+            who));
+    ignore path
+  in
+  ask a1 div_path "divisions";
+  ask a2 fac_path "factories";
+
+  section "4. One mutation in the tail maintains both";
+  Format.printf "Car drops its Seat...@.";
+  let car_parts = V.oid_exn (Gom.Store.get_attr store car "Composition") in
+  Gom.Store.remove_elem store car_parts (V.Ref seat);
+  ask a1 div_path "divisions";
+  ask a2 fac_path "factories";
+
+  section "5. Monitor the workload and re-advise";
+  let monitor = Workload.Profiler.Monitor.create store div_path in
+  for _ = 1 to 30 do
+    Workload.Profiler.Monitor.record_query monitor `Bw ~i:0 ~j:3
+  done;
+  for _ = 1 to 6 do
+    Gom.Store.insert_elem store car_parts (V.Ref seat);
+    Gom.Store.remove_elem store car_parts (V.Ref seat)
+  done;
+  Format.printf "observed: %d queries, %d updates (P_up = %.2f)@."
+    (Workload.Profiler.Monitor.queries_seen monitor)
+    (Workload.Profiler.Monitor.updates_seen monitor)
+    (Workload.Profiler.Monitor.observed_p_up monitor);
+  let ranked = Workload.Profiler.Monitor.recommend monitor in
+  Costmodel.Advisor.pp_ranked Format.std_formatter
+    (List.filteri (fun i _ -> i < 5) ranked);
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+lib/core/asr.ml: Array Decomposition Extension Gom List Option Printf Relation Storage String

@@ -1,0 +1,1 @@
+lib/core/asr.mli: Decomposition Extension Gom Relation Storage

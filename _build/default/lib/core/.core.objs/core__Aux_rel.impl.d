@@ -1,0 +1,1 @@
+lib/core/aux_rel.ml: Gom List Relation

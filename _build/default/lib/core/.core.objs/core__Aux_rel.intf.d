@@ -1,0 +1,1 @@
+lib/core/aux_rel.mli: Gom Relation

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Asr Decomposition Extension Gom Printf

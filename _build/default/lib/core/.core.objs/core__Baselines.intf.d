@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Asr Gom Storage

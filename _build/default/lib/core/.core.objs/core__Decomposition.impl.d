@@ -1,0 +1,1 @@
+lib/core/decomposition.ml: Format Fun Int List Relation String

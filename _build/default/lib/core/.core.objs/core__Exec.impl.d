@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Asr Gom Hashtbl List Printf Relation Storage

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Asr Gom Storage

@@ -1,0 +1,1 @@
+lib/core/extension.ml: Array Aux_rel Gom Relation

@@ -1,0 +1,1 @@
+lib/core/extension.mli: Gom Relation

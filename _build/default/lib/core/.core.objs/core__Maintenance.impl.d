@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Array Asr Exec Extension Fun Gom List Relation Storage String

@@ -1,0 +1,311 @@
+type trees = {
+  fwd : Storage.Bptree.t;
+  bwd : Storage.Bptree.t;
+  skey : string option; (* shared-segment key, when pooled *)
+}
+
+type part = { lo : int; hi : int; trees : trees }
+
+type t = {
+  store : Gom.Store.t;
+  path : Gom.Path.t;
+  kind : Extension.kind;
+  dec : Decomposition.t;
+  config : Storage.Config.t;
+  pager : Storage.Pager.t;
+  mutable extension : Relation.t;
+  parts : part array;
+}
+
+type pool = {
+  pool_store : Gom.Store.t;
+  pool_config : Storage.Config.t;
+  pool_pager : Storage.Pager.t;
+  mutable segments : (string * trees) list;
+}
+
+let store t = t.store
+let path t = t.path
+let kind t = t.kind
+let decomposition t = t.dec
+let config t = t.config
+let arity t = Gom.Path.arity t.path
+let extension_relation t = t.extension
+let cardinal t = Relation.cardinal t.extension
+let partition_count t = Array.length t.parts
+
+let partition_bounds t i =
+  let p = t.parts.(i) in
+  (p.lo, p.hi)
+
+let partition_index_of_column t col =
+  let found = ref (-1) in
+  Array.iteri (fun i p -> if !found < 0 && p.lo = col then found := i) t.parts;
+  if !found < 0 then
+    Array.iteri
+      (fun i p -> if !found < 0 && p.lo <= col && col <= p.hi then found := i)
+      t.parts;
+  if !found < 0 then invalid_arg "Asr.partition_index_of_column: out of range";
+  !found
+
+let cols (lo, hi) = List.init (hi - lo + 1) (fun k -> lo + k)
+
+let project_tuple tup (lo, hi) = Relation.Tuple.project tup (cols (lo, hi))
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.4: sharing of access support relation partitions          *)
+(* ------------------------------------------------------------------ *)
+
+let make_pool ?(config = Storage.Config.default) ?(pager = Storage.Pager.create ()) store
+    =
+  { pool_store = store; pool_config = config; pool_pager = pager; segments = [] }
+
+(* The content of a partition over columns [lo..hi] is determined by the
+   path steps whose auxiliary relations contribute the adjacent column
+   pairs of the span (plus, for left-/right-complete extensions, by the
+   fact that the span is a complete prefix/suffix).  Two partitions with
+   equal keys hold equal relations, so their B+ trees can be shared
+   (paper, section 5.4). *)
+let segment_key path kind ~lo ~hi =
+  let m = Gom.Path.arity path - 1 in
+  let eligible =
+    match (kind : Extension.kind) with
+    | Extension.Full -> true
+    | Extension.Left_complete -> lo = 0
+    | Extension.Right_complete -> hi = m
+    | Extension.Canonical -> false
+  in
+  if not eligible then None
+  else begin
+    let n = Gom.Path.length path in
+    (* Owning step and role of the adjacent column pair (c, c+1). *)
+    let pair_desc c =
+      let rec find i =
+        if i > n then invalid_arg "Asr.segment_key: column out of range"
+        else
+          let c_lo = Gom.Path.column_of_object_position path (i - 1) in
+          let c_hi = Gom.Path.column_of_object_position path i in
+          if c >= c_lo && c + 1 <= c_hi then
+            let s = Gom.Path.step path i in
+            let role =
+              match s.Gom.Path.set_type with
+              | None -> "ref"
+              | Some _ -> if c = c_lo then "own" else "elem"
+            in
+            Printf.sprintf "%s.%s[%s>%s/%s]" s.Gom.Path.domain s.Gom.Path.attr role
+              (Option.value ~default:"-" s.Gom.Path.set_type)
+              s.Gom.Path.range
+          else find (i + 1)
+      in
+      find 1
+    in
+    let pairs = List.init (hi - lo) (fun k -> pair_desc (lo + k)) in
+    Some (Extension.name kind ^ "|" ^ String.concat ";" pairs)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let insert_projection trees tup (lo, hi) =
+  let proj = project_tuple tup (lo, hi) in
+  Storage.Bptree.insert trees.fwd proj;
+  Storage.Bptree.insert trees.bwd proj
+
+let fresh_trees ~config ~pager ~width ~skey =
+  let tuple_bytes = width * config.Storage.Config.oid_size in
+  {
+    fwd = Storage.Bptree.create ~config ~pager ~tuple_bytes ~key_of:(fun tup -> tup.(0));
+    bwd =
+      Storage.Bptree.create ~config ~pager ~tuple_bytes ~key_of:(fun tup ->
+          tup.(width - 1));
+    skey;
+  }
+
+let create ?(config = Storage.Config.default) ?(pager = Storage.Pager.create ()) ?pool
+    store path kind dec =
+  let m = Gom.Path.arity path - 1 in
+  (match List.rev (Decomposition.boundaries dec) with
+  | last :: _ when last = m -> ()
+  | _ -> invalid_arg "Asr.create: decomposition does not match path arity");
+  (match pool with
+  | Some p when not (p.pool_store == store) ->
+    invalid_arg "Asr.create: pool belongs to a different store"
+  | _ -> ());
+  let config, pager =
+    match pool with Some p -> (p.pool_config, p.pool_pager) | None -> (config, pager)
+  in
+  let extension = Extension.compute store path kind in
+  let tuples = Relation.to_list extension in
+  let mk_part (lo, hi) =
+    let width = hi - lo + 1 in
+    let skey =
+      match pool with None -> None | Some _ -> segment_key path kind ~lo ~hi
+    in
+    let reused =
+      match (pool, skey) with
+      | Some p, Some k -> List.assoc_opt k p.segments
+      | _ -> None
+    in
+    match reused with
+    | Some trees ->
+      (* Contribute this extension's projections on top of the sharing
+         relation's: reference counts keep co-maintenance exact. *)
+      List.iter (fun tup -> insert_projection trees tup (lo, hi)) tuples;
+      { lo; hi; trees }
+    | None ->
+      let trees = fresh_trees ~config ~pager ~width ~skey in
+      let projs = List.map (fun tup -> project_tuple tup (lo, hi)) tuples in
+      Storage.Bptree.bulk_load trees.fwd projs;
+      Storage.Bptree.bulk_load trees.bwd projs;
+      (match (pool, skey) with
+      | Some p, Some k -> p.segments <- (k, trees) :: p.segments
+      | _ -> ());
+      { lo; hi; trees }
+  in
+  let parts = Array.of_list (List.map mk_part (Decomposition.partitions dec)) in
+  { store; path; kind; dec; config; pager; extension; parts }
+
+let remove_projections t tuples =
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun tup ->
+          let proj = project_tuple tup (p.lo, p.hi) in
+          Storage.Bptree.remove p.trees.fwd proj;
+          Storage.Bptree.remove p.trees.bwd proj)
+        tuples)
+    t.parts
+
+let refresh t =
+  (* Retract this relation's contributions (leaving co-sharers intact),
+     then re-add from a fresh computation. *)
+  remove_projections t (Relation.to_list t.extension);
+  t.extension <- Extension.compute t.store t.path t.kind;
+  let tuples = Relation.to_list t.extension in
+  Array.iter
+    (fun p -> List.iter (fun tup -> insert_projection p.trees tup (p.lo, p.hi)) tuples)
+    t.parts
+
+let partition_relation t i =
+  let p = t.parts.(i) in
+  Relation.of_list ~width:(p.hi - p.lo + 1) (Storage.Bptree.scan p.trees.fwd)
+
+let lookup_fwd ?stats t i key = Storage.Bptree.lookup ?stats t.parts.(i).trees.fwd key
+
+let lookup_bwd ?stats t i key = Storage.Bptree.lookup ?stats t.parts.(i).trees.bwd key
+
+let scan_partition ?stats t i = Storage.Bptree.scan ?stats t.parts.(i).trees.fwd
+
+let insert_tuple ?stats t tup =
+  if Array.length tup <> arity t then invalid_arg "Asr.insert_tuple: width mismatch";
+  if Relation.mem t.extension tup then false
+  else begin
+    t.extension <- Relation.add t.extension tup;
+    Array.iter
+      (fun p ->
+        let proj = project_tuple tup (p.lo, p.hi) in
+        Storage.Bptree.insert ?stats p.trees.fwd proj;
+        Storage.Bptree.insert ?stats p.trees.bwd proj)
+      t.parts;
+    true
+  end
+
+let remove_tuple ?stats t tup =
+  if Relation.mem t.extension tup then begin
+    t.extension <- Relation.remove t.extension tup;
+    Array.iter
+      (fun p ->
+        let proj = project_tuple tup (p.lo, p.hi) in
+        Storage.Bptree.remove ?stats p.trees.fwd proj;
+        Storage.Bptree.remove ?stats p.trees.bwd proj)
+      t.parts;
+    true
+  end
+  else false
+
+let distinct_values tuples col =
+  List.fold_left
+    (fun acc (tup : Relation.Tuple.t) ->
+      let v = tup.(col) in
+      if Gom.Value.is_null v || List.exists (Gom.Value.equal v) acc then acc
+      else v :: acc)
+    [] tuples
+
+let find_by_column ?stats t ~col v =
+  let matches =
+    Relation.to_list
+      (Relation.filter t.extension (fun tup -> Gom.Value.equal tup.(col) v))
+  in
+  (match stats with
+  | None -> ()
+  | Some st ->
+    let pi = partition_index_of_column t col in
+    let p = t.parts.(pi) in
+    if col = p.lo then ignore (Storage.Bptree.lookup ~stats:st p.trees.fwd v)
+    else if col = p.hi then ignore (Storage.Bptree.lookup ~stats:st p.trees.bwd v)
+    else ignore (Storage.Bptree.scan ~stats:st p.trees.fwd);
+    if matches <> [] then begin
+      for k = pi - 1 downto 0 do
+        let q = t.parts.(k) in
+        List.iter
+          (fun key -> ignore (Storage.Bptree.lookup ~stats:st q.trees.bwd key))
+          (distinct_values matches q.hi)
+      done;
+      for k = pi + 1 to Array.length t.parts - 1 do
+        let q = t.parts.(k) in
+        List.iter
+          (fun key -> ignore (Storage.Bptree.lookup ~stats:st q.trees.fwd key))
+          (distinct_values matches q.lo)
+      done
+    end);
+  matches
+
+let supports t ~i ~j =
+  Extension.supports t.kind ~n:(Gom.Path.length t.path) ~i ~j
+
+type part_geometry = {
+  lo : int;
+  hi : int;
+  tuples : int;
+  tuple_bytes : int;
+  leaf_pages : int;
+  inner_pages : int;
+  height : int;
+  shared : bool;
+}
+
+let geometry t =
+  Array.to_list t.parts
+  |> List.map (fun (p : part) ->
+         {
+           lo = p.lo;
+           hi = p.hi;
+           tuples = Storage.Bptree.cardinal p.trees.fwd;
+           tuple_bytes = Storage.Bptree.tuple_bytes p.trees.fwd;
+           leaf_pages = Storage.Bptree.leaf_pages p.trees.fwd;
+           inner_pages = Storage.Bptree.inner_pages p.trees.fwd;
+           height = Storage.Bptree.height p.trees.fwd;
+           shared = p.trees.skey <> None;
+         })
+
+let total_pages t =
+  List.fold_left (fun acc g -> acc + g.leaf_pages + g.inner_pages) 0 (geometry t)
+
+let shared_partition_count t =
+  Array.fold_left (fun acc p -> if p.trees.skey <> None then acc + 1 else acc) 0 t.parts
+
+let pool_segment_count pool = List.length pool.segments
+
+let pool_total_pages asrs =
+  (* Count each physical tree once even when several relations share it. *)
+  let seen : Storage.Bptree.t list ref = ref [] in
+  let add tree acc =
+    if List.exists (fun t -> t == tree) !seen then acc
+    else begin
+      seen := tree :: !seen;
+      acc + Storage.Bptree.leaf_pages tree + Storage.Bptree.inner_pages tree
+    end
+  in
+  List.fold_left
+    (fun acc t ->
+      Array.fold_left (fun acc p -> add p.trees.fwd (add p.trees.bwd acc)) acc t.parts)
+    0 asrs

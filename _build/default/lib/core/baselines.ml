@@ -1,0 +1,18 @@
+let valduriez_join_index ?config store ~anchor ~attr =
+  let path = Gom.Path.make (Gom.Store.schema store) anchor [ attr ] in
+  let m = Gom.Path.arity path - 1 in
+  Asr.create ?config store path Extension.Full (Decomposition.trivial ~m)
+
+let gemstone_path_index ?config store path =
+  if not (Gom.Path.linear path) then
+    invalid_arg
+      (Printf.sprintf
+         "Baselines.gemstone_path_index: %s contains a set occurrence; GemStone \
+          index paths are restricted to single-valued attribute chains"
+         (Gom.Path.to_string path));
+  let m = Gom.Path.arity path - 1 in
+  Asr.create ?config store path Extension.Left_complete (Decomposition.binary ~m)
+
+let orion_nested_index ?config store path =
+  let m = Gom.Path.arity path - 1 in
+  Asr.create ?config store path Extension.Canonical (Decomposition.trivial ~m)

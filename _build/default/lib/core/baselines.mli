@@ -1,0 +1,44 @@
+(** Earlier access-support proposals as special cases.
+
+    The paper positions access support relations as a generalisation of
+    three prior techniques (section 1); this module materialises each as
+    the corresponding [Asr.t] configuration, so the subsumption claims
+    can be exercised and benchmarked:
+
+    - {b Valduriez's binary join index} \[11\]: relates exactly two
+      object types through one attribute — an ASR over a path of length
+      1, kept in its two clustering orders.
+    - {b GemStone index paths} \[6\]: chains of {e single-valued}
+      attributes whose representation is limited to {e binary
+      partitions} — a left-complete extension under binary
+      decomposition, rejected for paths with set occurrences.
+    - {b Orion's nested-attribute index} \[5\]: maps the values at the
+      end of a path directly to the objects at its head — a canonical
+      extension without decomposition, useful only for [(0, n)]
+      backward queries.
+
+    Each constructor simply configures {!Asr.create}; the point is the
+    restriction each one inherits, which the tests and the ablation
+    benchmark make visible (e.g. Orion's index cannot answer sub-path
+    queries that a decomposed full extension supports). *)
+
+val valduriez_join_index :
+  ?config:Storage.Config.t ->
+  Gom.Store.t ->
+  anchor:Gom.Schema.type_name ->
+  attr:Gom.Schema.attr_name ->
+  Asr.t
+(** A binary join index over one attribute (set-valued allowed — the
+    join index of an N:M relationship).  Full extension so both
+    dangling sides are retrievable, trivially decomposed. *)
+
+val gemstone_path_index :
+  ?config:Storage.Config.t -> Gom.Store.t -> Gom.Path.t -> Asr.t
+(** GemStone-style: left-complete, binary partitions.
+    @raise Invalid_argument if the path contains a set occurrence
+    (GemStone chains are limited to single-valued attributes). *)
+
+val orion_nested_index :
+  ?config:Storage.Config.t -> Gom.Store.t -> Gom.Path.t -> Asr.t
+(** Orion-style: canonical extension, no decomposition — equivalently,
+    a direct (value -> anchor objects) map for the full path. *)

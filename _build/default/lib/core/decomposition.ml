@@ -1,0 +1,84 @@
+type t = int list
+
+let make ~m bounds =
+  if m < 1 then invalid_arg "Decomposition.make: m must be >= 1";
+  let rec check = function
+    | [ last ] -> if last <> m then invalid_arg "Decomposition.make: must end at m"
+    | a :: (b :: _ as rest) ->
+      if a >= b then invalid_arg "Decomposition.make: not strictly increasing";
+      check rest
+    | [] -> invalid_arg "Decomposition.make: empty"
+  in
+  (match bounds with
+  | 0 :: _ -> ()
+  | _ -> invalid_arg "Decomposition.make: must start at 0");
+  check bounds;
+  bounds
+
+let trivial ~m = make ~m [ 0; m ]
+
+let binary ~m = make ~m (List.init (m + 1) Fun.id)
+
+let all ~m =
+  (* Choose any subset of the interior boundaries 1..m-1. *)
+  let interior = List.init (m - 1) (fun i -> i + 1) in
+  let subsets =
+    List.fold_left
+      (fun acc b -> List.concat_map (fun s -> [ s; b :: s ]) acc)
+      [ [] ] (List.rev interior)
+  in
+  subsets
+  |> List.map (fun s -> make ~m ((0 :: s) @ [ m ]))
+  |> List.sort (fun a b -> Int.compare (List.length a) (List.length b))
+
+let boundaries t = t
+
+let rec partitions = function
+  | a :: (b :: _ as rest) -> (a, b) :: partitions rest
+  | [ _ ] | [] -> []
+
+let partition_count t = List.length t - 1
+
+let is_binary t =
+  match List.rev t with
+  | m :: _ -> List.length t = m + 1
+  | [] -> false
+
+let covering t col =
+  let parts = partitions t in
+  match List.find_opt (fun (lo, _) -> lo = col) parts with
+  | Some p -> p
+  | None -> (
+    match List.find_opt (fun (lo, hi) -> lo <= col && col <= hi) parts with
+    | Some p -> p
+    | None -> invalid_arg "Decomposition.covering: column out of range")
+
+let project rel (lo, hi) =
+  Relation.project rel (List.init (hi - lo + 1) (fun k -> lo + k))
+
+let split rel t = List.map (project rel) (partitions t)
+
+let equal a b = List.equal Int.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)" (String.concat "," (List.map string_of_int t))
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string ~m s =
+  let s = String.trim s in
+  let s =
+    if String.length s >= 2 && s.[0] = '(' && s.[String.length s - 1] = ')' then
+      String.sub s 1 (String.length s - 2)
+    else s
+  in
+  let parts = String.split_on_char ',' s in
+  let bounds =
+    List.map
+      (fun p ->
+        match int_of_string_opt (String.trim p) with
+        | Some i -> i
+        | None -> invalid_arg ("Decomposition.of_string: bad component " ^ p))
+      parts
+  in
+  make ~m bounds

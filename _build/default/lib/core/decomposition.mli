@@ -1,0 +1,56 @@
+(** Decompositions of an access support relation (paper, Definition
+    3.8).
+
+    For an [(m+1)]-ary relation with columns [S0 ... Sm], a
+    decomposition [(0, i1, ..., ik, m)] splits it into partitions
+    [R^(0,i1)], [R^(i1,i2)], ..., each materialised as the projection of
+    the corresponding column range.  Consecutive partitions share a
+    boundary column, which is what makes every decomposition lossless
+    (Theorem 3.9). *)
+
+type t = private int list
+(** Strictly increasing boundaries, starting at 0 and ending at [m]. *)
+
+val make : m:int -> int list -> t
+(** @raise Invalid_argument unless the list is strictly increasing,
+    starts with 0 and ends with [m] (with [m >= 1]). *)
+
+val trivial : m:int -> t
+(** [(0, m)] — no decomposition. *)
+
+val binary : m:int -> t
+(** [(0, 1, ..., m)] — all partitions binary. *)
+
+val all : m:int -> t list
+(** All [2^(m-1)] decompositions, [trivial] first and [binary] last. *)
+
+val boundaries : t -> int list
+
+val partitions : t -> (int * int) list
+(** Consecutive boundary pairs [(0,i1); (i1,i2); ...]. *)
+
+val partition_count : t -> int
+
+val is_binary : t -> bool
+
+val covering : t -> int -> int * int
+(** [covering dec col] is the partition [(lo, hi)] with
+    [lo <= col <= hi]; when [col] is a shared boundary the partition
+    starting at [col] is preferred (except for [col = m]). *)
+
+val project : Relation.t -> int * int -> Relation.t
+(** Materialise one partition by projection (duplicates eliminated —
+    partitions are relations). *)
+
+val split : Relation.t -> t -> Relation.t list
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(0,3,5)]. *)
+
+val to_string : t -> string
+
+val of_string : m:int -> string -> t
+(** Parses ["(0,3,5)"] or ["0,3,5"].  @raise Invalid_argument on
+    malformed input. *)

@@ -1,0 +1,157 @@
+type env = { store : Gom.Store.t; heap : Storage.Heap.t }
+
+let read_obj ?stats env oid =
+  match stats with Some st -> Storage.Heap.read_object env.heap st oid | None -> ()
+
+let check_range path ~i ~j =
+  let n = Gom.Path.length path in
+  if not (0 <= i && i < j && j <= n) then
+    invalid_arg (Printf.sprintf "Exec: invalid query range (%d,%d) for n=%d" i j n)
+
+let sort_values vs = List.sort_uniq Gom.Value.compare vs
+
+let sort_oids os = List.sort_uniq Gom.Oid.compare os
+
+(* Values reachable at position [j] from object [oid] at position [p].
+   Reads the pages of every object it dereferences an attribute of,
+   i.e. positions p .. j-1 plus intermediate set instances. *)
+let rec reach ?stats env path ~p ~j oid =
+  if p >= j then [ Gom.Value.Ref oid ]
+  else begin
+    read_obj ?stats env oid;
+    let step = Gom.Path.step path (p + 1) in
+    match Gom.Store.get_attr env.store oid step.Gom.Path.attr with
+    | Gom.Value.Null -> []
+    | v -> (
+      match step.Gom.Path.set_type with
+      | None ->
+        if p + 1 = j then [ v ]
+        else reach ?stats env path ~p:(p + 1) ~j (Gom.Value.oid_exn v)
+      | Some _ ->
+        let set_oid = Gom.Value.oid_exn v in
+        read_obj ?stats env set_oid;
+        Gom.Store.elements env.store set_oid
+        |> List.concat_map (fun e ->
+               if p + 1 = j then [ e ]
+               else reach ?stats env path ~p:(p + 1) ~j (Gom.Value.oid_exn e)))
+  end
+
+let forward_scan ?stats env path ~i ~j oid =
+  check_range path ~i ~j;
+  sort_values (reach ?stats env path ~p:i ~j oid)
+
+let backward_scan ?stats env path ~i ~j ~target =
+  check_range path ~i ~j;
+  (* Memoised reachability test so that shared sub-objects are traversed
+     (and their pages charged) once. *)
+  let memo : (int * Gom.Oid.t, bool) Hashtbl.t = Hashtbl.create 1024 in
+  let rec reaches p oid =
+    match Hashtbl.find_opt memo (p, oid) with
+    | Some r -> r
+    | None ->
+      let r =
+        begin
+          read_obj ?stats env oid;
+          let step = Gom.Path.step path (p + 1) in
+          match Gom.Store.get_attr env.store oid step.Gom.Path.attr with
+          | Gom.Value.Null -> false
+          | v -> (
+            match step.Gom.Path.set_type with
+            | None ->
+              if p + 1 = j then Gom.Value.equal v target
+              else reaches (p + 1) (Gom.Value.oid_exn v)
+            | Some _ ->
+              let set_oid = Gom.Value.oid_exn v in
+              read_obj ?stats env set_oid;
+              let elems = Gom.Store.elements env.store set_oid in
+              if p + 1 = j then List.exists (Gom.Value.equal target) elems
+              else
+                List.exists (fun e -> reaches (p + 1) (Gom.Value.oid_exn e)) elems)
+        end
+      in
+      Hashtbl.replace memo (p, oid) r;
+      r
+  in
+  let sources = Gom.Store.extent ~deep:true env.store (Gom.Path.type_at path i) in
+  sort_oids (List.filter (fun o -> reaches i o) sources)
+
+(* ------------------------------------------------------------------ *)
+(* Index-supported evaluation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_at rows col_in_part =
+  rows
+  |> List.filter_map (fun (row : Relation.Tuple.t) ->
+         let v = row.(col_in_part) in
+         if Gom.Value.is_null v then None else Some v)
+  |> sort_values
+
+let forward_supported ?stats index ~i ~j oid =
+  let path = Asr.path index in
+  check_range path ~i ~j;
+  let ci = Gom.Path.column_of_object_position path i in
+  let cj = Gom.Path.column_of_object_position path j in
+  let rec go pidx cur frontier =
+    if frontier = [] then []
+    else
+      let lo, hi = Asr.partition_bounds index pidx in
+      let rows =
+        if cur > lo then
+          (* Entered the partition away from its clustering column:
+             every page must be inspected. *)
+          Asr.scan_partition ?stats index pidx
+          |> List.filter (fun (row : Relation.Tuple.t) ->
+                 List.exists (Gom.Value.equal row.(cur - lo)) frontier)
+        else List.concat_map (fun key -> Asr.lookup_fwd ?stats index pidx key) frontier
+      in
+      let stop = min hi cj in
+      let frontier' = distinct_at rows (stop - lo) in
+      if stop >= cj then frontier' else go (pidx + 1) stop frontier'
+  in
+  let pidx = Asr.partition_index_of_column index ci in
+  go pidx ci [ Gom.Value.Ref oid ]
+
+let backward_supported ?stats index ~i ~j ~target =
+  let path = Asr.path index in
+  check_range path ~i ~j;
+  let ci = Gom.Path.column_of_object_position path i in
+  let cj = Gom.Path.column_of_object_position path j in
+  (* Index of the partition whose clustering end matches [col] if any,
+     else the one containing it. *)
+  let part_ending col =
+    let k = ref (-1) in
+    for idx = 0 to Asr.partition_count index - 1 do
+      let _, hi = Asr.partition_bounds index idx in
+      if !k < 0 && hi = col then k := idx
+    done;
+    if !k >= 0 then !k else Asr.partition_index_of_column index col
+  in
+  let rec go pidx cur frontier =
+    if frontier = [] then []
+    else
+      let lo, hi = Asr.partition_bounds index pidx in
+      let rows =
+        if cur < hi then
+          Asr.scan_partition ?stats index pidx
+          |> List.filter (fun (row : Relation.Tuple.t) ->
+                 List.exists (Gom.Value.equal row.(cur - lo)) frontier)
+        else List.concat_map (fun key -> Asr.lookup_bwd ?stats index pidx key) frontier
+      in
+      let stop = max lo ci in
+      let frontier' = distinct_at rows (stop - lo) in
+      if stop <= ci then frontier' else go (pidx - 1) stop frontier'
+  in
+  let pidx = part_ending cj in
+  go pidx cj [ target ] |> List.map Gom.Value.oid_exn |> sort_oids
+
+let forward ?stats ?index env path ~i ~j oid =
+  match index with
+  | Some a when Asr.supports a ~i ~j && Gom.Path.equal (Asr.path a) path ->
+    forward_supported ?stats a ~i ~j oid
+  | Some _ | None -> forward_scan ?stats env path ~i ~j oid
+
+let backward ?stats ?index env path ~i ~j ~target =
+  match index with
+  | Some a when Asr.supports a ~i ~j && Gom.Path.equal (Asr.path a) path ->
+    backward_supported ?stats a ~i ~j ~target
+  | Some _ | None -> backward_scan ?stats env path ~i ~j ~target

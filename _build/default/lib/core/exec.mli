@@ -1,0 +1,75 @@
+(** Executable query evaluation, with and without access support.
+
+    The two abstract query forms of the paper (section 5.1) over a path
+    [t0.A1.....An] and object positions [0 <= i < j <= n]:
+
+    - {e forward} [Q^(i,j)(fw)]: from a given object [o] of type [ti],
+      retrieve the objects/values reachable at position [j] via
+      [o.A(i+1).....Aj];
+    - {e backward} [Q^(i,j)(bw)]: retrieve the objects [o] of type [ti]
+      whose path set at position [j] contains a given target.
+
+    Without access support, evaluation navigates the object graph
+    (forward) or exhaustively scans the anchor extent (backward), since
+    references are uni-directional.  With access support, evaluation
+    walks the B+ trees of the partitions, key-looking-up at clustering
+    boundaries and scanning partitions entered in the middle — exactly
+    the access patterns the paper's cost formulas (33)-(34) charge.
+
+    All page traffic is reported to the optional [stats]. *)
+
+type env = { store : Gom.Store.t; heap : Storage.Heap.t }
+
+val forward_scan :
+  ?stats:Storage.Stats.t ->
+  env ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  Gom.Oid.t ->
+  Gom.Value.t list
+(** Navigational evaluation of [Q^(i,j)(fw)] from one source object.
+    Results are distinct, sorted; pages of objects at positions
+    [i .. j-1] (and of traversed set instances) are read. *)
+
+val backward_scan :
+  ?stats:Storage.Stats.t ->
+  env ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  target:Gom.Value.t ->
+  Gom.Oid.t list
+(** Exhaustive evaluation of [Q^(i,j)(bw)]: scans the [ti] extent and
+    tests reachability of [target] at position [j]. *)
+
+val forward_supported :
+  ?stats:Storage.Stats.t -> Asr.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list
+(** Index evaluation of [Q^(i,j)(fw)].  The caller must ensure
+    {!Asr.supports}; results on supported ranges agree with
+    {!forward_scan} (property-tested). *)
+
+val backward_supported :
+  ?stats:Storage.Stats.t -> Asr.t -> i:int -> j:int -> target:Gom.Value.t -> Gom.Oid.t list
+
+val forward :
+  ?stats:Storage.Stats.t ->
+  ?index:Asr.t ->
+  env ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  Gom.Oid.t ->
+  Gom.Value.t list
+(** Dispatch per equation 35: use the index when it applies to [(i,j)],
+    fall back to navigation otherwise. *)
+
+val backward :
+  ?stats:Storage.Stats.t ->
+  ?index:Asr.t ->
+  env ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  target:Gom.Value.t ->
+  Gom.Oid.t list

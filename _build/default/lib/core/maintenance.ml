@@ -1,0 +1,274 @@
+type t = {
+  env : Exec.env;
+  stats : Storage.Stats.t;
+  mutable asrs : Asr.t list;
+}
+
+let asrs t = List.rev t.asrs
+let stats t = t.stats
+let last_event_cost t = Storage.Stats.op_accesses t.stats
+
+let value_oid v = Gom.Value.oid v
+
+(* Path positions [i] (0-based, attribute [A(i+1)]) whose attribute
+   matches a mutation of [attr] on an object of type [ty]. *)
+let positions_matching schema path ~ty ~attr =
+  let n = Gom.Path.length path in
+  List.filter
+    (fun i ->
+      let step = Gom.Path.step path (i + 1) in
+      String.equal step.Gom.Path.attr attr
+      && Gom.Schema.is_subtype schema ~sub:ty ~sup:step.Gom.Path.domain)
+    (List.init n Fun.id)
+
+(* Positions [i] such that the mutated set instance can be the
+   intermediate set [t'(i+1)] of the path. *)
+let set_positions_matching schema path ~set_ty =
+  let n = Gom.Path.length path in
+  List.filter
+    (fun i ->
+      match (Gom.Path.step path (i + 1)).Gom.Path.set_type with
+      | Some st -> Gom.Schema.is_subtype schema ~sub:set_ty ~sup:st
+      | None -> false)
+    (List.init n Fun.id)
+
+let owners store (step : Gom.Path.step) set_oid =
+  Gom.Store.extent ~deep:true store step.Gom.Path.domain
+  |> List.filter (fun o ->
+         Gom.Value.equal
+           (Gom.Store.get_attr store o step.Gom.Path.attr)
+           (Gom.Value.Ref set_oid))
+
+(* ------------------------------------------------------------------ *)
+(* I_l / I_r: maximal partial prefixes and suffixes                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Maximal prefixes ending at [oid] sitting at object position [pos]:
+   arrays covering columns 0 .. col(pos).  With [charge], the extent
+   scans that implement backward traversal over uni-directional
+   references are charged to [stats]. *)
+let rec graph_prefixes t ~charge path ~pos ~oid =
+  let ci = Gom.Path.column_of_object_position path pos in
+  if pos = 0 then [ [| Gom.Value.Ref oid |] ]
+  else begin
+    let step = Gom.Path.step path pos in
+    if charge then
+      Storage.Heap.scan_extent ~deep:true t.env.Exec.heap t.stats step.Gom.Path.domain;
+    let refs =
+      Gom.Store.referencers t.env.Exec.store step.Gom.Path.domain step.Gom.Path.attr
+        (Gom.Value.Ref oid)
+    in
+    match refs with
+    | [] ->
+      (* Maximal partial start: NULL padding up to this column. *)
+      let arr = Array.make (ci + 1) Gom.Value.Null in
+      arr.(ci) <- Gom.Value.Ref oid;
+      [ arr ]
+    | _ ->
+      refs
+      |> List.concat_map (fun (q, set_opt) ->
+             let tail =
+               match set_opt with
+               | Some s -> [| Gom.Value.Ref s; Gom.Value.Ref oid |]
+               | None -> [| Gom.Value.Ref oid |]
+             in
+             graph_prefixes t ~charge path ~pos:(pos - 1) ~oid:q
+             |> List.map (fun pre -> Array.append pre tail))
+  end
+
+(* Maximal suffixes from [oid] at object position [pos]: arrays covering
+   columns col(pos) .. m (NULL-padded after the path dies).  Forward
+   traversal; object and set pages are charged. *)
+let rec graph_suffixes t path ~pos ~oid =
+  let m = Gom.Path.arity path - 1 in
+  let ci = Gom.Path.column_of_object_position path pos in
+  let n = Gom.Path.length path in
+  let pad arr =
+    let out = Array.make (m - ci + 1) Gom.Value.Null in
+    Array.blit arr 0 out 0 (Array.length arr);
+    out
+  in
+  Storage.Heap.read_object t.env.Exec.heap t.stats oid;
+  if pos = n then [ [| Gom.Value.Ref oid |] ]
+  else begin
+    let step = Gom.Path.step path (pos + 1) in
+    match Gom.Store.get_attr t.env.Exec.store oid step.Gom.Path.attr with
+    | Gom.Value.Null -> [ pad [| Gom.Value.Ref oid |] ]
+    | v -> (
+      match step.Gom.Path.set_type with
+      | None ->
+        if pos + 1 = n && step.Gom.Path.range_atomic <> None then
+          [ pad [| Gom.Value.Ref oid; v |] ]
+        else
+          graph_suffixes t path ~pos:(pos + 1) ~oid:(Gom.Value.oid_exn v)
+          |> List.map (fun suf -> Array.append [| Gom.Value.Ref oid |] suf)
+      | Some _ ->
+        let set_oid = Gom.Value.oid_exn v in
+        Storage.Heap.read_object t.env.Exec.heap t.stats set_oid;
+        (match Gom.Store.elements t.env.Exec.store set_oid with
+        | [] -> [ pad [| Gom.Value.Ref oid; v; Gom.Value.Null |] ]
+        | elems ->
+          elems
+          |> List.concat_map (fun e ->
+                 match value_oid e with
+                 | Some eo when pos + 1 < n || (Gom.Path.step path n).Gom.Path.range_atomic = None ->
+                   graph_suffixes t path ~pos:(pos + 1) ~oid:eo
+                   |> List.map (fun suf ->
+                          Array.append [| Gom.Value.Ref oid; v |] suf)
+                 | Some _ | None ->
+                   (* Set of elementary values at the last step. *)
+                   [ pad [| Gom.Value.Ref oid; v; e |] ])))
+  end
+
+let has_edge (tup : Relation.Tuple.t) =
+  match Relation.Tuple.defined_span tup with
+  | Some (first, last) -> last > first
+  | None -> false
+
+let combine prefix suffix =
+  Array.append prefix (Array.sub suffix 1 (Array.length suffix - 1))
+
+(* Prefixes recovered from the retracted tuples: valid for full and
+   left-complete extensions, where every inbound path of [o_i] is
+   recorded.  [ci] is the column of position [i]. *)
+let prefixes_from_affected ~ci affected =
+  affected
+  |> List.map (fun (tup : Relation.Tuple.t) -> Array.sub tup 0 (ci + 1))
+  |> List.sort_uniq Relation.Tuple.compare
+
+let referenced_now store path ~pos ~oid =
+  if pos = 0 then true
+  else
+    let step = Gom.Path.step path pos in
+    Gom.Store.referencers store step.Gom.Path.domain step.Gom.Path.attr
+      (Gom.Value.Ref oid)
+    <> []
+
+(* Core routine: attribute [A(i+1)] of [obj] changed; [targets] are the
+   position-(i+1) objects gaining or losing an inbound edge. *)
+let handle_change t index ~i ~obj ~targets =
+  let path = Asr.path index in
+  let kind = Asr.kind index in
+  let ci = Gom.Path.column_of_object_position path i in
+  let ci1 = Gom.Path.column_of_object_position path (i + 1) in
+  (* 1. Retract tuples through obj and truncated tuples of targets. *)
+  let affected =
+    Asr.find_by_column ~stats:t.stats index ~col:ci (Gom.Value.Ref obj)
+  in
+  List.iter (fun tup -> ignore (Asr.remove_tuple ~stats:t.stats index tup)) affected;
+  (match kind with
+  | Extension.Full | Extension.Right_complete ->
+    List.iter
+      (fun x ->
+        Asr.find_by_column ~stats:t.stats index ~col:ci1 (Gom.Value.Ref x)
+        |> List.iter (fun (tup : Relation.Tuple.t) ->
+               if Gom.Value.is_null tup.(ci) then
+                 ignore (Asr.remove_tuple ~stats:t.stats index tup)))
+      targets
+  | Extension.Canonical | Extension.Left_complete -> ());
+  (* 2. Recompute the paths through obj. *)
+  let prefixes =
+    match kind with
+    | Extension.Full ->
+      let ps = prefixes_from_affected ~ci affected in
+      if ps = [] then begin
+        let arr = Array.make (ci + 1) Gom.Value.Null in
+        arr.(ci) <- Gom.Value.Ref obj;
+        [ arr ]
+      end
+      else ps
+    | Extension.Left_complete ->
+      (* Position-0 objects are origin-complete by themselves; deeper
+         positions are reachable from t0 iff the (left-complete) ASR
+         held tuples through them. *)
+      if i = 0 then [ [| Gom.Value.Ref obj |] ]
+      else prefixes_from_affected ~ci affected
+    | Extension.Canonical | Extension.Right_complete ->
+      graph_prefixes t ~charge:true path ~pos:i ~oid:obj
+  in
+  if prefixes <> [] then begin
+    let suffixes = graph_suffixes t path ~pos:i ~oid:obj in
+    List.iter
+      (fun pre ->
+        List.iter
+          (fun suf ->
+            let tup = combine pre suf in
+            if has_edge tup && Extension.member kind path tup then
+              ignore (Asr.insert_tuple ~stats:t.stats index tup))
+          suffixes)
+      prefixes
+  end;
+  (* 3. Orphaned targets regain their truncated tuples. *)
+  (match kind with
+  | Extension.Full | Extension.Right_complete ->
+    List.iter
+      (fun x ->
+        if
+          Gom.Store.mem t.env.Exec.store x
+          && not (referenced_now t.env.Exec.store path ~pos:(i + 1) ~oid:x)
+        then begin
+          let cx = ci1 in
+          let pre = Array.make (cx + 1) Gom.Value.Null in
+          pre.(cx) <- Gom.Value.Ref x;
+          let sufs = graph_suffixes t path ~pos:(i + 1) ~oid:x in
+          List.iter
+            (fun suf ->
+              let tup = combine pre suf in
+              if has_edge tup && Extension.member kind path tup then
+                ignore (Asr.insert_tuple ~stats:t.stats index tup))
+            sufs
+        end)
+      targets
+  | Extension.Canonical | Extension.Left_complete -> ())
+
+let targets_of_value t (step : Gom.Path.step) v =
+  match v with
+  | Gom.Value.Null -> []
+  | v -> (
+    match step.Gom.Path.set_type with
+    | None -> ( match value_oid v with Some o -> [ o ] | None -> [])
+    | Some _ -> (
+      match value_oid v with
+      | Some set_oid when Gom.Store.mem t.env.Exec.store set_oid ->
+        Gom.Store.elements t.env.Exec.store set_oid |> List.filter_map value_oid
+      | Some _ | None -> []))
+
+let handle_event t index ev =
+  let store = t.env.Exec.store in
+  let schema = Gom.Store.schema store in
+  let path = Asr.path index in
+  match ev with
+  | Gom.Store.Created _ | Gom.Store.Deleted _ -> ()
+  | Gom.Store.Attr_set { obj; attr; old_value; new_value } ->
+    if Gom.Store.mem store obj then
+      let ty = Gom.Store.type_of store obj in
+      positions_matching schema path ~ty ~attr
+      |> List.iter (fun i ->
+             let step = Gom.Path.step path (i + 1) in
+             let targets =
+               targets_of_value t step old_value @ targets_of_value t step new_value
+               |> List.sort_uniq Gom.Oid.compare
+             in
+             handle_change t index ~i ~obj ~targets)
+  | Gom.Store.Set_inserted { set; elem } | Gom.Store.Set_removed { set; elem } ->
+    if Gom.Store.mem store set then
+      let set_ty = Gom.Store.type_of store set in
+      set_positions_matching schema path ~set_ty
+      |> List.iter (fun i ->
+             let step = Gom.Path.step path (i + 1) in
+             let os = owners store step set in
+             let targets = match value_oid elem with Some o -> [ o ] | None -> [] in
+             (* An orphan set is not represented in any extension. *)
+             List.iter (fun o -> handle_change t index ~i ~obj:o ~targets) os)
+
+let create env =
+  let t = { env; stats = Storage.Stats.create (); asrs = [] } in
+  Gom.Store.subscribe env.Exec.store (fun ev ->
+      Storage.Stats.begin_op t.stats;
+      List.iter (fun index -> handle_event t index ev) (List.rev t.asrs));
+  t
+
+let register t index =
+  if not (Asr.store index == t.env.Exec.store) then
+    invalid_arg "Maintenance.register: ASR built over a different store";
+  t.asrs <- index :: t.asrs

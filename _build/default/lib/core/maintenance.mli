@@ -1,0 +1,43 @@
+(** Incremental maintenance of access support relations under object
+    base updates (paper, section 6).
+
+    A manager subscribes to a {!Gom.Store.t} and keeps every registered
+    {!Asr.t} consistent with the object graph.  An update of attribute
+    [A(i+1)] of an object [o_i] (attribute assignment, set insertion or
+    removal, and — via the store's nullify-then-drop protocol — object
+    deletion) is processed per affected path position:
+
+    + the extension tuples passing through [o_i] at position [i], and
+      the prefix-truncated tuples headed by the affected targets at
+      position [i+1], are retracted;
+    + the maximal partial paths through [o_i] are recomputed as the
+      cross product of maximal prefixes [I_l] and maximal suffixes
+      [I_r], filtered by {!Extension.member};
+    + targets that lost their last inbound reference regain their
+      prefix-truncated tuples (full/right-complete extensions only).
+
+    Following the paper's analysis of which extensions require searches
+    in the {e data} (section 6.1): prefixes are recovered from the
+    access support relation itself for full and left-complete
+    extensions, but require a charged backward search through the
+    object extents for canonical and right-complete extensions; suffix
+    computation is a charged forward traversal for every extension.
+    All page traffic accumulates in the manager's {!Storage.Stats.t}. *)
+
+type t
+
+val create : Exec.env -> t
+(** Subscribes to the environment's store. *)
+
+val register : t -> Asr.t -> unit
+(** Add an access support relation to maintain.  The ASR must be built
+    over the same store. *)
+
+val asrs : t -> Asr.t list
+
+val stats : t -> Storage.Stats.t
+(** Cumulative maintenance page traffic; each store event is one
+    operation ({!Storage.Stats.begin_op}). *)
+
+val last_event_cost : t -> int
+(** Pages read plus written while processing the most recent event. *)

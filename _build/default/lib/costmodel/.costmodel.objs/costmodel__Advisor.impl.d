@@ -1,0 +1,1 @@
+lib/costmodel/advisor.ml: Core Float Format List Opmix Profile Storage_cost

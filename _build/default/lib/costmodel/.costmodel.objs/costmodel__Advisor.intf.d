@@ -1,0 +1,1 @@
+lib/costmodel/advisor.mli: Format Opmix Profile

@@ -1,0 +1,1 @@
+lib/costmodel/cardinality.ml: Core Derived Printf Profile

@@ -1,0 +1,1 @@
+lib/costmodel/cardinality.mli: Core Profile

@@ -1,0 +1,1 @@
+lib/costmodel/derived.mli: Profile

@@ -1,0 +1,1 @@
+lib/costmodel/opmix.ml: Core Float List Printf Query_cost Update_cost

@@ -1,0 +1,1 @@
+lib/costmodel/opmix.mli: Core Profile Query_cost

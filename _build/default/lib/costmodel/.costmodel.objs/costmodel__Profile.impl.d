@@ -1,0 +1,1 @@
+lib/costmodel/profile.ml: Array Float Format List Option Printf

@@ -1,0 +1,1 @@
+lib/costmodel/query_cost.ml: Cardinality Core Derived Float List Printf Profile Storage_cost

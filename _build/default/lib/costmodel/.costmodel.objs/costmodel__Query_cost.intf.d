@@ -1,0 +1,1 @@
+lib/costmodel/query_cost.mli: Core Profile

@@ -1,0 +1,1 @@
+lib/costmodel/storage_cost.ml: Cardinality Core Derived Float List Profile

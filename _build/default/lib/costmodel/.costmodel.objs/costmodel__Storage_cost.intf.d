@@ -1,0 +1,1 @@
+lib/costmodel/storage_cost.mli: Core Profile

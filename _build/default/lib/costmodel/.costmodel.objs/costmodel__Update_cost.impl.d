@@ -1,0 +1,1 @@
+lib/costmodel/update_cost.ml: Cardinality Core Derived Float List Printf Profile Query_cost Storage_cost

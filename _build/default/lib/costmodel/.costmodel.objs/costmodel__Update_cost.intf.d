@@ -1,0 +1,1 @@
+lib/costmodel/update_cost.mli: Core Profile

@@ -1,0 +1,52 @@
+type ranked = {
+  design : Opmix.design;
+  expected_cost : float;
+  normalized : float;
+  storage_pages : float;
+}
+
+let enumerate ~n =
+  if n < 1 then invalid_arg "Advisor.enumerate: n must be >= 1";
+  let decs = Core.Decomposition.all ~m:n in
+  Opmix.No_support
+  :: List.concat_map
+       (fun x -> List.map (fun dec -> Opmix.Design (x, dec)) decs)
+       Core.Extension.all
+
+let storage_pages p = function
+  | Opmix.No_support -> 0.
+  | Opmix.Design (x, dec) -> Storage_cost.total_pages p x dec
+
+let rank ?max_storage_pages p mix ~p_up =
+  let base = Opmix.cost p Opmix.No_support mix ~p_up in
+  enumerate ~n:(Profile.n p)
+  |> List.filter_map (fun design ->
+         let pages = storage_pages p design in
+         match max_storage_pages with
+         | Some budget when pages > budget -> None
+         | _ ->
+           let expected_cost = Opmix.cost p design mix ~p_up in
+           Some
+             {
+               design;
+               expected_cost;
+               normalized = (if base > 0. then expected_cost /. base else Float.nan);
+               storage_pages = pages;
+             })
+  |> List.sort (fun a b -> Float.compare a.expected_cost b.expected_cost)
+
+let best ?max_storage_pages p mix ~p_up =
+  match rank ?max_storage_pages p mix ~p_up with
+  | best :: _ -> best
+  | [] -> invalid_arg "Advisor.best: storage budget excludes every design"
+
+let pp_ranked ppf ranked =
+  Format.fprintf ppf "@[<v>%-28s %14s %10s %12s@," "design" "cost/op" "vs none"
+    "pages";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-28s %14.2f %10.4f %12.0f@,"
+        (Opmix.design_name r.design)
+        r.expected_cost r.normalized r.storage_pages)
+    ranked;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Physical design advisor.
+
+    The paper concludes that the best extension and decomposition are
+    "highly application dependent" and proposes using the cost model to
+    (semi-)automate physical database design.  This module does exactly
+    that: enumerate all [4 * 2^(n-1) + 1] designs (four extensions times
+    all decompositions, plus no support) and rank them by expected
+    operation-mix cost. *)
+
+type ranked = {
+  design : Opmix.design;
+  expected_cost : float;
+  normalized : float;  (** Relative to no support. *)
+  storage_pages : float;  (** 0 for no support. *)
+}
+
+val enumerate : n:int -> Opmix.design list
+(** All designs for a path of length [n] (analytical model: [m = n]). *)
+
+val rank :
+  ?max_storage_pages:float ->
+  Profile.t ->
+  Opmix.t ->
+  p_up:float ->
+  ranked list
+(** Designs sorted by increasing expected cost; optionally drop designs
+    exceeding a storage budget. *)
+
+val best : ?max_storage_pages:float -> Profile.t -> Opmix.t -> p_up:float -> ranked
+
+val pp_ranked : Format.formatter -> ranked list -> unit
+(** A report table (best first). *)

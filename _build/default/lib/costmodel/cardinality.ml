@@ -1,0 +1,47 @@
+let check p i j =
+  let n = Profile.n p in
+  if not (0 <= i && i < j && j <= n) then
+    invalid_arg (Printf.sprintf "Cardinality: invalid partition (%d,%d) for n=%d" i j n)
+
+let canonical p i j =
+  check p i j;
+  let n = Profile.n p in
+  Derived.p_ref_by p 0 i *. Derived.path_count p i j *. Derived.p_ref p j n
+
+let full p i j =
+  check p i j;
+  let total = ref 0. in
+  for k = 1 to j - i do
+    for l = i to j - k do
+      let lb = Derived.p_lb p (max i (l - 1)) l in
+      let rb = Derived.p_rb p (l + k) (min j (l + k + 1)) in
+      total := !total +. (lb *. Derived.path_count p l (l + k) *. rb)
+    done
+  done;
+  !total
+
+let left p i j =
+  check p i j;
+  let total = ref 0. in
+  for k = 1 to j - i do
+    let rb = Derived.p_rb p (i + k) (min j (i + k + 1)) in
+    total := !total +. (Derived.p_ref_by p 0 i *. Derived.path_count p i (i + k) *. rb)
+  done;
+  !total
+
+let right p i j =
+  check p i j;
+  let n = Profile.n p in
+  let total = ref 0. in
+  for k = 1 to j - i do
+    let lb = Derived.p_lb p (max i (j - k - 1)) (j - k) in
+    total := !total +. (lb *. Derived.path_count p (j - k) j *. Derived.p_ref p j n)
+  done;
+  !total
+
+let count p kind i j =
+  match (kind : Core.Extension.kind) with
+  | Core.Extension.Canonical -> canonical p i j
+  | Core.Extension.Full -> full p i j
+  | Core.Extension.Left_complete -> left p i j
+  | Core.Extension.Right_complete -> right p i j

@@ -1,0 +1,22 @@
+(** Expected cardinalities of access support relation partitions
+    (paper, section 4.2).
+
+    All functions give the expected number of tuples [#E_X^(i,j)] of the
+    partition over object positions [(i, j)], [0 <= i < j <= n], under
+    the analytical simplification [m = n]. *)
+
+val canonical : Profile.t -> int -> int -> float
+(** Section 4.2.1: [P_RefBy(0,i) * path(i,j) * P_Ref(j,n)]; with
+    [(0,n)] this reduces to [path(0,n)]. *)
+
+val full : Profile.t -> int -> int -> float
+(** Section 4.2.2. *)
+
+val left : Profile.t -> int -> int -> float
+(** Section 4.2.3. *)
+
+val right : Profile.t -> int -> int -> float
+(** Section 4.2.4. *)
+
+val count : Profile.t -> Core.Extension.kind -> int -> int -> float
+(** Dispatch on the extension kind. *)

@@ -1,0 +1,105 @@
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+(* (1 - q)^x with q clamped to [0,1]; exponents are expected values and
+   may be fractional. *)
+let pow_decay q x =
+  let q = clamp01 q in
+  if x <= 0. then 1. else (1. -. q) ** x
+
+let rec ref_by p i j =
+  if j <= i then Profile.c p i (* degenerate; callers use i < j *)
+  else if j = i + 1 then Profile.e p (i + 1)
+  else
+    let ej = Profile.e p j in
+    if ej <= 0. then 0.
+    else
+      let upstream = ref_by p i (j - 1) *. Profile.p_a p (j - 1) in
+      ej *. (1. -. pow_decay (Profile.fan p (j - 1) /. ej) upstream)
+
+let p_ref_by p i j =
+  if i = j then 1.
+  else
+    let cj = Profile.c p j in
+    if cj <= 0. then 0. else clamp01 (ref_by p i j /. cj)
+
+let rec reaches p i j =
+  if j <= i then Profile.c p i
+  else if j = i + 1 then Profile.d p i
+  else
+    let di = Profile.d p i in
+    if di <= 0. then 0.
+    else
+      let downstream = reaches p (i + 1) j *. Profile.p_h p (i + 1) in
+      di *. (1. -. pow_decay (Profile.shar p i /. di) downstream)
+
+let p_ref p i j =
+  if i = j then 1.
+  else
+    let ci = Profile.c p i in
+    if ci <= 0. then 0. else clamp01 (reaches p i j /. ci)
+
+let path_count p i j =
+  if j <= i then 0.
+  else begin
+    let acc = ref (Profile.ref_ p i) in
+    for l = i + 1 to j - 1 do
+      acc := !acc *. Profile.p_a p l *. Profile.fan p l
+    done;
+    !acc
+  end
+
+let rec ref_by_k p i j k =
+  if j <= i then Float.min k (Profile.c p i)
+  else if j = i + 1 then
+    let e1 = Profile.e p (i + 1) in
+    if e1 <= 0. then 0. else e1 *. (1. -. pow_decay (Profile.fan p i /. e1) k)
+  else
+    let ej = Profile.e p j in
+    if ej <= 0. then 0.
+    else
+      let upstream = ref_by_k p i (j - 1) k *. Profile.p_a p (j - 1) in
+      ej *. (1. -. pow_decay (Profile.fan p (j - 1) /. ej) upstream)
+
+let rec reaches_k p i j k =
+  if j <= i then Float.min k (Profile.c p i)
+  else if j = i + 1 then
+    let di = Profile.d p i in
+    if di <= 0. then 0. else di *. (1. -. pow_decay (Profile.shar p i /. di) k)
+  else
+    let di = Profile.d p i in
+    if di <= 0. then 0.
+    else
+      let downstream = reaches_k p (i + 1) j k *. Profile.p_h p (i + 1) in
+      di *. (1. -. pow_decay (Profile.shar p i /. di) downstream)
+
+let p_lb p i j = if i < j then 1. -. p_ref_by p i j else 1.
+let p_rb p i j = if i < j then 1. -. p_ref p i j else 1.
+
+let p_path p l = p_ref_by p 0 l *. p_ref p l (Profile.n p)
+let p_no_path p l = 1. -. p_path p l
+
+let yao ~k ~m ~n =
+  if m <= 0. || n <= 0. || k <= 0. then 0.
+  else begin
+    let k = Float.min n (Float.of_int (int_of_float (Float.ceil k))) in
+    let prod = ref 1. in
+    let stop = ref false in
+    let t = ref 1. in
+    while (not !stop) && !t <= k do
+      let num = (n *. (1. -. (1. /. m))) -. !t +. 1. in
+      let den = n -. !t +. 1. in
+      if num <= 0. || den <= 0. then begin
+        prod := 0.;
+        stop := true
+      end
+      else begin
+        prod := !prod *. (num /. den);
+        if !prod < 1e-12 then begin
+          prod := 0.;
+          stop := true
+        end
+      end;
+      t := !t +. 1.
+    done;
+    Float.ceil (m *. (1. -. !prod))
+  end

@@ -1,0 +1,55 @@
+(** Derived probabilistic quantities of the analytical model
+    (paper, sections 4.1.1 and 5.6, equations 6-12 and 29-30).
+
+    All functions take object positions [0 <= i <= j <= n] and return
+    expected counts or probabilities as floats.  Out-of-model corner
+    cases are defined conservatively: empty products are 1, reachability
+    of a position from itself is certain, and [RefBy]/[Ref] with [i = j]
+    count the singleton itself. *)
+
+val ref_by : Profile.t -> int -> int -> float
+(** [ref_by p i j] — equation 6: expected number of [t_j] objects lying
+    on at least one (partial) path emanating from some object in
+    [t_i]. *)
+
+val p_ref_by : Profile.t -> int -> int -> float
+(** Equation 7: probability a particular [t_j] object is reached from
+    [t_i]; 1 when [i = j]. *)
+
+val reaches : Profile.t -> int -> int -> float
+(** Equation 8: expected number of [t_i] objects with a path to some
+    [t_j] object. *)
+
+val p_ref : Profile.t -> int -> int -> float
+(** Equation 9. *)
+
+val path_count : Profile.t -> int -> int -> float
+(** Equation 10: expected number of (complete sub-)paths between [t_i]
+    and [t_j], [path(i,j) = ref_i * prod (P_A(l) * fan_l)]. *)
+
+val ref_by_k : Profile.t -> int -> int -> float -> float
+(** Equation 29: [t_j] objects on paths from a [k]-element subset of
+    [t_i].  [ref_by_k p i i k = min k c_i]. *)
+
+val reaches_k : Profile.t -> int -> int -> float -> float
+(** Equation 30. *)
+
+val p_lb : Profile.t -> int -> int -> float
+(** Equation 11: probability a [t_j] object is {e not} hit from [t_i];
+    1 unless [i < j]. *)
+
+val p_rb : Profile.t -> int -> int -> float
+(** Equation 12. *)
+
+val p_path : Profile.t -> int -> float
+(** Equation 38: probability a complete path runs through a given [t_l]
+    object. *)
+
+val p_no_path : Profile.t -> int -> float
+(** Equation 37. *)
+
+val yao : k:float -> m:float -> n:float -> float
+(** Yao's formula [y(k, m, n)] (section 5.6): expected pages fetched to
+    retrieve [k] of [n] records spread uniformly over [m] pages.
+    [k] is clamped to [n]; non-positive inputs give 0; retrieving
+    everything touches all [m] pages whenever [n >= m]. *)

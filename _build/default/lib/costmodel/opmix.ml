@@ -1,0 +1,71 @@
+type query = { qi : int; qj : int; qkind : Query_cost.query_kind }
+type update = { upos : int }
+
+type t = {
+  queries : (float * query) list;
+  updates : (float * update) list;
+}
+
+let sums_to_one l =
+  let s = List.fold_left (fun acc (w, _) -> acc +. w) 0. l in
+  Float.abs (s -. 1.) < 1e-6
+
+let make ~queries ~updates =
+  if queries = [] || updates = [] then invalid_arg "Opmix.make: empty mix";
+  if not (sums_to_one queries) then invalid_arg "Opmix.make: query weights must sum to 1";
+  if not (sums_to_one updates) then invalid_arg "Opmix.make: update weights must sum to 1";
+  { queries; updates }
+
+let query ?(kind = "bw") i j w =
+  let qkind =
+    match kind with
+    | "fw" -> Query_cost.Fw
+    | "bw" -> Query_cost.Bw
+    | _ -> invalid_arg "Opmix.query: kind must be \"fw\" or \"bw\""
+  in
+  (w, { qi = i; qj = j; qkind })
+
+let ins pos w = (w, { upos = pos })
+
+type design =
+  | No_support
+  | Design of Core.Extension.kind * Core.Decomposition.t
+
+let design_name = function
+  | No_support -> "none"
+  | Design (x, dec) ->
+    Printf.sprintf "%s %s" (Core.Extension.name x) (Core.Decomposition.to_string dec)
+
+let query_cost p design q =
+  match design with
+  | No_support -> Query_cost.qnas p q.qkind q.qi q.qj
+  | Design (x, dec) -> Query_cost.q p x dec q.qkind q.qi q.qj
+
+let update_cost p design u =
+  match design with
+  | No_support -> Update_cost.total_no_support
+  | Design (x, dec) -> Update_cost.total p x dec u.upos
+
+let cost p design mix ~p_up =
+  if p_up < 0. || p_up > 1. then invalid_arg "Opmix.cost: p_up out of [0,1]";
+  let qc =
+    List.fold_left (fun acc (w, q) -> acc +. (w *. query_cost p design q)) 0. mix.queries
+  in
+  let uc =
+    List.fold_left (fun acc (w, u) -> acc +. (w *. update_cost p design u)) 0. mix.updates
+  in
+  ((1. -. p_up) *. qc) +. (p_up *. uc)
+
+let normalized_cost p design mix ~p_up =
+  let base = cost p No_support mix ~p_up in
+  if base <= 0. then Float.nan else cost p design mix ~p_up /. base
+
+let break_even p d1 d2 mix =
+  let steps = 1000 in
+  let rec go k =
+    if k > steps then None
+    else
+      let p_up = Float.of_int k /. Float.of_int steps in
+      if cost p d1 mix ~p_up > cost p d2 mix ~p_up then Some p_up else go (k + 1)
+  in
+  go 0

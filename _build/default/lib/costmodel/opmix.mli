@@ -1,0 +1,43 @@
+(** Operation mixes (paper, section 6.4).
+
+    A mix [M = (Qmix, Umix, P_up)] weights representative queries and
+    updates; the expected per-operation cost of a physical design is
+    [(1 - P_up) * sum w_q Q(q) + P_up * sum w_u U(u)].  The figures of
+    section 6.4 plot this cost normalised against the no-support
+    design. *)
+
+type query = { qi : int; qj : int; qkind : Query_cost.query_kind }
+
+type update = { upos : int }
+(** The operation [ins_(upos)]. *)
+
+type t = {
+  queries : (float * query) list;  (** Weights must sum to 1. *)
+  updates : (float * update) list;  (** Weights must sum to 1. *)
+}
+
+val make : queries:(float * query) list -> updates:(float * update) list -> t
+(** @raise Invalid_argument if either weight list is empty or does not
+    sum to 1 (within 1e-6). *)
+
+val query : ?kind:string -> int -> int -> float -> float * query
+(** [query i j w] builds a weighted backward query (the default);
+    [~kind:"fw"] a forward one. *)
+
+val ins : int -> float -> float * update
+
+type design =
+  | No_support
+  | Design of Core.Extension.kind * Core.Decomposition.t
+
+val design_name : design -> string
+
+val cost : Profile.t -> design -> t -> p_up:float -> float
+(** Expected page accesses per database operation. *)
+
+val normalized_cost : Profile.t -> design -> t -> p_up:float -> float
+(** {!cost} divided by the no-support cost of the same mix. *)
+
+val break_even : Profile.t -> design -> design -> t -> float option
+(** Smallest [p_up] in (0,1) (1e-3 resolution) where the first design
+    stops being cheaper than the second, if any. *)

@@ -1,0 +1,139 @@
+let object_update_cost = 3.
+
+let check p i name =
+  let n = Profile.n p in
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Update_cost.%s: position %d out of [0,%d)" name i n)
+
+(* Equation 36. *)
+let search p x dec i =
+  check p i "search";
+  let n = Profile.n p in
+  let fw_data = if i + 1 >= n then 0. else Query_cost.qnas_fw p (i + 1) n in
+  let bw_data = if i <= 0 then 0. else Query_cost.qnas_bw p 0 i in
+  let sup k = Query_cost.qsup p x dec k i (i + 1) in
+  match (x : Core.Extension.kind) with
+  | Core.Extension.Canonical ->
+    (fw_data *. Derived.p_no_path p (i + 1))
+    +. sup Query_cost.Bw
+    +. (bw_data *. Derived.p_ref p (i + 1) n *. Derived.p_no_path p i)
+    +. sup Query_cost.Fw
+  | Core.Extension.Full -> Float.min (sup Query_cost.Fw) (sup Query_cost.Bw)
+  | Core.Extension.Left_complete ->
+    (fw_data *. (1. -. Derived.p_ref_by p 0 (i + 1)) *. Derived.p_ref_by p 0 i)
+    +. Float.min (sup Query_cost.Fw) (sup Query_cost.Bw)
+  | Core.Extension.Right_complete ->
+    let sweep = ref 0. in
+    for l = 0 to i do
+      sweep := !sweep +. Storage_cost.op p l
+    done;
+    (!sweep *. (1. -. Derived.p_ref p i n) *. Derived.p_ref p (i + 1) n)
+    +. Float.min (sup Query_cost.Fw) (sup Query_cost.Bw)
+
+(* Sections 6.2.1-6.2.4: cluster counts.  [reaches_k p a i 1.] is the
+   paper's Ref(a,i,1) (with Ref(i,i,1) = 1), [ref_by_k p (i+1) a 1.] its
+   RefBy(i+1,a,1). *)
+let qfw p x i (a, b) =
+  check p i "qfw";
+  let n = Profile.n p in
+  let r1 l = Derived.reaches_k p l i 1. in
+  let rb1 l = Derived.ref_by_k p (i + 1) l 1. in
+  match (x : Core.Extension.kind) with
+  | Core.Extension.Canonical ->
+    if a <= i then r1 a *. Derived.p_ref_by p 0 a *. Derived.p_ref p (i + 1) n
+    else rb1 a *. Derived.p_ref_by p 0 i *. Derived.p_ref p a n
+  | Core.Extension.Full ->
+    if a <= i && i < b then begin
+      let extra = ref 0. in
+      for l = a + 1 to i do
+        extra := !extra +. (Derived.p_lb p (l - 1) l *. r1 l)
+      done;
+      r1 a +. !extra
+    end
+    else 0.
+  | Core.Extension.Left_complete ->
+    if b <= i then 0.
+    else if a <= i && i < b then r1 a *. Derived.p_ref_by p 0 a
+    else Derived.p_lb p 0 a *. rb1 a *. Derived.p_ref_by p 0 i
+  | Core.Extension.Right_complete ->
+    if b <= i then begin
+      let extra = ref 0. in
+      for l = a + 1 to b - 1 do
+        extra := !extra +. (Derived.p_lb p (l - 1) l *. r1 l)
+      done;
+      Derived.p_rb p b n *. Derived.p_ref p (i + 1) n *. (r1 a +. !extra)
+    end
+    else if a <= i && i < b then begin
+      let extra = ref 0. in
+      for l = a + 1 to i do
+        extra := !extra +. (Derived.p_lb p (l - 1) l *. r1 l)
+      done;
+      Derived.p_ref p (i + 1) n *. (r1 a +. !extra)
+    end
+    else 0.
+
+let qbw p x i (a, b) =
+  check p i "qbw";
+  let n = Profile.n p in
+  let r1 l = Derived.reaches_k p l i 1. in
+  let rb1 l = Derived.ref_by_k p (i + 1) l 1. in
+  match (x : Core.Extension.kind) with
+  | Core.Extension.Canonical ->
+    if b <= i then r1 b *. Derived.p_ref_by p 0 b *. Derived.p_ref p (i + 1) n
+    else rb1 b *. Derived.p_ref_by p 0 i *. Derived.p_ref p b n
+  | Core.Extension.Full ->
+    if a <= i && i < b then begin
+      let extra = ref 0. in
+      for l = i + 2 to b - 1 do
+        extra := !extra +. (Derived.p_rb p l (l + 1) *. rb1 l)
+      done;
+      rb1 b +. !extra
+    end
+    else 0.
+  | Core.Extension.Left_complete ->
+    if b <= i then 0.
+    else if a <= i && i < b then begin
+      let extra = ref 0. in
+      for l = i + 2 to b - 1 do
+        extra := !extra +. (Derived.p_rb p l (l + 1) *. rb1 l)
+      done;
+      Derived.p_ref_by p 0 i *. (rb1 b +. !extra)
+    end
+    else begin
+      let extra = ref 0. in
+      for l = a + 1 to b - 1 do
+        extra := !extra +. (Derived.p_rb p l (l + 1) *. rb1 l)
+      done;
+      Derived.p_ref_by p 0 i *. Derived.p_lb p 0 a *. (rb1 b +. !extra)
+    end
+  | Core.Extension.Right_complete ->
+    if b <= i then Derived.p_rb p b n *. r1 b *. Derived.p_ref p (i + 1) n
+    else if a <= i && i < b then rb1 b *. Derived.p_ref p b n
+    else 0.
+
+let bfan p = Profile.bplus_fan (Profile.system p)
+
+let aup p x dec i =
+  check p i "aup";
+  let parts = Core.Decomposition.partitions dec in
+  let one_tree ~clusters (a, b) =
+    if clusters <= 0. then 0.
+    else begin
+      let pg = Storage_cost.pg p x a b in
+      let ap = Storage_cost.ap p x a b in
+      let card = Cardinality.count p x a b in
+      1.
+      +. Derived.yao ~k:clusters ~m:(pg -. 1.) ~n:((pg -. 1.) *. bfan p)
+      +. (2. *. Derived.yao ~k:clusters ~m:ap ~n:card)
+    end
+  in
+  List.fold_left
+    (fun acc (a, b) ->
+      acc
+      +. one_tree ~clusters:(qfw p x i (a, b)) (a, b)
+      +. one_tree ~clusters:(qbw p x i (a, b)) (a, b))
+    0. parts
+
+let total p x dec i = object_update_cost +. search p x dec i +. aup p x dec i
+
+let total_no_support = object_update_cost

@@ -1,0 +1,1 @@
+lib/gom/instance.ml: Format Hashtbl List Oid Schema String Value

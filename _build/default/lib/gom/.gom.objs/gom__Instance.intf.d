@@ -1,0 +1,1 @@
+lib/gom/instance.mli: Format Hashtbl Oid Schema Value

@@ -1,0 +1,1 @@
+lib/gom/oid.ml: Format Hashtbl Int

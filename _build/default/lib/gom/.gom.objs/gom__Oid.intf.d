@@ -1,0 +1,1 @@
+lib/gom/oid.mli: Format

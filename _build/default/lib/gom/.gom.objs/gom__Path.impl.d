@@ -1,0 +1,1 @@
+lib/gom/path.ml: Format List Option Schema String

@@ -1,0 +1,1 @@
+lib/gom/path.mli: Format Schema

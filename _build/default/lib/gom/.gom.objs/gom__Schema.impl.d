@@ -1,0 +1,1 @@
+lib/gom/schema.ml: Format Hashtbl List Map Printf String

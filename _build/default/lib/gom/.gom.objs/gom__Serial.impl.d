@@ -1,0 +1,1 @@
+lib/gom/serial.ml: Buffer Char Format Fun Hashtbl Instance List Oid Printf Scanf Schema Store String Value

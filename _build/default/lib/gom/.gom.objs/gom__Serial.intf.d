@@ -1,0 +1,1 @@
+lib/gom/serial.mli: Schema Store

@@ -1,0 +1,1 @@
+lib/gom/store.ml: Format Hashtbl Instance List Oid Option Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/gom/store.mli: Instance Oid Schema Value

@@ -1,0 +1,1 @@
+lib/gom/txn.ml: Format Lazy List Store

@@ -1,0 +1,1 @@
+lib/gom/txn.mli: Store

@@ -1,0 +1,1 @@
+lib/gom/value.ml: Bool Char Float Format Hashtbl Int Oid String

@@ -1,0 +1,1 @@
+lib/gom/value.mli: Format Oid

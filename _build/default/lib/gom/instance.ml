@@ -1,0 +1,39 @@
+type body =
+  | Tuple_body of (Schema.attr_name, Value.t) Hashtbl.t
+  | Set_body of (Value.t, unit) Hashtbl.t
+  | List_body of Value.t list ref
+
+type t = { oid : Oid.t; ty : Schema.type_name; body : body }
+
+let make oid ty body = { oid; ty; body }
+let oid t = t.oid
+let ty t = t.ty
+
+let attr t a =
+  match t.body with
+  | Tuple_body tbl -> Hashtbl.find_opt tbl a
+  | Set_body _ | List_body _ -> None
+
+let elements t =
+  match t.body with
+  | Tuple_body _ -> []
+  | Set_body tbl ->
+    Hashtbl.fold (fun v () acc -> v :: acc) tbl [] |> List.sort Value.compare
+  | List_body l -> !l
+
+let pp ppf t =
+  match t.body with
+  | Tuple_body tbl ->
+    let fields =
+      Hashtbl.fold (fun a v acc -> (a, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Format.fprintf ppf "%a:%s[%s]" Oid.pp t.oid t.ty
+      (String.concat ", "
+         (List.map (fun (a, v) -> a ^ ": " ^ Value.to_string v) fields))
+  | Set_body _ ->
+    Format.fprintf ppf "%a:%s{%s}" Oid.pp t.oid t.ty
+      (String.concat ", " (List.map Value.to_string (elements t)))
+  | List_body _ ->
+    Format.fprintf ppf "%a:%s<%s>" Oid.pp t.oid t.ty
+      (String.concat ", " (List.map Value.to_string (elements t)))

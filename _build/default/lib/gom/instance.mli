@@ -1,0 +1,30 @@
+(** Object instances.
+
+    An instance is the triple (identifier, value, type) of the paper
+    (section 2.2).  Tuple-structured instances carry a mutable attribute
+    table (attributes start out [Null]); set and list instances carry a
+    mutable collection that starts out empty.  Instances are created and
+    mutated through {!Store}, which enforces strong typing. *)
+
+type body =
+  | Tuple_body of (Schema.attr_name, Value.t) Hashtbl.t
+  | Set_body of (Value.t, unit) Hashtbl.t
+  | List_body of Value.t list ref
+
+type t = private { oid : Oid.t; ty : Schema.type_name; body : body }
+
+val make : Oid.t -> Schema.type_name -> body -> t
+(** Used by {!Store}; not intended for direct use. *)
+
+val oid : t -> Oid.t
+val ty : t -> Schema.type_name
+
+val attr : t -> Schema.attr_name -> Value.t option
+(** [None] if the instance is not tuple-structured or the attribute was
+    never initialised (callers treat that as [Null]). *)
+
+val elements : t -> Value.t list
+(** Elements of a set (sorted by {!Value.compare} for determinism) or
+    list instance (in list order); [] for tuple instances. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Persistence: a line-oriented text format for schemas and object
+    bases.
+
+    The format is versioned and self-contained (the schema travels with
+    the data); objects keep their identifiers across a save/load
+    round-trip, so persisted names, references — and access support
+    relations rebuilt over the loaded base — line up with the
+    original.  Collection elements are written in order, preserving
+    list semantics.
+
+    {v
+    asr-object-base v1
+    T tuple ROBOT - Name:STRING Arm:ARM
+    T set ROBOT_SET ROBOT
+    O 0 MANUFACTURER
+    A 0 Name str:"RobClone"
+    E 5 ref:3
+    N OurRobots 5
+    v} *)
+
+exception Corrupt of string
+(** Raised by the readers on malformed input (with a line number). *)
+
+val schema_to_string : Schema.t -> string
+(** Only the type definitions (built-ins omitted). *)
+
+val schema_of_string : string -> Schema.t
+
+val store_to_string : Store.t -> string
+(** Schema plus every object, attribute value, collection element and
+    persistent name. *)
+
+val store_of_string : string -> Store.t
+
+val save : Store.t -> string -> unit
+(** Write {!store_to_string} to a file. *)
+
+val load : string -> Store.t
+(** Read a file written by {!save}.  @raise Corrupt on damage. *)

@@ -1,0 +1,116 @@
+(** The object base: a strongly typed, mutable store of GOM instances.
+
+    The store owns object creation (fresh identifiers), attribute
+    mutation and collection mutation, and enforces GOM's typing rules
+    (paper, section 2): an attribute constrained to type [t] may hold
+    [Null] or a value conforming to [t], where conformance of an object
+    reference means the referenced instance's type is a subtype of [t].
+
+    Every successful mutation is broadcast to subscribed listeners;
+    access support relation maintenance (module [Asr.Maintenance]) is
+    driven by these events. *)
+
+type t
+
+type event =
+  | Created of Oid.t
+  | Attr_set of {
+      obj : Oid.t;
+      attr : Schema.attr_name;
+      old_value : Value.t;
+      new_value : Value.t;
+    }
+  | Set_inserted of { set : Oid.t; elem : Value.t }
+  | Set_removed of { set : Oid.t; elem : Value.t }
+  | Deleted of { obj : Oid.t; ty : Schema.type_name }
+      (** Emitted after all inbound references were nullified (each
+          nullification having produced its own event); carries the
+          late object's type so listeners (e.g. transaction undo logs)
+          can act on it. *)
+
+exception Type_error of string
+(** Raised on any violation of strong typing or on operations against
+    unknown objects/attributes. *)
+
+val create : Schema.t -> t
+(** @raise Type_error if the schema is not {!Schema.well_formed}. *)
+
+val schema : t -> Schema.t
+
+val new_object : t -> Schema.type_name -> Oid.t
+(** Instantiate a type: tuple instances get all attributes set to
+    [Null], set and list instances start empty (paper: "instantiation").
+    @raise Type_error for atomic or unknown types. *)
+
+val get : t -> Oid.t -> Instance.t option
+val get_exn : t -> Oid.t -> Instance.t
+val type_of : t -> Oid.t -> Schema.type_name
+val mem : t -> Oid.t -> bool
+
+val get_attr : t -> Oid.t -> Schema.attr_name -> Value.t
+(** @raise Type_error if the object or attribute does not exist. *)
+
+val set_attr : t -> Oid.t -> Schema.attr_name -> Value.t -> unit
+(** Type-checked assignment; a no-op (no event) if the new value equals
+    the old one. *)
+
+val insert_elem : t -> Oid.t -> Value.t -> unit
+(** Insert into a set instance ([insert o into s] in the paper's
+    pseudo-SQL); a no-op if already present. *)
+
+val remove_elem : t -> Oid.t -> Value.t -> unit
+(** Remove from a set instance; a no-op if absent. *)
+
+val elements : t -> Oid.t -> Value.t list
+(** Elements of a set/list instance, deterministic order. *)
+
+val delete : t -> Oid.t -> unit
+(** Delete an object: all references to it anywhere in the base are
+    first nullified/removed (emitting the corresponding events), then
+    the object disappears and [Deleted] is emitted. *)
+
+val extent : ?deep:bool -> t -> Schema.type_name -> Oid.t list
+(** Objects of exactly this type in creation order; with [~deep:true]
+    (default [false]) instances of subtypes are included. *)
+
+val count : ?deep:bool -> t -> Schema.type_name -> int
+
+val fold_objects : t -> init:'a -> f:('a -> Instance.t -> 'a) -> 'a
+(** Folds over every instance in the base in creation order. *)
+
+val bind_name : t -> string -> Oid.t -> unit
+(** Bind a persistent root name (the paper's [var OurRobots: ...]). *)
+
+val find_name : t -> string -> Oid.t option
+
+val names : t -> (string * Oid.t) list
+
+val subscribe : t -> (event -> unit) -> unit
+(** Register a mutation listener.  Listeners run synchronously, after
+    the store state has changed, in subscription order. *)
+
+type subscription
+
+val subscribe_cancellable : t -> (event -> unit) -> subscription
+(** Like {!subscribe}, but the listener can be detached again. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Detach; idempotent. *)
+
+val restore_object : t -> Oid.t -> Schema.type_name -> unit
+(** Re-create a previously deleted object under its {e original}
+    identifier, with all attributes NULL / collections empty (the
+    inverse of the bare deletion step; transaction rollback restores
+    attribute values through the regular mutators afterwards).  Emits
+    [Created].
+    @raise Type_error if the identifier is live or the type cannot be
+    instantiated. *)
+
+val referencers :
+  t -> Schema.type_name -> Schema.attr_name -> Value.t -> (Oid.t * Oid.t option) list
+(** [referencers t ty attr v] finds the objects of type [ty] (deep
+    extent) whose attribute [attr] leads to [v]: directly
+    ([(o, None)]) for single-valued attributes, or through a set
+    ([(o, Some set_oid)]) for set-valued ones.  Implemented by an extent
+    scan — references are uni-directional in GOM, so backward traversal
+    has no physical support (that is the paper's motivation). *)

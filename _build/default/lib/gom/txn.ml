@@ -1,0 +1,74 @@
+type t = {
+  store : Store.t;
+  sub : Store.subscription;
+  mutable log : Store.event list; (* newest first *)
+  mutable state : [ `Active | `Committed | `Rolled_back ];
+}
+
+exception Txn_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Txn_error s)) fmt
+
+(* One active transaction per store, by physical identity. *)
+let active_stores : Store.t list ref = ref []
+
+let active store = List.exists (fun s -> s == store) !active_stores
+
+let start store =
+  if active store then error "a transaction is already active on this store";
+  let rec t =
+    lazy
+      {
+        store;
+        sub = Store.subscribe_cancellable store (fun ev ->
+                  let t = Lazy.force t in
+                  t.log <- ev :: t.log);
+        log = [];
+        state = `Active;
+      }
+  in
+  let t = Lazy.force t in
+  active_stores := store :: !active_stores;
+  t
+
+let finish t state =
+  (match t.state with
+  | `Active -> ()
+  | `Committed | `Rolled_back -> error "transaction already finished");
+  Store.unsubscribe t.store t.sub;
+  active_stores := List.filter (fun s -> not (s == t.store)) !active_stores;
+  t.state <- state
+
+let events_logged t = List.length t.log
+
+let commit t =
+  finish t `Committed;
+  t.log <- []
+
+let undo store = function
+  | Store.Created oid ->
+    (* Creation is undone last for this object (its attribute writes
+       were already reverted), so it is bare again. *)
+    if Store.mem store oid then Store.delete store oid
+  | Store.Attr_set { obj; attr; old_value; _ } ->
+    if Store.mem store obj then Store.set_attr store obj attr old_value
+  | Store.Set_inserted { set; elem } ->
+    if Store.mem store set then Store.remove_elem store set elem
+  | Store.Set_removed { set; elem } ->
+    if Store.mem store set then Store.insert_elem store set elem
+  | Store.Deleted { obj; ty } -> Store.restore_object store obj ty
+
+let rollback t =
+  finish t `Rolled_back;
+  List.iter (undo t.store) t.log;
+  t.log <- []
+
+let with_txn store f =
+  let t = start store in
+  match f () with
+  | v ->
+    commit t;
+    Ok v
+  | exception e ->
+    rollback t;
+    Error e

@@ -1,0 +1,37 @@
+(** Lightweight transactions over an object base.
+
+    A transaction records every mutation event between {!start} and
+    {!commit}/{!rollback}.  Rollback replays the {e inverse} mutations
+    in reverse order through the regular store mutators, so every
+    listener — in particular access-support-relation maintenance —
+    observes a consistent history and ends up exactly where it started.
+    Deleted objects are resurrected under their original identifiers
+    (the store's nullify-before-delete protocol guarantees the
+    surrounding events restore their state).
+
+    One transaction may be active per store at a time; nesting is not
+    supported. *)
+
+type t
+
+exception Txn_error of string
+
+val start : Store.t -> t
+(** @raise Txn_error if a transaction is already active on this
+    store. *)
+
+val active : Store.t -> bool
+
+val events_logged : t -> int
+
+val commit : t -> unit
+(** Keep all changes; the log is discarded.
+    @raise Txn_error if the transaction already finished. *)
+
+val rollback : t -> unit
+(** Undo all changes made since {!start}.
+    @raise Txn_error if the transaction already finished. *)
+
+val with_txn : Store.t -> (unit -> 'a) -> ('a, exn) result
+(** Run the function inside a transaction: commit on success, rollback
+    (and return the exception) on failure. *)

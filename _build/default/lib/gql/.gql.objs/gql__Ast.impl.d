@@ -1,0 +1,1 @@
+lib/gql/ast.ml: Format List String

@@ -1,0 +1,1 @@
+lib/gql/ast.mli: Format

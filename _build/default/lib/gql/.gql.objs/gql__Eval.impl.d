@@ -1,0 +1,1 @@
+lib/gql/eval.ml: Ast Core Costmodel Format Gom Int List Parser Printf Storage String Typecheck

@@ -1,0 +1,1 @@
+lib/gql/eval.mli: Core Costmodel Gom Storage Typecheck

@@ -1,0 +1,1 @@
+lib/gql/lexer.ml: Buffer Format List Printf String

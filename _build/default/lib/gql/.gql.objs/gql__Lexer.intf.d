@@ -1,0 +1,1 @@
+lib/gql/lexer.mli: Format

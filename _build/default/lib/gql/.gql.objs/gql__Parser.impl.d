@@ -1,0 +1,1 @@
+lib/gql/parser.ml: Ast Format Lexer List

@@ -1,0 +1,1 @@
+lib/gql/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/gql/typecheck.ml: Ast Format Gom List Option String

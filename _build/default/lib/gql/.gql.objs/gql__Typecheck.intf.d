@@ -1,0 +1,1 @@
+lib/gql/typecheck.mli: Ast Gom

@@ -1,0 +1,78 @@
+type lit = Str of string | Int of int | Dec of float | Bool of bool
+
+type path_ref = { var : string; attrs : string list }
+
+type expr = Path of path_ref | Lit of lit
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | Cmp of cmp * expr * expr
+  | In_pred of expr * path_ref
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type source = Named of string | Via of path_ref
+
+type order = Asc | Desc
+
+type query = {
+  select : expr list;
+  from : (string * source) list;
+  where : pred;
+  order_by : (expr * order) option;
+  limit : int option;
+}
+
+let pp_lit ppf = function
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int i -> Format.pp_print_int ppf i
+  | Dec d -> Format.fprintf ppf "%g" d
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp_path_ref ppf p =
+  Format.pp_print_string ppf (String.concat "." (p.var :: p.attrs))
+
+let pp_expr ppf = function
+  | Path p -> pp_path_ref ppf p
+  | Lit l -> pp_lit ppf l
+
+let cmp_sym = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Cmp (c, a, b) -> Format.fprintf ppf "%a %s %a" pp_expr a (cmp_sym c) pp_expr b
+  | In_pred (e, p) -> Format.fprintf ppf "%a in %a" pp_expr e pp_path_ref p
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Not p -> Format.fprintf ppf "not %a" pp_pred p
+
+let pp_source ppf = function
+  | Named n -> Format.pp_print_string ppf n
+  | Via p -> pp_path_ref ppf p
+
+let pp ppf q =
+  Format.fprintf ppf "select %s from %s"
+    (String.concat ", " (List.map (Format.asprintf "%a" pp_expr) q.select))
+    (String.concat ", "
+       (List.map
+          (fun (v, s) -> Format.asprintf "%s in %a" v pp_source s)
+          q.from));
+  (match q.where with
+  | True -> ()
+  | w -> Format.fprintf ppf " where %a" pp_pred w);
+  (match q.order_by with
+  | Some (e, Asc) -> Format.fprintf ppf " order by %a" pp_expr e
+  | Some (e, Desc) -> Format.fprintf ppf " order by %a desc" pp_expr e
+  | None -> ());
+  match q.limit with
+  | Some n -> Format.fprintf ppf " limit %d" n
+  | None -> ()

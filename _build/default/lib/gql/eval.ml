@@ -1,0 +1,364 @@
+module T = Typecheck
+
+type plan =
+  | Nested_loop
+  | Merged_backward of {
+      index : Core.Asr.t option;
+      path : Gom.Path.t;  (** The index's path when [index] is set. *)
+      qi : int;
+      qj : int;  (** Object positions of the query range within [path]. *)
+      target : Gom.Value.t;
+      residual : T.tpred;  (** Anchor-only conjuncts checked afterwards. *)
+    }
+
+let plan_to_string = function
+  | Nested_loop -> "nested-loop navigation"
+  | Merged_backward { index; path; qi; qj; residual; _ } -> (
+    let residual_s = match residual with T.TTrue -> "" | _ -> " + residual filter" in
+    let range_s =
+      if qi = 0 && qj = Gom.Path.length path then ""
+      else Printf.sprintf " [positions %d..%d]" qi qj
+    in
+    match index with
+    | Some a ->
+      Format.asprintf "backward via ASR (%s, %s) on %s%s%s"
+        (Core.Extension.name (Core.Asr.kind a))
+        (Core.Decomposition.to_string (Core.Asr.decomposition a))
+        (Gom.Path.to_string path) range_s residual_s
+    | None -> Format.asprintf "backward scan on %s%s%s" (Gom.Path.to_string path) range_s residual_s)
+
+type result = {
+  rows : Gom.Value.t list list;
+  plan : plan;
+  pages : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec conjuncts = function
+  | T.TAnd (a, b) -> conjuncts a @ conjuncts b
+  | T.TTrue -> []
+  | p -> [ p ]
+
+let rec conjoin = function
+  | [] -> T.TTrue
+  | [ p ] -> p
+  | p :: rest -> T.TAnd (p, conjoin rest)
+
+let rec pred_vars = function
+  | T.TTrue -> []
+  | T.TCmp (_, a, b) -> expr_vars a @ expr_vars b
+  | T.TIn (e, p) -> p.T.base :: expr_vars e
+  | T.TAnd (a, b) | T.TOr (a, b) -> pred_vars a @ pred_vars b
+  | T.TNot p -> pred_vars p
+
+and expr_vars = function T.TLit _ -> [] | T.TPath p -> [ p.T.base ]
+
+(* The chain of bindings v0 in C, v1 in v0.P1, ..., vk in v(k-1).Pk —
+   each variable rooted at its predecessor — merged with a filtered path
+   into one anchor-rooted path expression.  Remaining conjuncts must
+   mention only the anchor variable; they become a residual filter. *)
+let merged_chain (q : T.t) =
+  match q.T.bindings with
+  | [] -> None
+  | (v0, src0, _) :: rest -> (
+    let anchor_ty =
+      match src0 with
+      | T.Extent ty -> Some ty
+      | T.Named_set (_, elem) -> Some elem
+      | T.Via _ -> None
+    in
+    match anchor_ty with
+    | None -> None
+    | Some anchor_ty -> (
+      let rec chain prev attrs = function
+        | [] -> Some attrs
+        | (v, T.Via { base; path }, _) :: more when String.equal base prev ->
+          chain v (attrs @ List.map (fun s -> s.Gom.Path.attr) path.Gom.Path.steps) more
+        | _ -> None
+      in
+      match chain v0 [] rest with
+      | None -> None
+      | Some via_attrs -> (
+        let last_var =
+          match List.rev q.T.bindings with (v, _, _) :: _ -> v | [] -> v0
+        in
+        let indexable = function
+          | T.TCmp (Ast.Eq, T.TPath p, T.TLit l) | T.TCmp (Ast.Eq, T.TLit l, T.TPath p)
+            when String.equal p.T.base last_var && p.T.path <> None ->
+            Some (p, T.lit_value l)
+          | T.TIn (T.TLit l, p) when String.equal p.T.base last_var ->
+            Some (p, T.lit_value l)
+          | _ -> None
+        in
+        let cs = conjuncts q.T.where in
+        let rec split acc = function
+          | [] -> None
+          | c :: rest -> (
+            match indexable c with
+            | Some hit -> Some (hit, List.rev_append acc rest)
+            | None -> split (c :: acc) rest)
+        in
+        match split [] cs with
+        | None -> None
+        | Some ((p, target), residual_list) ->
+          (* Residual conjuncts and the select list may only mention the
+             anchor variable (the merged evaluation binds nothing else). *)
+          let anchor_only =
+            List.for_all (String.equal v0)
+              (List.concat_map pred_vars residual_list
+              @ List.concat_map
+                  (function T.TLit _ -> [] | T.TPath tp -> [ tp.T.base ])
+                  q.T.select)
+          in
+          if not anchor_only then None
+          else
+            let tail =
+              match p.T.path with
+              | Some path -> List.map (fun s -> s.Gom.Path.attr) path.Gom.Path.steps
+              | None -> []
+            in
+            Some (anchor_ty, via_attrs @ tail, target, conjoin residual_list))))
+
+(* Where does the query chain (anchor type + attribute list) embed in a
+   registered path?  [Some (i, j)] when the index path's positions
+   i..j spell exactly the chain, starting at the anchor type. *)
+let embedding index_path ~anchor_ty ~attrs =
+  let np = Gom.Path.length index_path in
+  let len = List.length attrs in
+  let fits i =
+    i + len <= np
+    && String.equal (Gom.Path.type_at index_path i) anchor_ty
+    && List.for_all2
+         (fun k attr ->
+           String.equal (Gom.Path.step index_path (i + k)).Gom.Path.attr attr)
+         (List.init len (fun k -> k + 1))
+         attrs
+  in
+  let rec go i = if i + len > np then None else if fits i then Some (i, i + len) else go (i + 1) in
+  go 0
+
+(* Among several applicable indexes prefer whole-path coverage, then the
+   smallest relation (fewest pages across both clustering copies) — a
+   cheap proxy for lookup cost. *)
+let pick_index indexes ~anchor_ty ~attrs =
+  indexes
+  |> List.filter_map (fun a ->
+         match embedding (Core.Asr.path a) ~anchor_ty ~attrs with
+         | Some (i, j) when Core.Asr.supports a ~i ~j -> Some (a, i, j)
+         | _ -> None)
+  |> List.sort (fun (a, i1, _) (b, i2, _) ->
+         let whole x i = if i = 0 && Gom.Path.length (Core.Asr.path x) = List.length attrs then 0 else 1 in
+         match Int.compare (whole a i1) (whole b i2) with
+         | 0 -> Int.compare (Core.Asr.total_pages a) (Core.Asr.total_pages b)
+         | c -> c)
+  |> function
+  | [] -> None
+  | best :: _ -> Some best
+
+(* The analytical model works on object positions (its m = n
+   simplification drops set-OID columns); map a physical decomposition's
+   boundaries accordingly, discarding boundaries that sit on set
+   columns. *)
+let analytic_decomposition path dec =
+  let n = Gom.Path.length path in
+  let bounds =
+    Core.Decomposition.boundaries dec
+    |> List.filter_map (fun col -> Gom.Path.object_position_of_column path col)
+    |> List.sort_uniq Int.compare
+  in
+  let bounds = if List.mem 0 bounds then bounds else 0 :: bounds in
+  let bounds =
+    if List.mem n bounds then bounds
+    else List.sort_uniq Int.compare (n :: bounds)
+  in
+  Core.Decomposition.make ~m:n bounds
+
+let plan ?profile ~env ~indexes (q : T.t) =
+  let schema = Gom.Store.schema env.Core.Exec.store in
+  match merged_chain q with
+  | None -> Nested_loop
+  | Some (anchor_ty, attrs, target, residual) -> (
+    match Gom.Path.make schema anchor_ty attrs with
+    | exception Gom.Path.Path_error _ -> Nested_loop
+    | query_path -> (
+      let n = Gom.Path.length query_path in
+      let hit = pick_index indexes ~anchor_ty ~attrs in
+      let hit =
+        (* Cost-based veto: when a profile of the base is supplied, keep
+           the index only if the model expects it to beat the scan.  The
+           profile describes the query path, so the veto only applies to
+           whole-path embeddings. *)
+        match (hit, profile) with
+        | Some (a, 0, j), Some prof when Costmodel.Profile.n prof = n && j = n ->
+          let dec = analytic_decomposition query_path (Core.Asr.decomposition a) in
+          let sup =
+            Costmodel.Query_cost.q prof (Core.Asr.kind a) dec Costmodel.Query_cost.Bw 0 n
+          in
+          let nas = Costmodel.Query_cost.qnas prof Costmodel.Query_cost.Bw 0 n in
+          if sup <= nas then hit else None
+        | _ -> hit
+      in
+      match hit with
+      | Some (a, i, j) ->
+        Merged_backward { index = Some a; path = Core.Asr.path a; qi = i; qj = j; target; residual }
+      | None ->
+        Merged_backward { index = None; path = query_path; qi = 0; qj = n; target; residual }))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Path-valued expressions are evaluated through a covering access
+   support relation when one is registered (the paper's forward
+   queries), falling back to object-graph navigation. *)
+let values_of_expr ?stats ?(indexes = []) ~env ~bindings = function
+  | T.TLit l -> [ T.lit_value l ]
+  | T.TPath { base; path; _ } -> (
+    let v = List.assoc base bindings in
+    match path with
+    | None -> [ v ]
+    | Some p -> (
+      match v with
+      | Gom.Value.Ref o -> (
+        let n = Gom.Path.length p in
+        match
+          List.find_opt
+            (fun a ->
+              Gom.Path.equal (Core.Asr.path a) p && Core.Asr.supports a ~i:0 ~j:n)
+            indexes
+        with
+        | Some a -> Core.Exec.forward_supported ?stats a ~i:0 ~j:n o
+        | None -> Core.Exec.forward_scan ?stats env p ~i:0 ~j:n o)
+      | Gom.Value.Null -> []
+      | _ -> []))
+
+let cmp_holds c a b =
+  let r = Gom.Value.compare a b in
+  match (c : Ast.cmp) with
+  | Ast.Eq -> r = 0
+  | Ast.Neq -> r <> 0
+  | Ast.Lt -> r < 0
+  | Ast.Le -> r <= 0
+  | Ast.Gt -> r > 0
+  | Ast.Ge -> r >= 0
+
+let rec pred_holds ?stats ?indexes ~env ~bindings = function
+  | T.TTrue -> true
+  | T.TCmp (c, a, b) ->
+    let va = values_of_expr ?stats ?indexes ~env ~bindings a in
+    let vb = values_of_expr ?stats ?indexes ~env ~bindings b in
+    List.exists (fun x -> List.exists (fun y -> cmp_holds c x y) vb) va
+  | T.TIn (e, p) ->
+    let ve = values_of_expr ?stats ?indexes ~env ~bindings e in
+    let vp = values_of_expr ?stats ?indexes ~env ~bindings (T.TPath p) in
+    List.exists (fun x -> List.exists (Gom.Value.equal x) vp) ve
+  | T.TAnd (a, b) ->
+    pred_holds ?stats ?indexes ~env ~bindings a
+    && pred_holds ?stats ?indexes ~env ~bindings b
+  | T.TOr (a, b) ->
+    pred_holds ?stats ?indexes ~env ~bindings a
+    || pred_holds ?stats ?indexes ~env ~bindings b
+  | T.TNot p -> not (pred_holds ?stats ?indexes ~env ~bindings p)
+
+let source_values ?stats ~env ~bindings = function
+  | T.Extent ty ->
+    (match stats with
+    | Some st -> Storage.Heap.scan_extent ~deep:true env.Core.Exec.heap st ty
+    | None -> ());
+    Gom.Store.extent ~deep:true env.Core.Exec.store ty
+    |> List.map (fun o -> Gom.Value.Ref o)
+  | T.Named_set (oid, _) ->
+    (match stats with
+    | Some st -> Storage.Heap.read_object env.Core.Exec.heap st oid
+    | None -> ());
+    Gom.Store.elements env.Core.Exec.store oid
+  | T.Via { base; path } -> (
+    match List.assoc base bindings with
+    | Gom.Value.Ref o ->
+      Core.Exec.forward_scan ?stats env path ~i:0 ~j:(Gom.Path.length path) o
+    | _ -> [])
+
+let rec rows_product = function
+  | [] -> [ [] ]
+  | vs :: rest ->
+    let tails = rows_product rest in
+    List.concat_map (fun v -> List.map (fun tail -> v :: tail) tails) vs
+
+let select_rows ?stats ?indexes ~env ~bindings select =
+  rows_product (List.map (values_of_expr ?stats ?indexes ~env ~bindings) select)
+
+let nested_loop ?stats ?indexes ~env (q : T.t) =
+  let out = ref [] in
+  let rec loop bindings = function
+    | [] ->
+      if pred_holds ?stats ?indexes ~env ~bindings q.T.where then
+        out := select_rows ?stats ?indexes ~env ~bindings q.T.select @ !out
+    | (v, src, _) :: rest ->
+      List.iter
+        (fun value -> loop ((v, value) :: bindings) rest)
+        (source_values ?stats ~env ~bindings src)
+  in
+  loop [] q.T.bindings;
+  !out
+
+let merged_backward ?stats ?indexes ~env ~index ~path ~qi ~qj ~target ~residual (q : T.t)
+    =
+  let sources = Core.Exec.backward ?stats ?index env path ~i:qi ~j:qj ~target in
+  let v0, keep =
+    match q.T.bindings with
+    | (v0, T.Named_set (set_oid, _), _) :: _ ->
+      let members = Gom.Store.elements env.Core.Exec.store set_oid in
+      (v0, fun o -> List.exists (Gom.Value.equal (Gom.Value.Ref o)) members)
+    | (v0, _, _) :: _ -> (v0, fun _ -> true)
+    | [] -> assert false
+  in
+  List.concat_map
+    (fun o ->
+      let bindings = [ (v0, Gom.Value.Ref o) ] in
+      if keep o && pred_holds ?stats ?indexes ~env ~bindings residual then
+        select_rows ?stats ?indexes ~env ~bindings q.T.select
+      else [])
+    sources
+
+let dedup_rows rows =
+  List.sort_uniq (fun a b -> List.compare Gom.Value.compare a b) rows
+
+let order_and_limit (q : T.t) rows =
+  let rows =
+    match q.T.order_by with
+    | None -> rows
+    | Some (col, dir) ->
+      let cmp a b =
+        let c = Gom.Value.compare (List.nth a col) (List.nth b col) in
+        let c = if c <> 0 then c else List.compare Gom.Value.compare a b in
+        match dir with Ast.Asc -> c | Ast.Desc -> -c
+      in
+      List.sort cmp rows
+  in
+  match q.T.limit with
+  | None -> rows
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+
+let run ?stats ?profile ~env ?(indexes = []) (q : T.t) =
+  let stats = match stats with Some s -> s | None -> Storage.Stats.create () in
+  Storage.Stats.begin_op stats;
+  let p = plan ?profile ~env ~indexes q in
+  let rows =
+    match p with
+    | Nested_loop -> nested_loop ~stats ~indexes ~env q
+    | Merged_backward { index; path; qi; qj; target; residual } ->
+      merged_backward ~stats ~indexes ~env ~index ~path ~qi ~qj ~target ~residual q
+  in
+  {
+    rows = order_and_limit q (dedup_rows rows);
+    plan = p;
+    pages = Storage.Stats.op_accesses stats;
+  }
+
+let query ?stats ?profile ~env ?indexes text =
+  let ast = Parser.parse text in
+  let q = Typecheck.check env.Core.Exec.store ast in
+  run ?stats ?profile ~env ?indexes q

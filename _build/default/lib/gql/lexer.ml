@@ -1,0 +1,173 @@
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | IN
+  | AND
+  | OR
+  | NOT
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | LIMIT
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | STR of string
+  | INT of int
+  | DEC of float
+  | DOT
+  | COMMA
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | EOF
+
+exception Lex_error of string * int
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Lex_error (s, pos))) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword s =
+  match String.lowercase_ascii s with
+  | "select" -> Some SELECT
+  | "from" -> Some FROM
+  | "where" -> Some WHERE
+  | "in" -> Some IN
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "order" -> Some ORDER
+  | "by" -> Some BY
+  | "asc" -> Some ASC
+  | "desc" -> Some DESC
+  | "limit" -> Some LIMIT
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let tokenize input =
+  let len = String.length input in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let pos = ref 0 in
+  let peek k = if !pos + k < len then Some input.[!pos + k] else None in
+  while !pos < len do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < len && is_ident_char input.[!pos] do
+        incr pos
+      done;
+      let word = String.sub input start (!pos - start) in
+      emit (match keyword word with Some t -> t | None -> IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < len && is_digit input.[!pos] do
+        incr pos
+      done;
+      if !pos < len && input.[!pos] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        incr pos;
+        while !pos < len && is_digit input.[!pos] do
+          incr pos
+        done;
+        emit (DEC (float_of_string (String.sub input start (!pos - start))))
+      end
+      else emit (INT (int_of_string (String.sub input start (!pos - start))))
+    end
+    else if c = '"' then begin
+      let start = !pos in
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < len do
+        match input.[!pos] with
+        | '"' ->
+          closed := true;
+          incr pos
+        | '\\' -> (
+          match peek 1 with
+          | Some ('"' as e) | Some ('\\' as e) ->
+            Buffer.add_char buf e;
+            pos := !pos + 2
+          | Some 'n' ->
+            Buffer.add_char buf '\n';
+            pos := !pos + 2
+          | Some other -> error !pos "unknown escape \\%c" other
+          | None -> error !pos "unterminated escape")
+        | ch ->
+          Buffer.add_char buf ch;
+          incr pos
+      done;
+      if not !closed then error start "unterminated string literal";
+      emit (STR (Buffer.contents buf))
+    end
+    else begin
+      let two = match peek 1 with Some d -> Printf.sprintf "%c%c" c d | None -> "" in
+      match two with
+      | "!=" | "<>" ->
+        emit NEQ;
+        pos := !pos + 2
+      | "<=" ->
+        emit LE;
+        pos := !pos + 2
+      | ">=" ->
+        emit GE;
+        pos := !pos + 2
+      | _ -> (
+        (match c with
+        | '.' -> emit DOT
+        | ',' -> emit COMMA
+        | '=' -> emit EQ
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | _ -> error !pos "unexpected character %C" c);
+        incr pos)
+    end
+  done;
+  List.rev (EOF :: !toks)
+
+let pp_token ppf = function
+  | SELECT -> Format.pp_print_string ppf "select"
+  | FROM -> Format.pp_print_string ppf "from"
+  | WHERE -> Format.pp_print_string ppf "where"
+  | IN -> Format.pp_print_string ppf "in"
+  | AND -> Format.pp_print_string ppf "and"
+  | OR -> Format.pp_print_string ppf "or"
+  | NOT -> Format.pp_print_string ppf "not"
+  | ORDER -> Format.pp_print_string ppf "order"
+  | BY -> Format.pp_print_string ppf "by"
+  | ASC -> Format.pp_print_string ppf "asc"
+  | DESC -> Format.pp_print_string ppf "desc"
+  | LIMIT -> Format.pp_print_string ppf "limit"
+  | TRUE -> Format.pp_print_string ppf "true"
+  | FALSE -> Format.pp_print_string ppf "false"
+  | IDENT s -> Format.fprintf ppf "ident(%s)" s
+  | STR s -> Format.fprintf ppf "%S" s
+  | INT i -> Format.pp_print_int ppf i
+  | DEC d -> Format.fprintf ppf "%g" d
+  | DOT -> Format.pp_print_string ppf "."
+  | COMMA -> Format.pp_print_string ppf ","
+  | EQ -> Format.pp_print_string ppf "="
+  | NEQ -> Format.pp_print_string ppf "!="
+  | LT -> Format.pp_print_string ppf "<"
+  | LE -> Format.pp_print_string ppf "<="
+  | GT -> Format.pp_print_string ppf ">"
+  | GE -> Format.pp_print_string ppf ">="
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,43 @@
+(** Hand-written lexer for the GOM query language. *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | IN
+  | AND
+  | OR
+  | NOT
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | LIMIT
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | STR of string
+  | INT of int
+  | DEC of float
+  | DOT
+  | COMMA
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | EOF
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> token list
+(** The token stream, ending with [EOF].  Keywords are
+    case-insensitive; identifiers keep their case.  String literals use
+    double quotes with backslash escapes for quote, backslash and
+    newline. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,197 @@
+exception Parse_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> Lexer.EOF
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else error "expected %s, found %a" what Lexer.pp_token (peek st)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error "expected identifier, found %a" Lexer.pp_token t
+
+(* ident (. ident)* *)
+let dotted st =
+  let first = ident st in
+  let rec go acc =
+    if peek st = Lexer.DOT then begin
+      advance st;
+      go (ident st :: acc)
+    end
+    else List.rev acc
+  in
+  (first, go [])
+
+let path_ref st =
+  let var, attrs = dotted st in
+  { Ast.var; Ast.attrs }
+
+let literal st =
+  match peek st with
+  | Lexer.STR s ->
+    advance st;
+    Some (Ast.Str s)
+  | Lexer.INT i ->
+    advance st;
+    Some (Ast.Int i)
+  | Lexer.DEC d ->
+    advance st;
+    Some (Ast.Dec d)
+  | Lexer.TRUE ->
+    advance st;
+    Some (Ast.Bool true)
+  | Lexer.FALSE ->
+    advance st;
+    Some (Ast.Bool false)
+  | _ -> None
+
+let expr st =
+  match literal st with
+  | Some l -> Ast.Lit l
+  | None -> (
+    match peek st with
+    | Lexer.IDENT _ -> Ast.Path (path_ref st)
+    | t -> error "expected expression, found %a" Lexer.pp_token t)
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Ast.Eq
+  | Lexer.NEQ -> Some Ast.Neq
+  | Lexer.LT -> Some Ast.Lt
+  | Lexer.LE -> Some Ast.Le
+  | Lexer.GT -> Some Ast.Gt
+  | Lexer.GE -> Some Ast.Ge
+  | _ -> None
+
+let rec pred st =
+  let left = conj st in
+  if peek st = Lexer.OR then begin
+    advance st;
+    Ast.Or (left, pred st)
+  end
+  else left
+
+and conj st =
+  let left = atom st in
+  if peek st = Lexer.AND then begin
+    advance st;
+    Ast.And (left, conj st)
+  end
+  else left
+
+and atom st =
+  match peek st with
+  | Lexer.NOT ->
+    advance st;
+    Ast.Not (atom st)
+  | Lexer.LPAREN ->
+    advance st;
+    let p = pred st in
+    expect st Lexer.RPAREN "')'";
+    p
+  | Lexer.TRUE ->
+    advance st;
+    (* Either the constant predicate or a boolean literal comparison. *)
+    if cmp_of_token (peek st) <> None then comparison_tail st (Ast.Lit (Ast.Bool true))
+    else Ast.True
+  | _ ->
+    let e = expr st in
+    if peek st = Lexer.IN then begin
+      advance st;
+      Ast.In_pred (e, path_ref st)
+    end
+    else comparison_tail st e
+
+and comparison_tail st left =
+  match cmp_of_token (peek st) with
+  | Some c ->
+    advance st;
+    Ast.Cmp (c, left, expr st)
+  | None -> error "expected comparison or 'in', found %a" Lexer.pp_token (peek st)
+
+let source st =
+  let first, attrs = dotted st in
+  match attrs with
+  | [] -> Ast.Named first
+  | _ -> Ast.Via { Ast.var = first; Ast.attrs = attrs }
+
+let binding st =
+  let v = ident st in
+  expect st Lexer.IN "'in'";
+  (v, source st)
+
+let rec comma_list st item =
+  let first = item st in
+  if peek st = Lexer.COMMA then begin
+    advance st;
+    first :: comma_list st item
+  end
+  else [ first ]
+
+let query st =
+  expect st Lexer.SELECT "'select'";
+  let select = comma_list st expr in
+  expect st Lexer.FROM "'from'";
+  let from = comma_list st binding in
+  let where =
+    if peek st = Lexer.WHERE then begin
+      advance st;
+      pred st
+    end
+    else Ast.True
+  in
+  let order_by =
+    if peek st = Lexer.ORDER then begin
+      advance st;
+      expect st Lexer.BY "'by'";
+      let e = expr st in
+      let dir =
+        match peek st with
+        | Lexer.DESC ->
+          advance st;
+          Ast.Desc
+        | Lexer.ASC ->
+          advance st;
+          Ast.Asc
+        | _ -> Ast.Asc
+      in
+      Some (e, dir)
+    end
+    else None
+  in
+  let limit =
+    if peek st = Lexer.LIMIT then begin
+      advance st;
+      match peek st with
+      | Lexer.INT n when n >= 0 ->
+        advance st;
+        Some n
+      | t -> error "expected a non-negative integer after 'limit', found %a" Lexer.pp_token t
+    end
+    else None
+  in
+  expect st Lexer.EOF "end of query";
+  { Ast.select; Ast.from; Ast.where; Ast.order_by; Ast.limit }
+
+let with_tokens input f =
+  let toks =
+    try Lexer.tokenize input
+    with Lexer.Lex_error (msg, pos) -> error "lexical error at offset %d: %s" pos msg
+  in
+  f { toks }
+
+let parse input = with_tokens input query
+
+let parse_pred input =
+  with_tokens input (fun st ->
+      let p = pred st in
+      expect st Lexer.EOF "end of predicate";
+      p)

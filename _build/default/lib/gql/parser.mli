@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the GOM query language.
+
+    Grammar (keywords case-insensitive):
+
+    {v
+    query   ::= SELECT exprs FROM bindings [WHERE pred]
+    exprs   ::= expr ("," expr)*
+    bindings::= ident IN source ("," ident IN source)*
+    source  ::= ident ("." ident)*            -- name, or path from a var
+    pred    ::= conj (OR conj)*
+    conj    ::= atom (AND atom)*
+    atom    ::= NOT atom | "(" pred ")" | TRUE
+              | expr (= | != | <> | < | <= | > | >=) expr
+              | expr IN pathref
+    expr    ::= literal | pathref
+    pathref ::= ident ("." ident)*
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** @raise Parse_error on syntax errors (lexing errors are re-raised as
+    parse errors with the offset in the message). *)
+
+val parse_pred : string -> Ast.pred
+(** Parse a stand-alone predicate (used by tests). *)

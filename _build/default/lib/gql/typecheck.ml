@@ -1,0 +1,164 @@
+exception Check_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Check_error s)) fmt
+
+type rtype = Robj of Gom.Schema.type_name | Ratom of Gom.Schema.atomic
+
+type tsource =
+  | Extent of Gom.Schema.type_name
+  | Named_set of Gom.Oid.t * Gom.Schema.type_name
+  | Via of { base : string; path : Gom.Path.t }
+
+type tpath = { base : string; path : Gom.Path.t option; rtype : rtype }
+
+type texpr = TPath of tpath | TLit of Ast.lit
+
+type tpred =
+  | TTrue
+  | TCmp of Ast.cmp * texpr * texpr
+  | TIn of texpr * tpath
+  | TAnd of tpred * tpred
+  | TOr of tpred * tpred
+  | TNot of tpred
+
+type t = {
+  bindings : (string * tsource * Gom.Schema.type_name) list;
+  select : texpr list;
+  where : tpred;
+  order_by : (int * Ast.order) option;
+  limit : int option;
+}
+
+let lit_value = function
+  | Ast.Str s -> Gom.Value.Str s
+  | Ast.Int i -> Gom.Value.Int i
+  | Ast.Dec d -> Gom.Value.Dec d
+  | Ast.Bool b -> Gom.Value.Bool b
+
+let rtype_of_type schema ty =
+  match Gom.Schema.atomic_of schema ty with
+  | Some a -> Ratom a
+  | None -> Robj ty
+
+let check_path schema ~var ~var_ty attrs =
+  match attrs with
+  | [] -> { base = var; path = None; rtype = rtype_of_type schema var_ty }
+  | _ -> (
+    try
+      let path = Gom.Path.make schema var_ty attrs in
+      let result_ty = Gom.Path.type_at path (Gom.Path.length path) in
+      { base = var; path = Some path; rtype = rtype_of_type schema result_ty }
+    with Gom.Path.Path_error msg -> error "in path %s.%s: %s" var (String.concat "." attrs) msg)
+
+let check store q =
+  let schema = Gom.Store.schema store in
+  (* Resolve bindings left to right; later sources may reference earlier
+     variables. *)
+  let bindings =
+    List.fold_left
+      (fun acc (v, src) ->
+        if List.exists (fun (v', _, _) -> String.equal v v') acc then
+          error "variable %s is bound twice" v;
+        let tsource, elem_ty =
+          match src with
+          | Ast.Named name -> (
+            match Gom.Store.find_name store name with
+            | Some oid -> (
+              let ty = Gom.Store.type_of store oid in
+              match Gom.Schema.element_type schema ty with
+              | Some elem -> (Named_set (oid, elem), elem)
+              | None ->
+                error "named root %s has type %s, which is not a collection" name ty)
+            | None ->
+              if Gom.Schema.is_tuple schema name then (Extent name, name)
+              else error "unknown collection or type %s" name)
+          | Ast.Via p -> (
+            match List.find_opt (fun (v', _, _) -> String.equal p.Ast.var v') acc with
+            | None -> error "variable %s is not bound (in %s)" p.Ast.var v
+            | Some (_, _, base_ty) ->
+              if p.Ast.attrs = [] then
+                error "binding %s: a path source needs at least one attribute" v;
+              let tp = check_path schema ~var:p.Ast.var ~var_ty:base_ty p.Ast.attrs in
+              let path = Option.get tp.path in
+              let elem =
+                match tp.rtype with
+                | Robj ty -> ty
+                | Ratom _ -> Gom.Path.type_at path (Gom.Path.length path)
+              in
+              (Via { base = p.Ast.var; path }, elem))
+        in
+        (v, tsource, elem_ty) :: acc)
+      [] q.Ast.from
+    |> List.rev
+  in
+  let var_ty v =
+    match List.find_opt (fun (v', _, _) -> String.equal v v') bindings with
+    | Some (_, _, ty) -> ty
+    | None -> error "variable %s is not bound" v
+  in
+  let check_expr = function
+    | Ast.Lit l -> TLit l
+    | Ast.Path p -> TPath (check_path schema ~var:p.Ast.var ~var_ty:(var_ty p.Ast.var) p.Ast.attrs)
+  in
+  let compatible a b =
+    match (a, b) with
+    | TLit la, TPath { rtype = Ratom at; _ } | TPath { rtype = Ratom at; _ }, TLit la -> (
+      match (la, at) with
+      | Ast.Str _, Gom.Schema.A_string
+      | Ast.Int _, Gom.Schema.A_int
+      | Ast.Dec _, Gom.Schema.A_dec
+      | Ast.Bool _, Gom.Schema.A_bool ->
+        true
+      | (Ast.Str _ | Ast.Int _ | Ast.Dec _ | Ast.Bool _), _ -> false)
+    | TLit _, TPath { rtype = Robj _; _ } | TPath { rtype = Robj _; _ }, TLit _ -> false
+    | TLit _, TLit _ | TPath _, TPath _ -> true
+  in
+  let rec check_pred = function
+    | Ast.True -> TTrue
+    | Ast.Cmp (c, a, b) ->
+      let ta = check_expr a and tb = check_expr b in
+      if not (compatible ta tb) then
+        error "incomparable operands in %s"
+          (Format.asprintf "%a" Ast.pp_pred (Ast.Cmp (c, a, b)));
+      TCmp (c, ta, tb)
+    | Ast.In_pred (e, p) ->
+      let te = check_expr e in
+      let tp = check_path schema ~var:p.Ast.var ~var_ty:(var_ty p.Ast.var) p.Ast.attrs in
+      if tp.path = None then error "'in' needs a path with at least one attribute";
+      TIn (te, tp)
+    | Ast.And (a, b) -> TAnd (check_pred a, check_pred b)
+    | Ast.Or (a, b) -> TOr (check_pred a, check_pred b)
+    | Ast.Not p -> TNot (check_pred p)
+  in
+  let select = List.map check_expr q.Ast.select in
+  if select = [] then error "empty select list";
+  (* ORDER BY resolves to a select column: either a 1-based integer
+     reference or an expression syntactically equal to a column. *)
+  let expr_equal (a : Ast.expr) (b : Ast.expr) =
+    match (a, b) with
+    | Ast.Lit la, Ast.Lit lb -> la = lb
+    | Ast.Path pa, Ast.Path pb ->
+      String.equal pa.Ast.var pb.Ast.var && List.equal String.equal pa.Ast.attrs pb.Ast.attrs
+    | (Ast.Lit _ | Ast.Path _), _ -> false
+  in
+  let order_by =
+    match q.Ast.order_by with
+    | None -> None
+    | Some (Ast.Lit (Ast.Int k), dir) ->
+      if k < 1 || k > List.length q.Ast.select then
+        error "order by column %d out of range 1..%d" k (List.length q.Ast.select);
+      Some (k - 1, dir)
+    | Some (e, dir) -> (
+      let rec find i = function
+        | [] -> error "order by expression %s is not a select column"
+                  (Format.asprintf "%a" Ast.pp_expr e)
+        | c :: _ when expr_equal c e -> i
+        | _ :: rest -> find (i + 1) rest
+      in
+      ignore (check_expr e);
+      Some (find 0 q.Ast.select, dir))
+  in
+  (match q.Ast.limit with
+  | Some n when n < 0 -> error "limit must be non-negative"
+  | _ -> ());
+  { bindings; select; where = check_pred q.Ast.where; order_by; limit = q.Ast.limit }

@@ -1,0 +1,50 @@
+(** Schema-directed validation of parsed queries.
+
+    Resolves range variables to their element types, checks every
+    attribute chain against the schema (producing {!Gom.Path.t} values),
+    and rejects unbound variables, unknown names and ill-typed
+    comparisons. *)
+
+exception Check_error of string
+
+type rtype = Robj of Gom.Schema.type_name | Ratom of Gom.Schema.atomic
+
+type tsource =
+  | Extent of Gom.Schema.type_name
+      (** Range over the (deep) extent of a type. *)
+  | Named_set of Gom.Oid.t * Gom.Schema.type_name
+      (** Range over a persistent root collection; the type is the
+          element type. *)
+  | Via of { base : string; path : Gom.Path.t }
+      (** Range over the values reached from an earlier variable. *)
+
+type tpath = {
+  base : string;
+  path : Gom.Path.t option;  (** [None]: the variable itself. *)
+  rtype : rtype;
+}
+
+type texpr = TPath of tpath | TLit of Ast.lit
+
+type tpred =
+  | TTrue
+  | TCmp of Ast.cmp * texpr * texpr
+  | TIn of texpr * tpath
+  | TAnd of tpred * tpred
+  | TOr of tpred * tpred
+  | TNot of tpred
+
+type t = {
+  bindings : (string * tsource * Gom.Schema.type_name) list;
+      (** Variable, source, element type — in binding order. *)
+  select : texpr list;
+  where : tpred;
+  order_by : (int * Ast.order) option;
+      (** Resolved 0-based select column and direction. *)
+  limit : int option;
+}
+
+val check : Gom.Store.t -> Ast.query -> t
+(** @raise Check_error on any name, scope or type violation. *)
+
+val lit_value : Ast.lit -> Gom.Value.t

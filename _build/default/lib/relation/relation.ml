@@ -1,0 +1,132 @@
+module Tuple = Tuple
+module TSet = Set.Make (Tuple)
+
+type t = { width : int; tuples : TSet.t }
+
+type join_kind = Natural | Left_outer | Right_outer | Full_outer
+
+let empty width =
+  if width < 1 then invalid_arg "Relation.empty: width must be >= 1";
+  { width; tuples = TSet.empty }
+
+let check_width width tup =
+  if Array.length tup <> width then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple of width %d in relation of width %d"
+         (Array.length tup) width)
+
+let of_list ~width tuples =
+  List.iter (check_width width) tuples;
+  { width; tuples = TSet.of_list tuples }
+
+let to_list t = TSet.elements t.tuples
+let width t = t.width
+let cardinal t = TSet.cardinal t.tuples
+let mem t tup = TSet.mem tup t.tuples
+
+let add t tup =
+  check_width t.width tup;
+  { t with tuples = TSet.add tup t.tuples }
+
+let remove t tup = { t with tuples = TSet.remove tup t.tuples }
+
+let union a b =
+  if a.width <> b.width then invalid_arg "Relation.union: width mismatch";
+  { a with tuples = TSet.union a.tuples b.tuples }
+
+let filter t f = { t with tuples = TSet.filter f t.tuples }
+
+let equal a b = a.width = b.width && TSet.equal a.tuples b.tuples
+let subset a b = a.width = b.width && TSet.subset a.tuples b.tuples
+
+let project t cols =
+  List.iter
+    (fun c ->
+      if c < 0 || c >= t.width then invalid_arg "Relation.project: column out of range")
+    cols;
+  let width = List.length cols in
+  if width = 0 then invalid_arg "Relation.project: empty column list";
+  {
+    width;
+    tuples = TSet.fold (fun tup acc -> TSet.add (Tuple.project tup cols) acc) t.tuples TSet.empty;
+  }
+
+(* Key used for hashing join columns; with [null_equal] NULL keys take
+   part in matching, otherwise they are dangling by construction. *)
+let join ?(null_equal = false) kind a b =
+  let result_width = a.width + b.width - 1 in
+  let index : (Gom.Value.t, Tuple.t list ref) Hashtbl.t = Hashtbl.create 256 in
+  TSet.iter
+    (fun tup ->
+      let k = tup.(0) in
+      if null_equal || not (Gom.Value.is_null k) then
+        match Hashtbl.find_opt index k with
+        | Some r -> r := tup :: !r
+        | None -> Hashtbl.add index k (ref [ tup ]))
+    b.tuples;
+  let matched_right : (Tuple.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let out = ref TSet.empty in
+  let emit tup = out := TSet.add tup !out in
+  let keep_left = kind = Left_outer || kind = Full_outer in
+  let keep_right = kind = Right_outer || kind = Full_outer in
+  TSet.iter
+    (fun ltup ->
+      let k = ltup.(a.width - 1) in
+      let matches =
+        if null_equal || not (Gom.Value.is_null k) then
+          match Hashtbl.find_opt index k with Some r -> !r | None -> []
+        else []
+      in
+      match matches with
+      | [] ->
+        if keep_left then
+          emit (Tuple.concat_shared ltup (Array.make b.width Gom.Value.Null))
+      | _ ->
+        List.iter
+          (fun rtup ->
+            if keep_right then Hashtbl.replace matched_right rtup ();
+            emit (Tuple.concat_shared ltup rtup))
+          matches)
+    a.tuples;
+  if keep_right then
+    TSet.iter
+      (fun rtup ->
+        if not (Hashtbl.mem matched_right rtup) then
+          emit (Tuple.concat_shared (Array.make a.width Gom.Value.Null) rtup))
+      b.tuples;
+  { width = result_width; tuples = !out }
+
+let join_chain kind = function
+  | [] -> invalid_arg "Relation.join_chain: empty chain"
+  | first :: rest -> (
+    match kind with
+    | Right_outer ->
+      (* Right-associated: E0 |X (E1 |X (... |X En-1)), Definition 3.7. *)
+      let all = first :: rest in
+      (match List.rev all with
+      | last :: before ->
+        List.fold_left (fun acc r -> join Right_outer r acc) last before
+      | [] -> assert false)
+    | Natural | Left_outer | Full_outer ->
+      List.fold_left (fun acc r -> join kind acc r) first rest)
+
+let reconstruct = function
+  | [] -> invalid_arg "Relation.reconstruct: no partitions"
+  | first :: rest ->
+    (* A NULL boundary glues a suffix-truncated tuple to the all-NULL
+       padding of its own projections — but it would also glue it to an
+       unrelated prefix-truncated tuple, producing a value gap.  Genuine
+       extension tuples always have contiguous defined spans, so
+       discarding gapped (and finally all-NULL) results restores exactly
+       the original relation. *)
+    let joined =
+      List.fold_left
+        (fun acc r -> filter (join ~null_equal:true Natural acc r) Tuple.contiguous)
+        first rest
+    in
+    filter joined (fun tup -> Tuple.defined_span tup <> None)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun tup -> Format.fprintf ppf "%a@," Tuple.pp tup) (to_list t);
+  Format.fprintf ppf "@]"

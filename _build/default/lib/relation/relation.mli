@@ -1,0 +1,62 @@
+(** Relations over {!Tuple}s with the chain joins of the paper.
+
+    The paper composes auxiliary relations with the natural join and its
+    outer variants "on the last column of the first relation and the
+    first column of the second relation" (section 3).  The shared column
+    appears once in the result.  NULL never matches in these joins
+    (SQL semantics), which is exactly what makes the four extensions
+    differ.
+
+    {!reconstruct} additionally offers the null-{e equality} join needed
+    to verify losslessness of decompositions (Theorem 3.9): there, the
+    projections of a NULL-truncated tuple must glue back together. *)
+
+module Tuple : module type of Tuple
+(** Re-export: tuples of values (see [tuple.mli]). *)
+
+type t
+
+type join_kind = Natural | Left_outer | Right_outer | Full_outer
+
+val empty : int -> t
+(** The empty relation of the given width (>= 1). *)
+
+val of_list : width:int -> Tuple.t list -> t
+(** @raise Invalid_argument if some tuple has the wrong width. *)
+
+val to_list : t -> Tuple.t list
+(** Tuples in {!Tuple.compare} order. *)
+
+val width : t -> int
+val cardinal : t -> int
+val mem : t -> Tuple.t -> bool
+val add : t -> Tuple.t -> t
+val remove : t -> Tuple.t -> t
+val union : t -> t -> t
+val filter : t -> (Tuple.t -> bool) -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val project : t -> int list -> t
+(** Projection with duplicate elimination (relations are sets). *)
+
+val join : ?null_equal:bool -> join_kind -> t -> t -> t
+(** [join kind a b] joins [a]'s last column with [b]'s first column;
+    the result has width [width a + width b - 1].  Unmatched tuples are
+    padded with NULLs on the missing side according to [kind].  With
+    [~null_equal:true], NULL matches NULL (used only for
+    reconstruction). *)
+
+val join_chain : join_kind -> t list -> t
+(** Left-associated chain for [Natural], [Left_outer] and [Full_outer];
+    right-associated for [Right_outer] — matching Definitions 3.4-3.7.
+    @raise Invalid_argument on the empty list. *)
+
+val reconstruct : t list -> t
+(** Inverse of partition projection for lossless decompositions:
+    null-equality joins over the shared boundary columns, keeping only
+    results with contiguous defined spans (a NULL boundary would
+    otherwise also glue a suffix-truncated tuple to an unrelated
+    prefix-truncated one) and discarding the all-NULL artefact. *)
+
+val pp : Format.formatter -> t -> unit

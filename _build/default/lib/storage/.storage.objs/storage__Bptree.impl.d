@@ -1,0 +1,1 @@
+lib/storage/bptree.ml: Array Config Format Gom Int List Pager Stats

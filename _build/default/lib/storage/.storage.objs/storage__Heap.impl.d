@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Config Gom Hashtbl List Pager Stats

@@ -1,0 +1,519 @@
+type tuple = Gom.Value.t array
+
+let cmp_tuple (a : tuple) (b : tuple) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then Int.compare la lb
+    else
+      let c = Gom.Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+type entry = { tup : tuple; mutable count : int }
+
+type node = { page : int; mutable body : body }
+
+and body =
+  | Leaf of leaf
+  | Inner of inner
+
+and leaf = {
+  mutable entries : entry list; (* sorted by (key, tuple) *)
+  mutable next : node option;
+  mutable prev : node option;
+}
+
+and inner = { mutable children : (tuple * node) list }
+(* (separator, child): all entries of the child are >= separator (in
+   (key, tuple) order); the first separator is a lower bound only. *)
+
+type t = {
+  key_of : tuple -> Gom.Value.t;
+  leaf_cap : int;
+  inner_cap : int;
+  pager : Pager.t;
+  tuple_bytes : int;
+  mutable root : node;
+  mutable first_leaf : node;
+  mutable cardinal : int;
+}
+
+(* Entries are ordered by clustering key first, then by the whole tuple,
+   so duplicates of a key sit next to each other. *)
+let cmp_entry t a b =
+  let c = Gom.Value.compare (t.key_of a) (t.key_of b) in
+  if c <> 0 then c else cmp_tuple a b
+
+let new_leaf t =
+  { page = Pager.alloc t.pager; body = Leaf { entries = []; next = None; prev = None } }
+
+let create ~config ~pager ~tuple_bytes ~key_of =
+  if tuple_bytes <= 0 then invalid_arg "Bptree.create: tuple_bytes must be positive";
+  let leaf_cap = max 1 (config.Config.page_size / tuple_bytes) in
+  let inner_cap = max 2 (Config.bplus_fan config) in
+  let t =
+    {
+      key_of;
+      leaf_cap;
+      inner_cap;
+      pager;
+      tuple_bytes;
+      root = { page = Pager.alloc pager; body = Leaf { entries = []; next = None; prev = None } };
+      first_leaf = { page = 0; body = Leaf { entries = []; next = None; prev = None } };
+      cardinal = 0;
+    }
+  in
+  t.first_leaf <- t.root;
+  t
+
+let tuple_bytes t = t.tuple_bytes
+let cardinal t = t.cardinal
+
+let read stats page = match stats with Some s -> Stats.read s page | None -> ()
+let write stats page = match stats with Some s -> Stats.write s page | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Bulk loading                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+    let rec take k acc rest =
+      match rest with
+      | _ when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let c, rest = take n [] l in
+    c :: chunk n rest
+
+let bulk_load t tuples =
+  let sorted = List.sort (cmp_entry t) tuples in
+  (* Aggregate equal tuples into reference counts. *)
+  let entries =
+    List.fold_left
+      (fun acc tup ->
+        match acc with
+        | e :: _ when cmp_tuple e.tup tup = 0 ->
+          e.count <- e.count + 1;
+          acc
+        | _ -> { tup; count = 1 } :: acc)
+      [] sorted
+    |> List.rev
+  in
+  t.cardinal <- List.length entries;
+  match entries with
+  | [] ->
+    let leaf = new_leaf t in
+    t.root <- leaf;
+    t.first_leaf <- leaf
+  | _ ->
+    let leaves =
+      chunk t.leaf_cap entries
+      |> List.map (fun es ->
+             { page = Pager.alloc t.pager; body = Leaf { entries = es; next = None; prev = None } })
+    in
+    (* Chain the leaves. *)
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        (match (a.body, b.body) with
+        | Leaf la, Leaf lb ->
+          la.next <- Some b;
+          lb.prev <- Some a
+        | _ -> assert false);
+        link rest
+      | [ _ ] | [] -> ()
+    in
+    link leaves;
+    let min_of node =
+      match node.body with
+      | Leaf l -> (List.hd l.entries).tup
+      | Inner i -> fst (List.hd i.children)
+    in
+    let rec build level =
+      match level with
+      | [ single ] -> single
+      | _ ->
+        chunk t.inner_cap level
+        |> List.map (fun cs ->
+               {
+                 page = Pager.alloc t.pager;
+                 body = Inner { children = List.map (fun c -> (min_of c, c)) cs };
+               })
+        |> build
+    in
+    t.first_leaf <- List.hd leaves;
+    t.root <- build leaves
+
+(* ------------------------------------------------------------------ *)
+(* Descent                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the last child whose separator satisfies [before] (i.e. is
+   strictly on the left of the target); default to the first child. *)
+let route ~before children =
+  match children with
+  | [] -> invalid_arg "Bptree.route: inner node without children"
+  | (_, first) :: rest ->
+    List.fold_left (fun acc (sep, child) -> if before sep then child else acc) first rest
+
+(* ------------------------------------------------------------------ *)
+(* Insert                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec insert_entries t tup = function
+  | [] -> ([ { tup; count = 1 } ], true)
+  | e :: rest as all ->
+    let c = cmp_entry t tup e.tup in
+    if c = 0 then begin
+      e.count <- e.count + 1;
+      (all, false)
+    end
+    else if c < 0 then ({ tup; count = 1 } :: all, true)
+    else
+      let rest', fresh = insert_entries t tup rest in
+      (e :: rest', fresh)
+
+let split_list l =
+  let len = List.length l in
+  let k = (len + 1) / 2 in
+  let rec go i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (i - 1) (x :: acc) rest
+  in
+  go k [] l
+
+let insert ?stats t tup =
+  (* Returns [Some (separator, new_right_sibling)] when the visited node
+     split. *)
+  let rec go node =
+    read stats node.page;
+    match node.body with
+    | Leaf l ->
+      let entries, fresh = insert_entries t tup l.entries in
+      l.entries <- entries;
+      if fresh then t.cardinal <- t.cardinal + 1;
+      write stats node.page;
+      if List.length l.entries <= t.leaf_cap then None
+      else begin
+        let left, right = split_list l.entries in
+        let rnode =
+          { page = Pager.alloc t.pager; body = Leaf { entries = right; next = l.next; prev = Some node } }
+        in
+        (match l.next with
+        | Some nx -> ( match nx.body with Leaf ln -> ln.prev <- Some rnode | Inner _ -> ())
+        | None -> ());
+        l.entries <- left;
+        l.next <- Some rnode;
+        write stats rnode.page;
+        Some ((List.hd right).tup, rnode)
+      end
+    | Inner i ->
+      let child = route ~before:(fun sep -> cmp_entry t sep tup <= 0) i.children in
+      (match go child with
+      | None -> None
+      | Some (sep, rnode) ->
+        (* Insert the new sibling right after [child]. *)
+        let rec add = function
+          | [] -> assert false
+          | (s, c) :: rest when c == child -> (s, c) :: (sep, rnode) :: rest
+          | x :: rest -> x :: add rest
+        in
+        i.children <- add i.children;
+        write stats node.page;
+        if List.length i.children <= t.inner_cap then None
+        else begin
+          let left, right = split_list i.children in
+          let rnode' = { page = Pager.alloc t.pager; body = Inner { children = right } } in
+          i.children <- left;
+          write stats rnode'.page;
+          Some (fst (List.hd right), rnode')
+        end)
+  in
+  match go t.root with
+  | None -> ()
+  | Some (sep, rnode) ->
+    let old_min =
+      match t.root.body with
+      | Leaf l -> ( match l.entries with e :: _ -> e.tup | [] -> sep)
+      | Inner i -> fst (List.hd i.children)
+    in
+    let new_root =
+      { page = Pager.alloc t.pager; body = Inner { children = [ (old_min, t.root); (sep, rnode) ] } }
+    in
+    write stats new_root.page;
+    t.root <- new_root
+
+(* ------------------------------------------------------------------ *)
+(* Remove                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let unlink_leaf t node l =
+  (match l.prev with
+  | Some p -> ( match p.body with Leaf lp -> lp.next <- l.next | Inner _ -> ())
+  | None -> ( match l.next with Some nx -> t.first_leaf <- nx | None -> ()));
+  match l.next with
+  | Some nx -> ( match nx.body with Leaf ln -> ln.prev <- l.prev | Inner _ -> ())
+  | None ->
+    ();
+    ignore node
+
+let remove ?stats t tup =
+  (* Returns true when the visited child became empty and was disposed. *)
+  let rec go ~is_root node =
+    read stats node.page;
+    match node.body with
+    | Leaf l ->
+      let found = ref false in
+      let entries =
+        List.filter_map
+          (fun e ->
+            if (not !found) && cmp_entry t tup e.tup = 0 then begin
+              found := true;
+              e.count <- e.count - 1;
+              if e.count <= 0 then begin
+                t.cardinal <- t.cardinal - 1;
+                None
+              end
+              else Some e
+            end
+            else Some e)
+          l.entries
+      in
+      if !found then begin
+        l.entries <- entries;
+        write stats node.page
+      end;
+      if entries = [] && not is_root then begin
+        unlink_leaf t node l;
+        true
+      end
+      else false
+    | Inner i ->
+      let child = route ~before:(fun sep -> cmp_entry t sep tup <= 0) i.children in
+      let gone = go ~is_root:false child in
+      if gone then begin
+        i.children <- List.filter (fun (_, c) -> not (c == child)) i.children;
+        write stats node.page
+      end;
+      if i.children = [] && not is_root then true
+      else begin
+        (* Collapse a root with a single child. *)
+        if is_root then begin
+          let rec collapse () =
+            match t.root.body with
+            | Inner { children = [ (_, only) ] } ->
+              t.root <- only;
+              collapse ()
+            | Inner { children = [] } ->
+              let leaf = new_leaf t in
+              t.root <- leaf;
+              t.first_leaf <- leaf
+            | Inner _ | Leaf _ -> ()
+          in
+          collapse ()
+        end;
+        false
+      end
+  in
+  ignore (go ~is_root:true t.root)
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / scans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec descend_for_key ?stats t key node =
+  read stats node.page;
+  match node.body with
+  | Leaf _ -> node
+  | Inner i ->
+    let child =
+      route ~before:(fun sep -> Gom.Value.compare (t.key_of sep) key < 0) i.children
+    in
+    descend_for_key ?stats t key child
+
+let lookup ?stats t key =
+  let leaf = descend_for_key ?stats t key t.root in
+  let acc = ref [] in
+  let rec walk node ~charged =
+    match node.body with
+    | Inner _ -> ()
+    | Leaf l ->
+      if not charged then read stats node.page;
+      List.iter
+        (fun e ->
+          if Gom.Value.compare (t.key_of e.tup) key = 0 then acc := e.tup :: !acc)
+        l.entries;
+      (* The run may extend into the next leaf as long as this leaf
+         holds no entry beyond the key (duplicate runs can start exactly
+         at a leaf boundary, so an empty prefix is not a stop). *)
+      let continue_right =
+        match List.rev l.entries with
+        | [] -> true
+        | last :: _ -> Gom.Value.compare (t.key_of last.tup) key <= 0
+      in
+      if continue_right then
+        match l.next with Some nx -> walk nx ~charged:false | None -> ()
+  in
+  (* The descent already read the first leaf page. *)
+  walk leaf ~charged:true;
+  List.rev !acc
+
+let find_entry t tup =
+  let key = t.key_of tup in
+  let rec walk node =
+    match node.body with
+    | Inner _ -> None
+    | Leaf l -> (
+      match List.find_opt (fun e -> cmp_tuple e.tup tup = 0) l.entries with
+      | Some e -> Some e
+      | None ->
+        let past =
+          List.exists (fun e -> cmp_entry t e.tup tup > 0) l.entries
+        in
+        if past then None
+        else ( match l.next with Some nx -> walk nx | None -> None))
+  in
+  walk (descend_for_key t key t.root)
+
+let mem t tup = find_entry t tup <> None
+
+let refcount t tup = match find_entry t tup with Some e -> e.count | None -> 0
+
+let iter ?stats t f =
+  let rec walk node =
+    match node.body with
+    | Inner _ -> ()
+    | Leaf l ->
+      if l.entries <> [] then begin
+        read stats node.page;
+        List.iter (fun e -> f e.tup) l.entries
+      end;
+      ( match l.next with Some nx -> walk nx | None -> ())
+  in
+  walk t.first_leaf
+
+let scan ?stats t =
+  let acc = ref [] in
+  iter ?stats t (fun tup -> acc := tup :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Geometry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let height t =
+  let rec go acc node =
+    match node.body with Leaf _ -> acc | Inner i -> go (acc + 1) (snd (List.hd i.children))
+  in
+  max 1 (go 0 t.root)
+
+let leaf_pages t =
+  let n = ref 0 in
+  let rec walk node =
+    match node.body with
+    | Inner _ -> ()
+    | Leaf l ->
+      if l.entries <> [] then incr n;
+      ( match l.next with Some nx -> walk nx | None -> ())
+  in
+  walk t.first_leaf;
+  max 1 !n
+
+let inner_pages t =
+  let rec go node =
+    match node.body with
+    | Leaf _ -> 0
+    | Inner i -> 1 + List.fold_left (fun acc (_, c) -> acc + go c) 0 i.children
+  in
+  max 1 (go t.root)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (test support)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec collect_leaves node =
+    match node.body with
+    | Leaf _ -> [ node ]
+    | Inner i -> List.concat_map (fun (_, c) -> collect_leaves c) i.children
+  in
+  (* [lo] / [hi] bound every entry of the subtree: lo <= e < hi.  The
+     first child of each inner node inherits its parent's lower bound
+     (its own separator is informative only). *)
+  let rec check_node ~lo ~hi node =
+    match node.body with
+    | Leaf l ->
+      if List.length l.entries > t.leaf_cap then
+        fail "leaf %d over capacity (%d > %d)" node.page (List.length l.entries)
+          t.leaf_cap
+      else
+        let in_bounds e =
+          (match lo with Some b -> cmp_entry t e.tup b >= 0 | None -> true)
+          && (match hi with Some b -> cmp_entry t e.tup b < 0 | None -> true)
+        in
+        if not (List.for_all in_bounds l.entries) then
+          fail "leaf %d violates separator bounds" node.page
+        else
+          let rec sorted = function
+            | a :: (b :: _ as rest) ->
+              if cmp_entry t a.tup b.tup >= 0 then
+                fail "leaf %d entries out of order" node.page
+              else sorted rest
+            | [ _ ] | [] -> Ok ()
+          in
+          sorted l.entries
+    | Inner i ->
+      if i.children = [] then fail "inner %d has no children" node.page
+      else if List.length i.children > t.inner_cap then
+        fail "inner %d over capacity" node.page
+      else
+        let rec go ~first ~lo children =
+          match children with
+          | [] -> Ok ()
+          | (sep, child) :: rest ->
+            let child_lo = if first then lo else Some sep in
+            let child_hi =
+              match rest with (next_sep, _) :: _ -> Some next_sep | [] -> hi
+            in
+            (match check_node ~lo:child_lo ~hi:child_hi child with
+            | Error _ as e -> e
+            | Ok () -> go ~first:false ~lo rest)
+        in
+        go ~first:true ~lo i.children
+  in
+  match check_node ~lo:None ~hi:None t.root with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Leaves reachable from the root must equal the chain. *)
+    let tree_leaves = collect_leaves t.root in
+    let rec chain node acc =
+      match node.body with
+      | Inner _ -> List.rev acc
+      | Leaf l -> ( match l.next with Some nx -> chain nx (node :: acc) | None -> List.rev (node :: acc))
+    in
+    let chain_leaves = chain t.first_leaf [] in
+    if List.length tree_leaves <> List.length chain_leaves then
+      fail "leaf chain length %d differs from tree leaves %d" (List.length chain_leaves)
+        (List.length tree_leaves)
+    else if not (List.for_all2 (fun a b -> a == b) tree_leaves chain_leaves) then
+      fail "leaf chain order differs from tree order"
+    else
+      let all = List.concat_map (fun n -> match n.body with Leaf l -> l.entries | Inner _ -> []) tree_leaves in
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          if cmp_entry t a.tup b.tup >= 0 then fail "entries out of global order"
+          else sorted rest
+        | [ _ ] | [] -> Ok ()
+      in
+      (match sorted all with
+      | Error _ as e -> e
+      | Ok () ->
+        if List.length all <> t.cardinal then
+          fail "cardinal %d does not match entry count %d" t.cardinal (List.length all)
+        else if List.exists (fun e -> e.count <= 0) all then fail "non-positive refcount"
+        else Ok ())

@@ -1,0 +1,85 @@
+(** Page-structured B+ trees over access-support-relation tuples.
+
+    Following Valduriez's join-index storage (paper, section 5.2), each
+    access support relation partition is kept in two redundant B+ trees,
+    one clustered on the first attribute and one on the last.  This
+    module implements one such tree: keys are {!Gom.Value.t} (an OID or,
+    for the final column of a path ending in an elementary type, an
+    atomic value); payloads are whole partition tuples.
+
+    The tree is genuinely page-structured: inner nodes hold up to
+    {!Config.bplus_fan} children (each child reference costs a page
+    pointer plus a separator), leaves hold as many tuples as fit in a
+    page given the tuple width.  All traversals report the pages they
+    touch to a {!Stats.t}, which is how query and update costs are
+    measured.
+
+    Duplicate tuples are reference-counted: a decomposition partition is
+    the {e projection} of the extension, so the same projected tuple can
+    be contributed by several extension tuples (Definition 3.8). *)
+
+type t
+
+type tuple = Gom.Value.t array
+
+val create :
+  config:Config.t ->
+  pager:Pager.t ->
+  tuple_bytes:int ->
+  key_of:(tuple -> Gom.Value.t) ->
+  t
+(** [create ~config ~pager ~tuple_bytes ~key_of] builds an empty tree.
+    [tuple_bytes] is the stored size of one tuple (the paper's
+    [ats = OIDsize * width]); [key_of] extracts the clustering key
+    (first or last column). *)
+
+val bulk_load : t -> tuple list -> unit
+(** Replace the contents with the given tuples (each with reference
+    count 1 per occurrence in the list; duplicates accumulate counts).
+    Leaves are packed full, as after an index build. *)
+
+val insert : ?stats:Stats.t -> t -> tuple -> unit
+(** Add one reference to [tuple], descending from the root.  Page
+    accounting: inner pages on the descent are read, the leaf is read
+    and written, splits write the new pages and the affected parents. *)
+
+val remove : ?stats:Stats.t -> t -> tuple -> unit
+(** Drop one reference to [tuple]; the entry disappears when its count
+    reaches zero.  Unknown tuples are ignored.  Leaves may become
+    under-full (lazy deletion); empty leaves are unlinked. *)
+
+val lookup : ?stats:Stats.t -> t -> Gom.Value.t -> tuple list
+(** All tuples whose key equals the argument (each listed once,
+    whatever its reference count), in tuple order.  Accounting: the
+    descent reads the inner pages, then every leaf page holding a
+    matching entry. *)
+
+val mem : t -> tuple -> bool
+
+val refcount : t -> tuple -> int
+
+val scan : ?stats:Stats.t -> t -> tuple list
+(** All tuples in key order, reading every leaf page (the "inspect all
+    pages of the partition" case of the paper's cost formulas — inner
+    pages are not needed for a full scan). *)
+
+val iter : ?stats:Stats.t -> t -> (tuple -> unit) -> unit
+
+val cardinal : t -> int
+(** Number of distinct tuples (the paper's [#E]). *)
+
+val height : t -> int
+(** Levels above the leaves, at least 1 (a root-only tree has height 1);
+    the paper's [ht]. *)
+
+val leaf_pages : t -> int
+(** Number of leaf pages; the paper's [ap]. *)
+
+val inner_pages : t -> int
+(** Number of non-leaf pages; the paper's [pg]. *)
+
+val tuple_bytes : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Structural check used by the test suite: ordering within and across
+    leaves, capacity bounds, separator consistency, leaf chaining. *)

@@ -1,0 +1,11 @@
+type t = { page_size : int; oid_size : int; pp_size : int }
+
+let default = { page_size = 4056; oid_size = 8; pp_size = 4 }
+
+let bplus_fan t = t.page_size / (t.pp_size + t.oid_size)
+
+let make ?(page_size = default.page_size) ?(oid_size = default.oid_size)
+    ?(pp_size = default.pp_size) () =
+  if page_size <= 0 || oid_size <= 0 || pp_size <= 0 then
+    invalid_arg "Config.make: sizes must be positive";
+  { page_size; oid_size; pp_size }

@@ -1,0 +1,16 @@
+(** System-specific storage parameters (paper, Figure 3, bottom part). *)
+
+type t = {
+  page_size : int;  (** Net size of pages in bytes; paper default 4056. *)
+  oid_size : int;  (** Size of object identifiers; paper default 8. *)
+  pp_size : int;  (** Size of a page pointer; paper default 4. *)
+}
+
+val default : t
+(** [{ page_size = 4056; oid_size = 8; pp_size = 4 }]. *)
+
+val bplus_fan : t -> int
+(** Fan-out of B+ trees: [page_size / (pp_size + oid_size)] = 338 with
+    the defaults. *)
+
+val make : ?page_size:int -> ?oid_size:int -> ?pp_size:int -> unit -> t

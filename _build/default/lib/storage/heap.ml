@@ -1,0 +1,111 @@
+type placement = { first : int; span : int }
+
+type area = {
+  mutable pages : int list; (* reverse order of allocation *)
+  mutable used_slots : int; (* slots used on the last page *)
+}
+
+type t = {
+  config : Config.t;
+  pager : Pager.t;
+  size_of : Gom.Schema.type_name -> int;
+  store : Gom.Store.t;
+  placements : (Gom.Oid.t, placement) Hashtbl.t;
+  areas : (Gom.Schema.type_name, area) Hashtbl.t;
+}
+
+let objects_per_page t ty = max 1 (t.config.Config.page_size / max 1 (t.size_of ty))
+
+let area t ty =
+  match Hashtbl.find_opt t.areas ty with
+  | Some a -> a
+  | None ->
+    let a = { pages = []; used_slots = 0 } in
+    Hashtbl.add t.areas ty a;
+    a
+
+let place t oid =
+  let ty = Gom.Store.type_of t.store oid in
+  let size = max 1 (t.size_of ty) in
+  let a = area t ty in
+  if size > t.config.Config.page_size then begin
+    (* Large object: spans dedicated consecutive pages. *)
+    let span = (size + t.config.Config.page_size - 1) / t.config.Config.page_size in
+    let first = Pager.alloc t.pager in
+    for _ = 2 to span do
+      ignore (Pager.alloc t.pager)
+    done;
+    a.pages <- first :: a.pages;
+    a.used_slots <- objects_per_page t ty (* force a fresh page next time *);
+    Hashtbl.replace t.placements oid { first; span }
+  end
+  else begin
+    let opp = objects_per_page t ty in
+    let page =
+      match a.pages with
+      | p :: _ when a.used_slots < opp ->
+        a.used_slots <- a.used_slots + 1;
+        p
+      | _ ->
+        let p = Pager.alloc t.pager in
+        a.pages <- p :: a.pages;
+        a.used_slots <- 1;
+        p
+    in
+    Hashtbl.replace t.placements oid { first = page; span = 1 }
+  end
+
+let create ?(config = Config.default) ?(pager = Pager.create ()) ~size_of store =
+  let t =
+    {
+      config;
+      pager;
+      size_of;
+      store;
+      placements = Hashtbl.create 1024;
+      areas = Hashtbl.create 32;
+    }
+  in
+  Gom.Store.fold_objects store ~init:() ~f:(fun () inst ->
+      place t (Gom.Instance.oid inst));
+  Gom.Store.subscribe store (function
+    | Gom.Store.Created oid -> place t oid
+    | Gom.Store.Deleted { obj = oid; _ } -> Hashtbl.remove t.placements oid
+    | Gom.Store.Attr_set _ | Gom.Store.Set_inserted _ | Gom.Store.Set_removed _ -> ());
+  t
+
+let config t = t.config
+
+let placement t oid =
+  match Hashtbl.find_opt t.placements oid with
+  | Some p -> p
+  | None -> raise Not_found
+
+let page_of t oid = (placement t oid).first
+
+let read_object t stats oid =
+  let p = placement t oid in
+  for i = 0 to p.span - 1 do
+    Stats.read stats (p.first + i)
+  done
+
+let write_object t stats oid =
+  let p = placement t oid in
+  for i = 0 to p.span - 1 do
+    Stats.write stats (p.first + i)
+  done
+
+let type_pages t ty =
+  match Hashtbl.find_opt t.areas ty with Some a -> a.pages | None -> []
+
+let pages_of_type ?(deep = false) t ty =
+  let tys =
+    if deep then Gom.Schema.subtypes_closure (Gom.Store.schema t.store) ty else [ ty ]
+  in
+  max 1 (List.fold_left (fun acc ty -> acc + List.length (type_pages t ty)) 0 tys)
+
+let scan_extent ?(deep = false) t stats ty =
+  let tys =
+    if deep then Gom.Schema.subtypes_closure (Gom.Store.schema t.store) ty else [ ty ]
+  in
+  List.iter (fun ty -> List.iter (Stats.read stats) (type_pages t ty)) tys

@@ -1,0 +1,43 @@
+(** Type-clustered object pages.
+
+    "We generally assume that objects are clustered dependent on their
+    type" (paper, section 5.5): objects of type [ti] are packed
+    [opp_i = PageSize / size_i] to a page.  This module assigns a page to
+    every object of a {!Gom.Store.t} as it is created and charges page
+    reads/writes to a {!Stats.t} when objects are accessed, giving the
+    executable counterpart of the model's [op_i] and Yao-style scan
+    costs. *)
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?pager:Pager.t ->
+  size_of:(Gom.Schema.type_name -> int) ->
+  Gom.Store.t ->
+  t
+(** [create ~size_of store] lays out all existing objects and subscribes
+    to the store so future objects get pages too.  [size_of] gives the
+    average object size per type (the paper's [size_i]); objects larger
+    than a page span several consecutive pages. *)
+
+val config : t -> Config.t
+
+val page_of : t -> Gom.Oid.t -> int
+(** First page of the object.  @raise Not_found for unknown objects. *)
+
+val read_object : t -> Stats.t -> Gom.Oid.t -> unit
+(** Charge the page reads needed to fetch the object. *)
+
+val write_object : t -> Stats.t -> Gom.Oid.t -> unit
+(** Charge the page writes for storing the object back. *)
+
+val pages_of_type : ?deep:bool -> t -> Gom.Schema.type_name -> int
+(** Number of pages the extent occupies (the paper's [op_i]).  At least
+    1 when asking about a defined type, mirroring ceil semantics. *)
+
+val objects_per_page : t -> Gom.Schema.type_name -> int
+(** The paper's [opp_i]. *)
+
+val scan_extent : ?deep:bool -> t -> Stats.t -> Gom.Schema.type_name -> unit
+(** Charge reads for every page of the extent (exhaustive search). *)

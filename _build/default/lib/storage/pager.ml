@@ -1,0 +1,10 @@
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let alloc t =
+  let p = t.next in
+  t.next <- p + 1;
+  p
+
+let allocated t = t.next

@@ -1,0 +1,12 @@
+(** Allocator of simulated page identifiers.  Pages carry no bytes in
+    this simulator; identity is all the cost model needs. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int
+(** A fresh page identifier, unique within this pager. *)
+
+val allocated : t -> int
+(** Number of pages allocated so far. *)

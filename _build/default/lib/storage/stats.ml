@@ -1,0 +1,103 @@
+(* LRU pool: page -> last-use stamp; eviction scans for the minimum
+   stamp (capacities are small, misses dominate the scan cost). *)
+type buffer = {
+  capacity : int;
+  pages : (int, int) Hashtbl.t;
+  mutable clock : int;
+}
+
+type t = {
+  mutable op_reads : int;
+  mutable op_writes : int;
+  mutable total_reads : int;
+  mutable total_writes : int;
+  mutable hits : int;
+  touched_r : (int, unit) Hashtbl.t;
+  touched_w : (int, unit) Hashtbl.t;
+  buffer : buffer option;
+}
+
+let create ?(buffer_capacity = 0) () =
+  {
+    op_reads = 0;
+    op_writes = 0;
+    total_reads = 0;
+    total_writes = 0;
+    hits = 0;
+    touched_r = Hashtbl.create 256;
+    touched_w = Hashtbl.create 64;
+    buffer =
+      (if buffer_capacity > 0 then
+         Some { capacity = buffer_capacity; pages = Hashtbl.create (2 * buffer_capacity); clock = 0 }
+       else None);
+  }
+
+let begin_op t =
+  t.op_reads <- 0;
+  t.op_writes <- 0;
+  Hashtbl.reset t.touched_r;
+  Hashtbl.reset t.touched_w
+
+let buffer_touch b page =
+  b.clock <- b.clock + 1;
+  Hashtbl.replace b.pages page b.clock
+
+let buffer_admit b page =
+  if not (Hashtbl.mem b.pages page) then begin
+    if Hashtbl.length b.pages >= b.capacity then begin
+      (* Evict the least recently used page. *)
+      let victim = ref None in
+      Hashtbl.iter
+        (fun p stamp ->
+          match !victim with
+          | Some (_, s) when s <= stamp -> ()
+          | _ -> victim := Some (p, stamp))
+        b.pages;
+      match !victim with Some (p, _) -> Hashtbl.remove b.pages p | None -> ()
+    end
+  end;
+  buffer_touch b page
+
+let read t page =
+  let buffered =
+    match t.buffer with
+    | Some b when Hashtbl.mem b.pages page ->
+      buffer_touch b page;
+      true
+    | Some _ | None -> false
+  in
+  if buffered then t.hits <- t.hits + 1
+  else if not (Hashtbl.mem t.touched_r page) then begin
+    Hashtbl.add t.touched_r page ();
+    t.op_reads <- t.op_reads + 1;
+    t.total_reads <- t.total_reads + 1;
+    match t.buffer with Some b -> buffer_admit b page | None -> ()
+  end
+
+let write t page =
+  if not (Hashtbl.mem t.touched_w page) then begin
+    Hashtbl.add t.touched_w page ();
+    t.op_writes <- t.op_writes + 1;
+    t.total_writes <- t.total_writes + 1
+  end;
+  match t.buffer with Some b -> buffer_admit b page | None -> ()
+
+let op_reads t = t.op_reads
+let op_writes t = t.op_writes
+let op_accesses t = t.op_reads + t.op_writes
+let total_reads t = t.total_reads
+let total_writes t = t.total_writes
+let total_accesses t = t.total_reads + t.total_writes
+let buffer_hits t = t.hits
+let buffer_capacity t = match t.buffer with Some b -> b.capacity | None -> 0
+
+let reset t =
+  begin_op t;
+  t.total_reads <- 0;
+  t.total_writes <- 0;
+  t.hits <- 0;
+  match t.buffer with
+  | Some b ->
+    Hashtbl.reset b.pages;
+    b.clock <- 0
+  | None -> ()

@@ -1,0 +1,58 @@
+(** Secondary-storage page-access accounting.
+
+    The paper's entire cost model is expressed in numbers of page
+    accesses on secondary storage ("we will neglect the CPU cost and
+    merely compare the number of page accesses", section 5.6).  A
+    [Stats.t] counts, per operation, the number of {e distinct} pages
+    read and written — the same accounting Yao's formula assumes (a page
+    holding several needed objects is fetched once).
+
+    Optionally, a [Stats.t] carries an LRU buffer pool of a given
+    capacity: pages resident in the buffer are served without being
+    counted, {e across} operations.  The paper's model corresponds to
+    capacity 0 (every operation starts cold); the buffered mode is used
+    by the warm-cache ablation experiment. *)
+
+type t
+
+val create : ?buffer_capacity:int -> unit -> t
+(** [create ()] counts cold, per-operation distinct accesses.  With
+    [~buffer_capacity:n > 0], an LRU pool of [n] pages absorbs repeated
+    reads across operations. *)
+
+val begin_op : t -> unit
+(** Start a new operation: resets the per-operation distinct-page sets
+    and counters.  Cumulative totals and buffer contents are
+    preserved. *)
+
+val read : t -> int -> unit
+(** Record a read of the given page; counted once per operation, and
+    not at all when the page sits in the buffer pool. *)
+
+val write : t -> int -> unit
+(** Record a write of the given page; counted once per operation
+    (independently of reads of the same page).  Written pages enter the
+    buffer (write-through). *)
+
+val op_reads : t -> int
+(** Distinct pages read from storage since the last {!begin_op}. *)
+
+val op_writes : t -> int
+
+val op_accesses : t -> int
+(** [op_reads + op_writes]. *)
+
+val total_reads : t -> int
+(** Cumulative distinct-per-operation reads over all operations. *)
+
+val total_writes : t -> int
+
+val total_accesses : t -> int
+
+val buffer_hits : t -> int
+(** Reads served from the buffer pool (0 without a buffer). *)
+
+val buffer_capacity : t -> int
+
+val reset : t -> unit
+(** Clears everything, including totals and the buffer pool. *)

@@ -1,0 +1,1 @@
+lib/workload/autodesign.ml: Core Costmodel Gom List Profiler

@@ -1,0 +1,1 @@
+lib/workload/autodesign.mli: Core Costmodel Gom

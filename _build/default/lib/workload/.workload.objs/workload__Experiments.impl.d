@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Core Costmodel Generator Gom List Printf Schemas Storage String Table

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Costmodel Float Fun Gom Hashtbl List Printf Random

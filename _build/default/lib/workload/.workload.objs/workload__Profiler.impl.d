@@ -1,0 +1,1 @@
+lib/workload/profiler.ml: Costmodel Fun Gom Hashtbl List Option String

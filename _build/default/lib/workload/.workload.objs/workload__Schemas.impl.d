@@ -1,0 +1,1 @@
+lib/workload/schemas.ml: Gom List

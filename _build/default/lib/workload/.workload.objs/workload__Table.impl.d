@@ -1,0 +1,1 @@
+lib/workload/table.ml: Buffer Float Format List Printf String

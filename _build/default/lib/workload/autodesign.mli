@@ -1,0 +1,34 @@
+(** From recommendation to index: apply an {!Costmodel.Advisor} design
+    to a live object base.
+
+    The analytical model works on object positions (its [m = n]
+    simplification); physical access support relations are decomposed
+    over {e columns}, which include the set-OID columns of collection
+    occurrences.  This module performs the position→column mapping and
+    materialises the recommended relation, completing the
+    measure → recommend → apply loop of the paper's conclusion. *)
+
+val physical_decomposition : Gom.Path.t -> Core.Decomposition.t -> Core.Decomposition.t
+(** Map an analytic decomposition (boundaries are object positions,
+    [m = n]) onto the path's physical columns ([m = n + k]).
+    @raise Invalid_argument if the decomposition is not over [n]. *)
+
+val apply :
+  ?pool:Core.Asr.pool ->
+  Gom.Store.t ->
+  Gom.Path.t ->
+  Costmodel.Opmix.design ->
+  Core.Asr.t option
+(** Materialise the design over the base ([None] for
+    {!Costmodel.Opmix.No_support}). *)
+
+val auto :
+  ?max_storage_pages:float ->
+  ?sizes:(Gom.Schema.type_name -> int) ->
+  Gom.Store.t ->
+  Gom.Path.t ->
+  Costmodel.Opmix.t ->
+  p_up:float ->
+  Costmodel.Advisor.ranked * Core.Asr.t option
+(** Measure the base's profile, rank all designs for the mix, and
+    materialise the winner. *)

@@ -1,0 +1,30 @@
+(** One experiment per evaluation figure of the paper, plus two
+    model-validation experiments that cross-check the analytical cost
+    model against the executable page-level simulation.
+
+    Each experiment regenerates the data series behind a figure with the
+    paper's own application characteristics (encoded verbatim, except
+    for the documented [d2 = 8000 -> 800] typo fix in the section 5.9
+    profiles).  DESIGN.md carries the experiment index; EXPERIMENTS.md
+    records paper-vs-measured shapes. *)
+
+type t = {
+  id : string;  (** ["fig4"] ... ["fig17"], ["val1"], ["val2"]. *)
+  title : string;
+  section : string;  (** Paper section. *)
+  run : unit -> Table.t list;
+}
+
+val all : t list
+(** In paper order. *)
+
+val find : string -> t option
+
+val run_and_render : Format.formatter -> t -> unit
+
+val profile_storage : Costmodel.Profile.t
+(** Section 4.4.1's application characteristics (also sections 6.3.1 and
+    6.4.2). *)
+
+val profile_query : Costmodel.Profile.t
+(** Section 5.9.1's characteristics (with the [d2] typo fixed). *)

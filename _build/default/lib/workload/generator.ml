@@ -1,0 +1,163 @@
+type level = {
+  count : int;
+  defined : int;
+  fan : int;
+  set_valued : bool;
+  size : int;
+}
+
+type spec = { levels : level list; seed : int }
+
+let n s = List.length s.levels - 1
+
+let spec ?(seed = 42) ?sizes ?set_valued ~counts ~defined ~fan () =
+  let levels = List.length counts in
+  if levels < 2 then invalid_arg "Generator.spec: need at least two levels";
+  let nn = levels - 1 in
+  if List.length defined <> nn || List.length fan <> nn then
+    invalid_arg "Generator.spec: defined/fan must have n entries";
+  let sizes = match sizes with None -> List.init levels (fun _ -> 100) | Some s -> s in
+  if List.length sizes <> levels then invalid_arg "Generator.spec: sizes must have n+1 entries";
+  let set_valued =
+    match set_valued with
+    | Some l ->
+      if List.length l <> nn then invalid_arg "Generator.spec: set_valued must have n entries";
+      l
+    | None -> List.map (fun f -> f > 1) fan
+  in
+  let levels =
+    List.mapi
+      (fun i count ->
+        let defined = if i < nn then List.nth defined i else 0 in
+        let fan = if i < nn then List.nth fan i else 1 in
+        let sv = if i < nn then List.nth set_valued i else false in
+        let size = List.nth sizes i in
+        if count < 1 then invalid_arg "Generator.spec: counts must be >= 1";
+        if defined < 0 || defined > count then
+          invalid_arg "Generator.spec: defined_i must be in [0, count_i]";
+        if i < nn && fan < 1 then invalid_arg "Generator.spec: fan must be >= 1";
+        if (not sv) && i < nn && fan > 1 then
+          invalid_arg "Generator.spec: fan > 1 requires a set-valued attribute";
+        if size < 1 then invalid_arg "Generator.spec: sizes must be >= 1";
+        { count; defined; fan; set_valued = sv; size })
+      counts
+  in
+  { levels; seed }
+
+let of_profile ?(seed = 42) ?(scale = 1.0) ?set_valued p =
+  let nn = Costmodel.Profile.n p in
+  let scale_count x = max 1 (int_of_float (Float.round (x *. scale))) in
+  let counts = List.init (nn + 1) (fun i -> scale_count (Costmodel.Profile.c p i)) in
+  let defined =
+    List.init nn (fun i ->
+        min (List.nth counts i) (scale_count (Costmodel.Profile.d p i)))
+  in
+  let fan =
+    List.init nn (fun i ->
+        max 1 (int_of_float (Float.round (Costmodel.Profile.fan p i))))
+  in
+  let sizes =
+    List.init (nn + 1) (fun i ->
+        max 1 (int_of_float (Float.round (Costmodel.Profile.size p i))))
+  in
+  spec ~seed ~sizes ?set_valued ~counts ~defined ~fan ()
+
+let tname i = Printf.sprintf "T%d" i
+let sname i = Printf.sprintf "SET%d" i
+let aname i = Printf.sprintf "A%d" i
+
+let schema_of s =
+  let nn = n s in
+  let rec go schema i =
+    if i < 0 then schema
+    else
+      let schema =
+        if i < nn then
+          let lvl = List.nth s.levels i in
+          let range = if lvl.set_valued then sname (i + 1) else tname (i + 1) in
+          let schema =
+            if lvl.set_valued then Gom.Schema.define_set schema (sname (i + 1)) (tname (i + 1))
+            else schema
+          in
+          Gom.Schema.define_tuple schema (tname i)
+            [ (aname (i + 1), range); ("Tag", "STRING") ]
+        else Gom.Schema.define_tuple schema (tname i) [ ("Tag", "STRING") ]
+      in
+      go schema (i - 1)
+  in
+  go Gom.Schema.empty nn
+
+let size_of s ty =
+  let nn = n s in
+  let rec find i =
+    if i > nn then
+      (* Set instances: a small footprint proportional to fan. *)
+      let rec findset i =
+        if i > nn then 100
+        else if ty = sname i then 16 + (8 * (List.nth s.levels (i - 1)).fan)
+        else findset (i + 1)
+      in
+      findset 1
+    else if ty = tname i then (List.nth s.levels i).size
+    else find (i + 1)
+  in
+  find 0
+
+(* Sample [k] distinct indices below [limit]; all of them when
+   [k >= limit]. *)
+let sample_distinct rng k limit =
+  if k >= limit then List.init limit Fun.id
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let rec go acc remaining =
+      if remaining = 0 then acc
+      else
+        let x = Random.State.int rng limit in
+        if Hashtbl.mem seen x then go acc remaining
+        else begin
+          Hashtbl.add seen x ();
+          go (x :: acc) (remaining - 1)
+        end
+    in
+    go [] k
+  end
+
+let build s =
+  let nn = n s in
+  let schema = schema_of s in
+  let store = Gom.Store.create schema in
+  let rng = Random.State.make [| s.seed |] in
+  let extents =
+    List.mapi
+      (fun i lvl ->
+        Array.init lvl.count (fun k ->
+            let o = Gom.Store.new_object store (tname i) in
+            Gom.Store.set_attr store o "Tag" (Gom.Value.Str (Printf.sprintf "t%d_%d" i k));
+            o))
+      s.levels
+    |> Array.of_list
+  in
+  (* Wire the references level by level. *)
+  for i = 0 to nn - 1 do
+    let lvl = List.nth s.levels i in
+    let sources = extents.(i) in
+    let targets = extents.(i + 1) in
+    let chosen = sample_distinct rng lvl.defined (Array.length sources) in
+    List.iter
+      (fun si ->
+        let src = sources.(si) in
+        if lvl.set_valued then begin
+          let set = Gom.Store.new_object store (sname (i + 1)) in
+          Gom.Store.set_attr store src (aname (i + 1)) (Gom.Value.Ref set);
+          sample_distinct rng lvl.fan (Array.length targets)
+          |> List.iter (fun ti ->
+                 Gom.Store.insert_elem store set (Gom.Value.Ref targets.(ti)))
+        end
+        else begin
+          let ti = Random.State.int rng (Array.length targets) in
+          Gom.Store.set_attr store src (aname (i + 1)) (Gom.Value.Ref targets.(ti))
+        end)
+      chosen
+  done;
+  let path = Gom.Path.make schema (tname 0) (List.init nn (fun i -> aname (i + 1))) in
+  (store, path)

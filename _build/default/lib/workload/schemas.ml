@@ -1,0 +1,143 @@
+module V = Gom.Value
+
+module Robot = struct
+  type base = {
+    store : Gom.Store.t;
+    our_robots : Gom.Oid.t;
+    r2d2 : Gom.Oid.t;
+    x4d5 : Gom.Oid.t;
+    robi : Gom.Oid.t;
+    rob_clone : Gom.Oid.t;
+  }
+
+  let schema () =
+    let s = Gom.Schema.empty in
+    let s = Gom.Schema.define_tuple s "MANUFACTURER" [ ("Name", "STRING"); ("Location", "STRING") ] in
+    let s = Gom.Schema.define_tuple s "TOOL" [ ("Function", "STRING"); ("ManufacturedBy", "MANUFACTURER") ] in
+    let s = Gom.Schema.define_tuple s "ARM" [ ("Kinematics", "STRING"); ("MountedTool", "TOOL") ] in
+    let s = Gom.Schema.define_tuple s "ROBOT" [ ("Name", "STRING"); ("Arm", "ARM") ] in
+    Gom.Schema.define_set s "ROBOT_SET" "ROBOT"
+
+  let base () =
+    let store = Gom.Store.create (schema ()) in
+    let manufacturer name location =
+      let m = Gom.Store.new_object store "MANUFACTURER" in
+      Gom.Store.set_attr store m "Name" (V.Str name);
+      Gom.Store.set_attr store m "Location" (V.Str location);
+      m
+    in
+    let tool func manu =
+      let t = Gom.Store.new_object store "TOOL" in
+      Gom.Store.set_attr store t "Function" (V.Str func);
+      Gom.Store.set_attr store t "ManufacturedBy" (V.Ref manu);
+      t
+    in
+    let robot name tool_opt =
+      let r = Gom.Store.new_object store "ROBOT" in
+      Gom.Store.set_attr store r "Name" (V.Str name);
+      let a = Gom.Store.new_object store "ARM" in
+      Gom.Store.set_attr store a "Kinematics" (V.Str "6-dof");
+      (match tool_opt with
+      | Some t -> Gom.Store.set_attr store a "MountedTool" (V.Ref t)
+      | None -> ());
+      Gom.Store.set_attr store r "Arm" (V.Ref a);
+      r
+    in
+    let rob_clone = manufacturer "RobClone" "Utopia" in
+    let welding = tool "welding" rob_clone in
+    let gripping = tool "gripping" rob_clone in
+    let r2d2 = robot "R2D2" (Some welding) in
+    let x4d5 = robot "X4D5" (Some gripping) in
+    let robi = robot "Robi" (Some gripping) in
+    let our_robots = Gom.Store.new_object store "ROBOT_SET" in
+    List.iter
+      (fun r -> Gom.Store.insert_elem store our_robots (V.Ref r))
+      [ r2d2; x4d5; robi ];
+    Gom.Store.bind_name store "OurRobots" our_robots;
+    { store; our_robots; r2d2; x4d5; robi; rob_clone }
+
+  let location_path store =
+    Gom.Path.make (Gom.Store.schema store) "ROBOT"
+      [ "Arm"; "MountedTool"; "ManufacturedBy"; "Location" ]
+end
+
+module Company = struct
+  type base = {
+    store : Gom.Store.t;
+    mercedes : Gom.Oid.t;
+    auto : Gom.Oid.t;
+    truck : Gom.Oid.t;
+    space : Gom.Oid.t;
+    sec560 : Gom.Oid.t;
+    mb_trak : Gom.Oid.t;
+    sausage : Gom.Oid.t;
+    door : Gom.Oid.t;
+    pepper : Gom.Oid.t;
+  }
+
+  let schema () =
+    let s = Gom.Schema.empty in
+    let s = Gom.Schema.define_tuple s "BasePart" [ ("Name", "STRING"); ("Price", "DECIMAL") ] in
+    let s = Gom.Schema.define_set s "BasePartSET" "BasePart" in
+    let s = Gom.Schema.define_tuple s "Product" [ ("Name", "STRING"); ("Composition", "BasePartSET") ] in
+    let s = Gom.Schema.define_set s "ProdSET" "Product" in
+    let s = Gom.Schema.define_tuple s "Division" [ ("Name", "STRING"); ("Manufactures", "ProdSET") ] in
+    Gom.Schema.define_set s "Company" "Division"
+
+  let base () =
+    let store = Gom.Store.create (schema ()) in
+    let base_part name price =
+      let b = Gom.Store.new_object store "BasePart" in
+      Gom.Store.set_attr store b "Name" (V.Str name);
+      Gom.Store.set_attr store b "Price" (V.Dec price);
+      b
+    in
+    let part_set parts =
+      let s = Gom.Store.new_object store "BasePartSET" in
+      List.iter (fun x -> Gom.Store.insert_elem store s (V.Ref x)) parts;
+      s
+    in
+    let product name comp =
+      let pr = Gom.Store.new_object store "Product" in
+      Gom.Store.set_attr store pr "Name" (V.Str name);
+      (match comp with
+      | Some s -> Gom.Store.set_attr store pr "Composition" (V.Ref s)
+      | None -> ());
+      pr
+    in
+    let prod_set prods =
+      let s = Gom.Store.new_object store "ProdSET" in
+      List.iter (fun x -> Gom.Store.insert_elem store s (V.Ref x)) prods;
+      s
+    in
+    let division name prods =
+      let d = Gom.Store.new_object store "Division" in
+      Gom.Store.set_attr store d "Name" (V.Str name);
+      (match prods with
+      | Some s -> Gom.Store.set_attr store d "Manufactures" (V.Ref s)
+      | None -> ());
+      d
+    in
+    let door = base_part "Door" 1205.50 in
+    let pepper = base_part "Pepper" 0.12 in
+    let sec_parts = part_set [ door ] in
+    let sec560 = product "560 SEC" (Some sec_parts) in
+    let mb_trak = product "MB Trak" None in
+    let sausage_parts = part_set [ pepper ] in
+    let sausage = product "Sausage" (Some sausage_parts) in
+    (* An extra BasePartSET that no product references (Figure 2's i10). *)
+    let _orphan = part_set [ door ] in
+    let auto = division "Auto" (Some (prod_set [ sec560 ])) in
+    let truck = division "Truck" (Some (prod_set [ sec560; mb_trak ])) in
+    let space = division "Space" None in
+    let mercedes = Gom.Store.new_object store "Company" in
+    List.iter
+      (fun d -> Gom.Store.insert_elem store mercedes (V.Ref d))
+      [ auto; truck; space ];
+    Gom.Store.bind_name store "Mercedes" mercedes;
+    { store; mercedes; auto; truck; space; sec560; mb_trak; sausage; door; pepper }
+
+  let name_path store =
+    Gom.Path.make (Gom.Store.schema store) "Division"
+      [ "Manufactures"; "Composition"; "Name" ]
+end

@@ -1,0 +1,52 @@
+(** The paper's two running example schemas and their sample extensions
+    (Figures 1 and 2), used by tests, examples and documentation. *)
+
+(** The robot application (section 2.2): a linear path
+    [ROBOT.Arm.MountedTool.ManufacturedBy.Location]. *)
+module Robot : sig
+  type base = {
+    store : Gom.Store.t;
+    our_robots : Gom.Oid.t;  (** The [OurRobots] ROBOT_SET root. *)
+    r2d2 : Gom.Oid.t;
+    x4d5 : Gom.Oid.t;
+    robi : Gom.Oid.t;
+    rob_clone : Gom.Oid.t;  (** The shared MANUFACTURER. *)
+  }
+
+  val schema : unit -> Gom.Schema.t
+
+  val base : unit -> base
+  (** Builds the Figure 1 extension: three robots, two of whose tools
+      come from the same manufacturer in "Utopia". *)
+
+  val location_path : Gom.Store.t -> Gom.Path.t
+  (** [ROBOT.Arm.MountedTool.ManufacturedBy.Location], n = 4, linear. *)
+end
+
+(** The company application (section 2.3): a path with two set
+    occurrences, [Division.Manufactures.Composition.Name]. *)
+module Company : sig
+  type base = {
+    store : Gom.Store.t;
+    mercedes : Gom.Oid.t;  (** The [Mercedes] Company root (a set). *)
+    auto : Gom.Oid.t;
+    truck : Gom.Oid.t;
+    space : Gom.Oid.t;
+    sec560 : Gom.Oid.t;
+    mb_trak : Gom.Oid.t;
+    sausage : Gom.Oid.t;
+    door : Gom.Oid.t;
+    pepper : Gom.Oid.t;
+  }
+
+  val schema : unit -> Gom.Schema.t
+
+  val base : unit -> base
+  (** Builds the Figure 2 extension, including the [Space] division with
+      NULL [Manufactures], the [MB Trak] product with NULL
+      [Composition], and the [Sausage] product not reachable from any
+      division. *)
+
+  val name_path : Gom.Store.t -> Gom.Path.t
+  (** [Division.Manufactures.Composition.Name], n = 3, k = 2, m = 5. *)
+end

@@ -1,0 +1,75 @@
+type t = {
+  id : string;
+  title : string;
+  x_label : string;
+  columns : string list;
+  rows : (string * float list) list;
+  notes : string list;
+}
+
+let make ~id ~title ~x_label ~columns ?(notes = []) rows =
+  List.iter
+    (fun (label, vs) ->
+      if List.length vs <> List.length columns then
+        invalid_arg (Printf.sprintf "Table.make %s: row %s has %d values, want %d" id label
+             (List.length vs) (List.length columns)))
+    rows;
+  { id; title; x_label; columns; rows; notes }
+
+let fmt_value v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 1e7 then Printf.sprintf "%.3e" v
+  else if Float.is_integer v && Float.abs v < 1e7 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let render ppf t =
+  let headers = t.x_label :: t.columns in
+  let body =
+    List.map (fun (label, vs) -> label :: List.map fmt_value vs) t.rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) body)
+      headers
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let padl s w = String.make (max 0 (w - String.length s)) ' ' ^ s in
+  Format.fprintf ppf "== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "%s@."
+    (String.concat "  "
+       (List.mapi (fun i h -> if i = 0 then pad h (List.nth widths i) else padl h (List.nth widths i)) headers));
+  Format.fprintf ppf "%s@."
+    (String.concat "--" (List.map (fun w -> String.make w '-') widths));
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%s@."
+        (String.concat "  "
+           (List.mapi
+              (fun i cell ->
+                if i = 0 then pad cell (List.nth widths i) else padl cell (List.nth widths i))
+              row)))
+    body;
+  List.iter (fun n -> Format.fprintf ppf "note: %s@." n) t.notes;
+  Format.fprintf ppf "@."
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," (t.x_label :: t.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, vs) ->
+      Buffer.add_string buf (String.concat "," (label :: List.map fmt_value vs));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let column t name =
+  let rec idx i = function
+    | [] -> raise Not_found
+    | c :: _ when String.equal c name -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  let i = idx 0 t.columns in
+  List.map (fun (label, vs) -> (label, List.nth vs i)) t.rows

@@ -1,0 +1,30 @@
+(** Result tables for the experiment harness: one row per x-value (or
+    categorical design), one column per series. *)
+
+type t = {
+  id : string;  (** e.g. ["fig6"]. *)
+  title : string;
+  x_label : string;
+  columns : string list;
+  rows : (string * float list) list;  (** Row label, one value per column. *)
+  notes : string list;  (** Caveats, parameter fixes, expectations. *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  x_label:string ->
+  columns:string list ->
+  ?notes:string list ->
+  (string * float list) list ->
+  t
+(** @raise Invalid_argument if some row's width differs from the header. *)
+
+val render : Format.formatter -> t -> unit
+(** Aligned, human-readable text table. *)
+
+val to_csv : t -> string
+
+val column : t -> string -> (string * float) list
+(** One series: row label paired with that column's value.
+    @raise Not_found for unknown columns. *)

@@ -1,0 +1,1 @@
+test/test_asr.ml: Alcotest Core Gom List Printf Relation Storage Workload

@@ -1,0 +1,1 @@
+test/test_autodesign.ml: Alcotest Core Costmodel Gom Storage Workload

@@ -1,0 +1,1 @@
+test/test_bptree.ml: Alcotest Array Gom Hashtbl List Option QCheck QCheck_alcotest Relation Storage

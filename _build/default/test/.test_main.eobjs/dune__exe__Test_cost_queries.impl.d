@@ -1,0 +1,1 @@
+test/test_cost_queries.ml: Alcotest Core Costmodel Float List Relation String Workload

@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Costmodel Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_decomposition.ml: Alcotest Core Gom List Printf QCheck QCheck_alcotest Relation Workload

@@ -1,0 +1,1 @@
+test/test_display.ml: Alcotest Core Format Gom Gql List Option Relation Storage String Workload

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Core Costmodel Float Gom Gql List Relation Result Storage Workload

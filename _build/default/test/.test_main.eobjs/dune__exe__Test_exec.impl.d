@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Core Fun Gom List QCheck QCheck_alcotest Storage Workload

@@ -1,0 +1,1 @@
+test/test_extension.ml: Alcotest Array Core Gom List Printf Relation Storage Workload

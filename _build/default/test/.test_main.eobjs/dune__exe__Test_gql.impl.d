@@ -1,0 +1,1 @@
+test/test_gql.ml: Alcotest Core Costmodel Gom Gql List Storage Workload

@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Alcotest Core Fun Gom List Printf QCheck QCheck_alcotest Random Relation Storage Workload

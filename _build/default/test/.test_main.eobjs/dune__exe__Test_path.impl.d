@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Core Gom List Relation Storage Workload

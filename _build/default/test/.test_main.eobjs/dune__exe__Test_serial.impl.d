@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Core Filename Fun Gom List QCheck QCheck_alcotest Relation Result Sys Workload

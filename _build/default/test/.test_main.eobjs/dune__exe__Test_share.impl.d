@@ -1,0 +1,1 @@
+test/test_share.ml: Alcotest Core Gom List QCheck QCheck_alcotest Random Relation Storage Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core Costmodel Float Format Gom List Relation String Workload

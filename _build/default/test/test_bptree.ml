@@ -1,0 +1,196 @@
+(* Unit and property tests for Storage.Bptree.  A small page size forces
+   multi-level trees so splits and descents are actually exercised. *)
+
+module B = Storage.Bptree
+module V = Gom.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* page_size 64, tuple 16 bytes -> 4 tuples per leaf; fan-out 5. *)
+let small_config = Storage.Config.make ~page_size:64 ~oid_size:8 ~pp_size:4 ()
+
+let make_tree ?(config = small_config) () =
+  B.create ~config ~pager:(Storage.Pager.create ()) ~tuple_bytes:16
+    ~key_of:(fun tup -> tup.(0))
+
+let tup a b = [| V.Ref (Gom.Oid.of_int a); V.Ref (Gom.Oid.of_int b) |]
+
+let ok_invariants t =
+  match B.check_invariants t with
+  | Ok () -> true
+  | Error msg -> Alcotest.failf "invariant violated: %s" msg
+
+let test_empty () =
+  let t = make_tree () in
+  check_int "cardinal" 0 (B.cardinal t);
+  check "no hit" true (B.lookup t (V.Ref (Gom.Oid.of_int 1)) = []);
+  check_int "height" 1 (B.height t);
+  check "invariants" true (ok_invariants t)
+
+let test_bulk_load_and_lookup () =
+  let t = make_tree () in
+  B.bulk_load t (List.init 100 (fun i -> tup i (i + 1000)));
+  check_int "cardinal" 100 (B.cardinal t);
+  check "invariants" true (ok_invariants t);
+  check "found" true (B.lookup t (V.Ref (Gom.Oid.of_int 37)) = [ tup 37 1037 ]);
+  check "missing" true (B.lookup t (V.Ref (Gom.Oid.of_int 555)) = []);
+  check_int "leaf pages" 25 (B.leaf_pages t);
+  check "height grows" true (B.height t >= 2)
+
+let test_duplicate_keys () =
+  let t = make_tree () in
+  B.bulk_load t [ tup 1 10; tup 1 11; tup 1 12; tup 2 20 ];
+  let hits = B.lookup t (V.Ref (Gom.Oid.of_int 1)) in
+  check_int "all duplicates found" 3 (List.length hits);
+  check "sorted" true (hits = [ tup 1 10; tup 1 11; tup 1 12 ])
+
+let test_duplicate_key_run_across_leaves () =
+  let t = make_tree () in
+  (* 10 tuples with the same key: spans three 4-entry leaves. *)
+  B.bulk_load t (List.init 10 (fun i -> tup 5 i) @ [ tup 9 99 ]);
+  let hits = B.lookup t (V.Ref (Gom.Oid.of_int 5)) in
+  check_int "whole run" 10 (List.length hits);
+  check "invariants" true (ok_invariants t)
+
+let test_refcounts () =
+  let t = make_tree () in
+  B.insert t (tup 1 2);
+  B.insert t (tup 1 2);
+  check_int "cardinal counts distinct" 1 (B.cardinal t);
+  check_int "refcount" 2 (B.refcount t (tup 1 2));
+  B.remove t (tup 1 2);
+  check "still present" true (B.mem t (tup 1 2));
+  B.remove t (tup 1 2);
+  check "gone" false (B.mem t (tup 1 2));
+  B.remove t (tup 1 2) (* removing a missing tuple is a no-op *);
+  check_int "empty" 0 (B.cardinal t)
+
+let test_incremental_inserts_split () =
+  let t = make_tree () in
+  for i = 0 to 199 do
+    B.insert t (tup i i)
+  done;
+  check_int "cardinal" 200 (B.cardinal t);
+  check "invariants after splits" true (ok_invariants t);
+  check "height at least 3" true (B.height t >= 3);
+  check "scan sorted" true
+    (B.scan t = List.init 200 (fun i -> tup i i))
+
+let test_interleaved_insert_remove () =
+  let t = make_tree () in
+  for i = 0 to 99 do
+    B.insert t (tup (i mod 10) i)
+  done;
+  for i = 0 to 49 do
+    B.remove t (tup (i mod 10) i)
+  done;
+  check_int "half left" 50 (B.cardinal t);
+  check "invariants" true (ok_invariants t);
+  let hits = B.lookup t (V.Ref (Gom.Oid.of_int 3)) in
+  check_int "per-key" 5 (List.length hits)
+
+let test_remove_all_then_reuse () =
+  let t = make_tree () in
+  for i = 0 to 63 do
+    B.insert t (tup i i)
+  done;
+  for i = 0 to 63 do
+    B.remove t (tup i i)
+  done;
+  check_int "empty" 0 (B.cardinal t);
+  check "invariants after drain" true (ok_invariants t);
+  B.insert t (tup 7 7);
+  check "usable again" true (B.mem t (tup 7 7));
+  check "invariants" true (ok_invariants t)
+
+let test_lookup_page_accounting () =
+  let t = make_tree () in
+  B.bulk_load t (List.init 500 (fun i -> tup i i));
+  let stats = Storage.Stats.create () in
+  Storage.Stats.begin_op stats;
+  ignore (B.lookup ~stats t (V.Ref (Gom.Oid.of_int 123)));
+  (* One root-to-leaf descent: height inner pages plus the key's leaf,
+     plus at most one look-ahead page when the hit ends its leaf. *)
+  let reads = Storage.Stats.op_reads stats in
+  check "descent pages" true (reads >= B.height t + 1 && reads <= B.height t + 2);
+  check_int "no writes" 0 (Storage.Stats.op_writes stats)
+
+let test_scan_page_accounting () =
+  let t = make_tree () in
+  B.bulk_load t (List.init 100 (fun i -> tup i i));
+  let stats = Storage.Stats.create () in
+  Storage.Stats.begin_op stats;
+  ignore (B.scan ~stats t);
+  check_int "scan reads every leaf" (B.leaf_pages t) (Storage.Stats.op_reads stats)
+
+let test_insert_page_accounting () =
+  let t = make_tree () in
+  B.bulk_load t (List.init 100 (fun i -> tup (2 * i) i));
+  let stats = Storage.Stats.create () in
+  Storage.Stats.begin_op stats;
+  B.insert ~stats t (tup 31 0);
+  check "descent read" true (Storage.Stats.op_reads stats >= B.height t);
+  check "leaf written" true (Storage.Stats.op_writes stats >= 1)
+
+let test_backward_clustering () =
+  (* A tree keyed on the last column, as the redundant copy. *)
+  let t =
+    B.create ~config:small_config ~pager:(Storage.Pager.create ()) ~tuple_bytes:16
+      ~key_of:(fun tup -> tup.(1))
+  in
+  B.bulk_load t [ tup 1 9; tup 2 9; tup 3 7 ];
+  let hits = B.lookup t (V.Ref (Gom.Oid.of_int 9)) in
+  check_int "by last column" 2 (List.length hits)
+
+let prop_random_ops =
+  QCheck.Test.make ~name:"random insert/remove keeps invariants and contents" ~count:60
+    QCheck.(pair small_int (list (pair (int_bound 20) (int_bound 20))))
+    (fun (_, ops) ->
+      let t = make_tree () in
+      let model = Hashtbl.create 64 in
+      List.iteri
+        (fun idx (a, b) ->
+          let tu = tup a b in
+          if idx mod 3 = 2 then begin
+            B.remove t tu;
+            match Hashtbl.find_opt model (a, b) with
+            | Some n when n > 1 -> Hashtbl.replace model (a, b) (n - 1)
+            | Some _ -> Hashtbl.remove model (a, b)
+            | None -> ()
+          end
+          else begin
+            B.insert t tu;
+            Hashtbl.replace model (a, b)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt model (a, b)))
+          end)
+        ops;
+      (match B.check_invariants t with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "invariant: %s" m);
+      let expected =
+        Hashtbl.fold (fun (a, b) _ acc -> tup a b :: acc) model []
+        |> List.sort Relation.Tuple.compare
+      in
+      let actual = List.sort Relation.Tuple.compare (B.scan t) in
+      if expected <> actual then QCheck.Test.fail_report "contents diverge from model";
+      Hashtbl.fold
+        (fun (a, b) n acc -> acc && B.refcount t (tup a b) = n)
+        model true)
+
+let suite =
+  [
+    Alcotest.test_case "empty tree" `Quick test_empty;
+    Alcotest.test_case "bulk load and lookup" `Quick test_bulk_load_and_lookup;
+    Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
+    Alcotest.test_case "key run across leaves" `Quick test_duplicate_key_run_across_leaves;
+    Alcotest.test_case "reference counts" `Quick test_refcounts;
+    Alcotest.test_case "incremental splits" `Quick test_incremental_inserts_split;
+    Alcotest.test_case "interleaved insert/remove" `Quick test_interleaved_insert_remove;
+    Alcotest.test_case "drain and reuse" `Quick test_remove_all_then_reuse;
+    Alcotest.test_case "lookup page accounting" `Quick test_lookup_page_accounting;
+    Alcotest.test_case "scan page accounting" `Quick test_scan_page_accounting;
+    Alcotest.test_case "insert page accounting" `Quick test_insert_page_accounting;
+    Alcotest.test_case "backward clustering" `Quick test_backward_clustering;
+    QCheck_alcotest.to_alcotest prop_random_ops;
+  ]

@@ -1,0 +1,342 @@
+(* Tests for Cardinality, Storage_cost, Query_cost, Update_cost, Opmix
+   and Advisor — the paper's analytical claims as assertions. *)
+
+module P = Costmodel.Profile
+module Card = Costmodel.Cardinality
+module SC = Costmodel.Storage_cost
+module QC = Costmodel.Query_cost
+module UC = Costmodel.Update_cost
+module Mix = Costmodel.Opmix
+module Adv = Costmodel.Advisor
+module D = Core.Decomposition
+module X = Core.Extension
+
+let check = Alcotest.(check bool)
+let near ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let p_store = Workload.Experiments.profile_storage
+let p_query = Workload.Experiments.profile_query
+let n4 = 4
+
+(* ---- cardinalities ---- *)
+
+let test_canonical_full_span () =
+  (* #E_can over (0,n) is exactly path(0,n). *)
+  near "can(0,n) = path(0,n)"
+    (Costmodel.Derived.path_count p_store 0 n4)
+    (Card.canonical p_store 0 n4)
+
+let test_extension_ordering () =
+  (* can <= left <= full and can <= right <= full for every partition. *)
+  List.iter
+    (fun (i, j) ->
+      let can = Card.canonical p_store i j in
+      let full = Card.full p_store i j in
+      let left = Card.left p_store i j in
+      let right = Card.right p_store i j in
+      if i = 0 then check "can <= left" true (can <= left +. 1e-9);
+      check "left <= full" true (left <= full +. 1e-9);
+      check "right <= full" true (right <= full +. 1e-9);
+      check "can <= full" true (can <= full +. 1e-9))
+    [ (0, 4); (0, 2); (1, 3); (2, 4); (3, 4) ]
+
+let test_binary_partition_of_canonical () =
+  (* #E_can^(i,i+1): paths of length one scaled by reachability. *)
+  let v = Card.canonical p_store 3 4 in
+  let expected =
+    Costmodel.Derived.p_ref_by p_store 0 3 *. Costmodel.Derived.path_count p_store 3 4
+  in
+  near "last binary partition" expected v
+
+let test_invalid_partition () =
+  check "i >= j rejected" true
+    (try ignore (Card.full p_store 2 2); false with Invalid_argument _ -> true)
+
+(* ---- storage ---- *)
+
+let test_tuple_geometry () =
+  near "ats binary" 16. (SC.ats p_store 3 4);
+  near "ats full span" 40. (SC.ats p_store 0 4);
+  near "atpp binary" 253. (SC.atpp p_store 3 4);
+  check "ap at least 1" true (SC.ap p_store X.Canonical 0 1 >= 1.)
+
+let test_object_pages () =
+  (* size_0 = 500 -> 8 objects per 4056-byte page; 1000 objects -> 125 pages. *)
+  near "opp0" 8. (SC.opp p_store 0);
+  near "op0" 125. (SC.op p_store 0)
+
+let test_figure4_shape () =
+  (* Section 4.4.1's qualitative claim. *)
+  let pages k dec = SC.total_pages p_store k dec in
+  let bi = D.binary ~m:4 and no = D.trivial ~m:4 in
+  check "can << full (binary)" true (pages X.Canonical bi *. 2. < pages X.Full bi);
+  check "left << right (binary)" true (pages X.Left_complete bi *. 2. < pages X.Right_complete bi);
+  check "binary cheaper than non-decomposed for full" true
+    (pages X.Full bi *. 1.5 < pages X.Full no)
+
+let test_figure5_convergence () =
+  (* As d -> c all extensions coincide. *)
+  let p = Workload.Experiments.profile_query in
+  ignore p;
+  (* The convergence claim of section 4.4.2 relies on Figure 3's literal
+     sharing default (every target referenced); under uniform sharing a
+     residue of truncated paths remains even at d = c. *)
+  let puni d =
+    P.make ~sharing:P.Paper_default
+      ~c:[ 10000.; 10000.; 10000.; 10000.; 10000. ]
+      ~d:[ d; d; d; d ] ~fan:[ 2.; 2.; 2.; 2. ]
+      ~sizes:[ 120.; 120.; 120.; 120.; 120. ] ()
+  in
+  let p_full = puni 10000. in
+  let no = D.trivial ~m:4 in
+  let sizes = List.map (fun k -> SC.total_pages p_full k no) X.all in
+  (match sizes with
+  | s :: rest -> List.iter (fun s' -> near "all equal at d=c" s s') rest
+  | [] -> ());
+  let p_half = puni 5000. in
+  check "full exceeds can at d<c" true
+    (SC.total_pages p_half X.Full no > SC.total_pages p_half X.Canonical no)
+
+let test_btree_geometry () =
+  let ht = SC.ht p_store X.Full 0 4 in
+  let pg = SC.pg p_store X.Full 0 4 in
+  check "height >= 1" true (ht >= 1.);
+  check "pg >= 1" true (pg >= 1.);
+  check "nlp >= 1" true (SC.nlp p_store X.Full 0 4 >= 1.);
+  check "rnlp >= 1" true (SC.rnlp p_store X.Left_complete 0 4 >= 1.)
+
+(* ---- analytic cardinalities vs measured ones ---- *)
+
+(* Generate a base with a profile's statistics and compare the measured
+   extension cardinalities against the model's expectations.  The model
+   returns expected values over random bases, so the comparison is
+   per-profile with a generous (but meaningful) tolerance. *)
+let test_cardinality_matches_generator () =
+  let cases =
+    [ (* c, d, fan *)
+      ([ 400.; 400.; 400. ], [ 360.; 300. ], [ 1.; 1. ]);
+      ([ 300.; 500.; 900. ], [ 250.; 400. ], [ 2.; 2. ]);
+      ([ 200.; 400.; 800.; 1600. ], [ 150.; 300.; 700. ], [ 2.; 2.; 2. ]) ]
+  in
+  List.iteri
+    (fun idx (c, d, fan) ->
+      let prof = P.make ~c ~d ~fan () in
+      let spec =
+        Workload.Generator.of_profile ~seed:(100 + idx)
+          ~set_valued:(List.map (fun f -> f > 1.) fan)
+          prof
+      in
+      let store, path = Workload.Generator.build spec in
+      let nn = Costmodel.Profile.n prof in
+      List.iter
+        (fun k ->
+          let measured =
+            float_of_int (Relation.cardinal (Core.Extension.compute store path k))
+          in
+          let predicted = Card.count prof k 0 nn in
+          let tolerance = 0.25 *. Float.max measured predicted in
+          if Float.abs (measured -. predicted) > Float.max 8. tolerance then
+            Alcotest.failf "case %d %s: measured %.0f vs predicted %.0f" idx
+              (X.name k) measured predicted)
+        X.all)
+    cases
+
+(* ---- query costs ---- *)
+
+let test_qnas_structure () =
+  (* Forward from one object: 1 page + intermediate levels only. *)
+  let fw01 = QC.qnas_fw p_query 0 1 in
+  near "adjacent forward is one page" 1. fw01;
+  let bw = QC.qnas_bw p_query 0 4 in
+  check "backward >= extent scan" true (bw >= SC.op p_query 0);
+  check "wider span costs more" true (QC.qnas_bw p_query 0 4 >= QC.qnas_bw p_query 0 2)
+
+let test_supported_much_cheaper () =
+  let bi = D.binary ~m:4 in
+  List.iter
+    (fun k ->
+      let sup = QC.q p_query k bi QC.Bw 0 4 in
+      let nas = QC.qnas p_query QC.Bw 0 4 in
+      check (X.name k ^ " supported << unsupported") true (sup *. 10. < nas))
+    X.all
+
+let test_eq35_dispatch () =
+  let bi = D.binary ~m:4 in
+  (* Canonical cannot answer (0,3): falls back to qnas. *)
+  near "can falls back"
+    (QC.qnas p_query QC.Bw 0 3)
+    (QC.q p_query X.Canonical bi QC.Bw 0 3);
+  near "right falls back on (0,3)"
+    (QC.qnas p_query QC.Bw 0 3)
+    (QC.q p_query X.Right_complete bi QC.Bw 0 3);
+  check "left supports (0,3)" true
+    (QC.q p_query X.Left_complete bi QC.Bw 0 3 < QC.qnas p_query QC.Bw 0 3);
+  check "full supports (1,3)" true
+    (QC.q p_query X.Full bi QC.Bw 1 3 < QC.qnas p_query QC.Bw 1 3)
+
+let test_figure7_shape () =
+  (* Supported cost is flat in object size; unsupported grows. *)
+  let at size =
+    let p = P.with_sizes p_query [ size; size; size; size; size ] in
+    (QC.q p X.Full (D.binary ~m:4) QC.Bw 0 4, QC.qnas p QC.Bw 0 4)
+  in
+  let sup100, nas100 = at 100. in
+  let sup800, nas800 = at 800. in
+  near "supported flat" sup100 sup800;
+  check "unsupported grows" true (nas800 > nas100 *. 3.)
+
+let test_figure8_shape () =
+  (* Non-decomposed full is eventually worse than no support. *)
+  let puni d =
+    P.make
+      ~c:[ 10000.; 10000.; 10000.; 10000.; 10000. ]
+      ~d:[ d; d; d; d ] ~fan:[ 2.; 2.; 2.; 2. ]
+      ~sizes:[ 120.; 120.; 120.; 120.; 120. ] ()
+  in
+  let p = puni 10000. in
+  check "full no-dec worse than scan at d=c" true
+    (QC.q p X.Full (D.trivial ~m:4) QC.Bw 0 3 > QC.qnas p QC.Bw 0 3);
+  check "full binary still better" true
+    (QC.q p X.Full (D.binary ~m:4) QC.Bw 0 3 < QC.qnas p QC.Bw 0 3)
+
+(* ---- update costs ---- *)
+
+let test_update_shapes () =
+  let bi = D.binary ~m:4 in
+  let cost k = UC.total p_store k bi 3 in
+  check "left << right for ins_3" true (cost X.Left_complete *. 10. < cost X.Right_complete);
+  check "full cheap (no data search)" true (cost X.Full < 100.);
+  check "canonical pays searches" true (cost X.Canonical > cost X.Full)
+
+let test_update_position_asymmetry () =
+  (* Left-complete: updates near t0 are worse than near tn (prefix
+     reachability shrinks); right-complete mirrors. *)
+  let bi = D.binary ~m:4 in
+  let left0 = UC.total p_store X.Left_complete bi 0 in
+  let right0 = UC.total p_store X.Right_complete bi 0 in
+  let right3 = UC.total p_store X.Right_complete bi 3 in
+  check "right cheaper at ins_0 than ins_3" true (right0 < right3);
+  check "left at ins_0 reasonable" true (left0 < 1000.)
+
+let test_search_components () =
+  let bi = D.binary ~m:4 in
+  check "full search minimal" true
+    (UC.search p_store X.Full bi 2 <= UC.search p_store X.Canonical bi 2);
+  check "aup positive" true (UC.aup p_store X.Full bi 2 > 0.)
+
+(* ---- operation mixes and the advisor ---- *)
+
+let mix_642 =
+  Mix.make
+    ~queries:[ Mix.query 0 4 0.5; Mix.query 0 3 0.25; Mix.query ~kind:"fw" 1 2 0.25 ]
+    ~updates:[ Mix.ins 2 0.5; Mix.ins 3 0.5 ]
+
+let test_mix_validation () =
+  check "weights must sum to 1" true
+    (try
+       ignore (Mix.make ~queries:[ Mix.query 0 4 0.5 ] ~updates:[ Mix.ins 2 1.0 ]);
+       false
+     with Invalid_argument _ -> true);
+  check "empty mix rejected" true
+    (try ignore (Mix.make ~queries:[] ~updates:[ Mix.ins 0 1. ]); false
+     with Invalid_argument _ -> true)
+
+let test_mix_costs () =
+  let d = Mix.Design (X.Full, D.binary ~m:4) in
+  let q_only = Mix.cost p_store d mix_642 ~p_up:0.0 in
+  let u_only = Mix.cost p_store d mix_642 ~p_up:1.0 in
+  let half = Mix.cost p_store d mix_642 ~p_up:0.5 in
+  near "linear interpolation" ((q_only +. u_only) /. 2.) half;
+  check "normalized no-support is 1" true
+    (Float.abs (Mix.normalized_cost p_store Mix.No_support mix_642 ~p_up:0.3 -. 1.) < 1e-9)
+
+let test_break_even_matches_paper () =
+  (* Section 6.4.2: full vs no support breaks even near P_up = 0.998. *)
+  match Mix.break_even p_store (Mix.Design (X.Full, D.binary ~m:4)) Mix.No_support mix_642 with
+  | Some p -> check "break even close to 0.998" true (p > 0.97 && p <= 1.0)
+  | None -> Alcotest.fail "expected a break-even point"
+
+let test_figure17_break_even () =
+  (* Section 6.4.5: right beats full only below P_up ~ 0.005. *)
+  let p = Workload.Experiments.find "fig17" in
+  check "fig17 defined" true (p <> None);
+  let mix =
+    Mix.make
+      ~queries:[ Mix.query 0 5 0.5; Mix.query 1 5 0.25; Mix.query 2 5 0.25 ]
+      ~updates:[ Mix.ins 3 1.0 ]
+  in
+  let dec = D.make ~m:5 [ 0; 3; 5 ] in
+  let prf =
+    P.make
+      ~c:[ 100000.; 100000.; 50000.; 10000.; 1000.; 1000. ]
+      ~d:[ 100000.; 10000.; 30000.; 10000.; 100. ]
+      ~fan:[ 1.; 10.; 20.; 4.; 1. ]
+      ~sizes:[ 600.; 500.; 400.; 300.; 200.; 700. ]
+      ()
+  in
+  match
+    Mix.break_even prf (Mix.Design (X.Right_complete, dec)) (Mix.Design (X.Full, dec)) mix
+  with
+  | Some p -> check "tiny break-even" true (p < 0.05)
+  | None -> Alcotest.fail "expected right-vs-full break-even"
+
+let test_advisor () =
+  let designs = Adv.enumerate ~n:4 in
+  Alcotest.(check int) "4*2^3+1 designs" 33 (List.length designs);
+  let ranked = Adv.rank p_store mix_642 ~p_up:0.2 in
+  Alcotest.(check int) "all ranked" 33 (List.length ranked);
+  (match ranked with
+  | best :: rest ->
+    check "sorted ascending" true
+      (List.for_all (fun r -> r.Adv.expected_cost >= best.Adv.expected_cost) rest);
+    check "best beats no support" true (best.Adv.normalized < 1.)
+  | [] -> Alcotest.fail "empty ranking");
+  let budget = 200. in
+  let constrained = Adv.rank ~max_storage_pages:budget p_store mix_642 ~p_up:0.2 in
+  check "budget respected" true
+    (List.for_all (fun r -> r.Adv.storage_pages <= budget) constrained);
+  check "no-support always available" true
+    (List.exists (fun r -> r.Adv.design = Mix.No_support) constrained)
+
+let test_advisor_prefers_left_for_queries () =
+  (* A read-mostly mix over (0,n): left or can should win over right. *)
+  let ranked = Adv.rank p_store mix_642 ~p_up:0.05 in
+  let name r = Mix.design_name r.Adv.design in
+  match ranked with
+  | best :: _ ->
+    check "reads favour left/full/can" true
+      (let n = name best in
+       String.length n >= 3
+       && (String.sub n 0 3 = "ful" || String.sub n 0 3 = "lef" || String.sub n 0 3 = "can"))
+  | [] -> Alcotest.fail "empty"
+
+let suite =
+  [
+    Alcotest.test_case "canonical over full span" `Quick test_canonical_full_span;
+    Alcotest.test_case "cardinality ordering" `Quick test_extension_ordering;
+    Alcotest.test_case "binary canonical partition" `Quick test_binary_partition_of_canonical;
+    Alcotest.test_case "invalid partitions rejected" `Quick test_invalid_partition;
+    Alcotest.test_case "cardinalities match generated bases" `Quick
+      test_cardinality_matches_generator;
+    Alcotest.test_case "tuple geometry" `Quick test_tuple_geometry;
+    Alcotest.test_case "object pages" `Quick test_object_pages;
+    Alcotest.test_case "figure 4 shape" `Quick test_figure4_shape;
+    Alcotest.test_case "figure 5 convergence" `Quick test_figure5_convergence;
+    Alcotest.test_case "B+ tree geometry" `Quick test_btree_geometry;
+    Alcotest.test_case "qnas structure" `Quick test_qnas_structure;
+    Alcotest.test_case "supported much cheaper" `Quick test_supported_much_cheaper;
+    Alcotest.test_case "eq. 35 dispatch" `Quick test_eq35_dispatch;
+    Alcotest.test_case "figure 7 shape" `Quick test_figure7_shape;
+    Alcotest.test_case "figure 8 shape" `Quick test_figure8_shape;
+    Alcotest.test_case "update cost shapes" `Quick test_update_shapes;
+    Alcotest.test_case "update position asymmetry" `Quick test_update_position_asymmetry;
+    Alcotest.test_case "search components" `Quick test_search_components;
+    Alcotest.test_case "mix validation" `Quick test_mix_validation;
+    Alcotest.test_case "mix costs" `Quick test_mix_costs;
+    Alcotest.test_case "break-even ~0.998 (paper)" `Quick test_break_even_matches_paper;
+    Alcotest.test_case "fig17 break-even tiny" `Quick test_figure17_break_even;
+    Alcotest.test_case "advisor enumeration and ranking" `Quick test_advisor;
+    Alcotest.test_case "advisor prefers read designs" `Quick test_advisor_prefers_left_for_queries;
+  ]

@@ -1,0 +1,163 @@
+(* Tests for Costmodel.Profile and Costmodel.Derived: parameter
+   derivations (Figure 3), probabilistic recursions (eqs. 6-12, 29-30)
+   and Yao's formula. *)
+
+module P = Costmodel.Profile
+module Dv = Costmodel.Derived
+
+let check = Alcotest.(check bool)
+let checkf msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+let near ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let simple ?shar ?sharing () =
+  P.make ?shar ?sharing ~c:[ 100.; 200.; 400. ] ~d:[ 80.; 150. ] ~fan:[ 2.; 3. ] ()
+
+let test_make_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "c length" true
+    (bad (fun () -> P.make ~c:[ 1. ] ~d:[ 1. ] ~fan:[ 1. ] ()));
+  check "d > c" true
+    (bad (fun () -> P.make ~c:[ 10.; 10. ] ~d:[ 20. ] ~fan:[ 1. ] ()));
+  check "negative fan" true
+    (bad (fun () -> P.make ~c:[ 10.; 10. ] ~d:[ 5. ] ~fan:[ -1. ] ()));
+  check "sizes length" true
+    (bad (fun () -> P.make ~sizes:[ 1. ] ~c:[ 10.; 10. ] ~d:[ 5. ] ~fan:[ 1. ] ()))
+
+let test_basic_accessors () =
+  let p = simple () in
+  checkf "n" 2. (float_of_int (P.n p));
+  checkf "c0" 100. (P.c p 0);
+  checkf "d1" 150. (P.d p 1);
+  checkf "P_A(0)" 0.8 (P.p_a p 0);
+  checkf "ref_0" 160. (P.ref_ p 0);
+  check "index bounds" true
+    (try ignore (P.d p 2); false with Invalid_argument _ -> true)
+
+let test_explicit_shar () =
+  let p = simple ~shar:[ 2.; 1. ] () in
+  checkf "shar explicit" 2. (P.shar p 0);
+  (* e_1 = d_0 * fan_0 / shar_0 = 160 / 2 *)
+  checkf "e from shar" 80. (P.e p 1)
+
+let test_paper_default_sharing () =
+  let p = simple ~sharing:P.Paper_default () in
+  (* Figure 3's default makes every target referenced: e_i = c_i. *)
+  checkf "e1 = c1" 200. (P.e p 1);
+  checkf "e2 = c2" 400. (P.e p 2);
+  near "shar consistent" (160. /. 200.) (P.shar p 0)
+
+let test_uniform_sharing () =
+  let p = simple () in
+  (* e_1 = 200 * (1 - (1 - 1/200)^160). *)
+  let expected = 200. *. (1. -. ((1. -. (1. /. 200.)) ** 160.)) in
+  near "binomial distinct targets" expected (P.e p 1);
+  check "partial referencing" true (P.e p 1 < 200.);
+  (* shar * e = total references. *)
+  near "shar * e = refs" 160. (P.shar p 0 *. P.e p 1)
+
+let test_ref_by_monotone () =
+  let p = simple () in
+  (* RefBy(0,1) is e_1 by definition. *)
+  near "refby base" (P.e p 1) (Dv.ref_by p 0 1);
+  check "refby bounded by c" true (Dv.ref_by p 0 2 <= P.c p 2);
+  check "p_refby in [0,1]" true
+    (let x = Dv.p_ref_by p 0 2 in
+     x >= 0. && x <= 1.);
+  checkf "p_refby reflexive" 1. (Dv.p_ref_by p 1 1)
+
+let test_reaches () =
+  let p = simple () in
+  near "reaches base" (P.d p 0) (Dv.reaches p 0 1);
+  check "reaches bounded by d" true (Dv.reaches p 0 2 <= P.d p 0);
+  checkf "p_ref reflexive" 1. (Dv.p_ref p 2 2)
+
+let test_path_count () =
+  let p = simple () in
+  (* path(0,2) = ref_0 * P_A(1) * fan_1 = 160 * 0.75 * 3. *)
+  near "path(0,2)" 360. (Dv.path_count p 0 2);
+  near "path(0,1)" 160. (Dv.path_count p 0 1);
+  near "path(1,2)" 450. (Dv.path_count p 1 2)
+
+let test_k_variants () =
+  let p = simple () in
+  (* Equation 29's probabilistic base case never exceeds equation 6's
+     saturating one, and coincides in the singleton-position case. *)
+  check "refby_k bounded by refby" true (Dv.ref_by_k p 0 2 (P.d p 0) <= Dv.ref_by p 0 2);
+  check "refby_k monotone in k" true
+    (Dv.ref_by_k p 0 2 1. <= Dv.ref_by_k p 0 2 10.);
+  checkf "refby_k at i=j" 1. (Dv.ref_by_k p 1 1 1.);
+  check "reaches_k bounded" true (Dv.reaches_k p 0 2 (P.c p 2) <= Dv.reaches p 0 2 +. 1e-9);
+  check "reaches_k monotone" true (Dv.reaches_k p 0 2 1. <= Dv.reaches_k p 0 2 50.)
+
+let test_bounds () =
+  let p = simple () in
+  List.iter
+    (fun (i, j) ->
+      let lb = Dv.p_lb p i j and rb = Dv.p_rb p i j in
+      check "p_lb in [0,1]" true (lb >= 0. && lb <= 1.);
+      check "p_rb in [0,1]" true (rb >= 0. && rb <= 1.))
+    [ (0, 1); (0, 2); (1, 2); (1, 1); (2, 1) ];
+  let pp = Dv.p_path p 1 in
+  check "p_path in [0,1]" true (pp >= 0. && pp <= 1.);
+  near "p_no_path complement" 1. (pp +. Dv.p_no_path p 1)
+
+let test_yao_exact_cases () =
+  checkf "retrieve all" 10. (Dv.yao ~k:100. ~m:10. ~n:100.);
+  checkf "retrieve none" 0. (Dv.yao ~k:0. ~m:10. ~n:100.);
+  checkf "degenerate m" 0. (Dv.yao ~k:5. ~m:0. ~n:100.);
+  (* One record out of n on m pages: exactly 1 page. *)
+  checkf "single record" 1. (Dv.yao ~k:1. ~m:10. ~n:100.);
+  (* k = n - 1 is nearly all pages. *)
+  check "nearly all" true (Dv.yao ~k:99. ~m:10. ~n:100. >= 9.)
+
+let yao_naive ~k ~m ~n =
+  (* Direct product evaluation for small integers; once the numerator
+     reaches zero every page is fetched (probability of skipping any
+     page vanishes). *)
+  let k = int_of_float k and n = int_of_float n in
+  let p = ref 1. in
+  for t = 1 to k do
+    let num = (float_of_int n *. (1. -. (1. /. m))) -. float_of_int t +. 1. in
+    if num <= 0. then p := 0.
+    else p := !p *. num /. (float_of_int n -. float_of_int t +. 1.)
+  done;
+  Float.ceil (m *. (1. -. !p))
+
+let prop_yao_matches_naive =
+  QCheck.Test.make ~name:"yao matches direct product on small inputs" ~count:200
+    QCheck.(triple (int_range 1 50) (int_range 1 20) (int_range 1 100))
+    (fun (k, m, n) ->
+      let k = min k n in
+      let k' = float_of_int k and m' = float_of_int m and n' = float_of_int n in
+      let a = Dv.yao ~k:k' ~m:m' ~n:n' in
+      let b = yao_naive ~k:k' ~m:m' ~n:n' in
+      Float.abs (a -. b) <= 1.)
+
+let prop_yao_monotone_k =
+  QCheck.Test.make ~name:"yao monotone in k" ~count:200
+    QCheck.(triple (int_range 1 99) (int_range 1 30) (int_range 2 200))
+    (fun (k, m, n) ->
+      let n = max n (k + 1) in
+      Dv.yao ~k:(float_of_int k) ~m:(float_of_int m) ~n:(float_of_int n)
+      <= Dv.yao ~k:(float_of_int (k + 1)) ~m:(float_of_int m) ~n:(float_of_int n))
+
+let suite =
+  [
+    Alcotest.test_case "profile validation" `Quick test_make_validation;
+    Alcotest.test_case "basic accessors" `Quick test_basic_accessors;
+    Alcotest.test_case "explicit shar" `Quick test_explicit_shar;
+    Alcotest.test_case "paper-default sharing" `Quick test_paper_default_sharing;
+    Alcotest.test_case "uniform sharing" `Quick test_uniform_sharing;
+    Alcotest.test_case "RefBy" `Quick test_ref_by_monotone;
+    Alcotest.test_case "Ref" `Quick test_reaches;
+    Alcotest.test_case "path counts" `Quick test_path_count;
+    Alcotest.test_case "k-subset variants" `Quick test_k_variants;
+    Alcotest.test_case "probability bounds" `Quick test_bounds;
+    Alcotest.test_case "Yao exact cases" `Quick test_yao_exact_cases;
+    QCheck_alcotest.to_alcotest prop_yao_matches_naive;
+    QCheck_alcotest.to_alcotest prop_yao_monotone_k;
+  ]

@@ -1,0 +1,132 @@
+(* Tests for Core.Decomposition, including the losslessness theorem
+   (Theorem 3.9) as a randomised property over generated object bases. *)
+
+module D = Core.Decomposition
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make_validation () =
+  let bad l = try ignore (D.make ~m:5 l); false with Invalid_argument _ -> true in
+  check "must start at 0" true (bad [ 1; 5 ]);
+  check "must end at m" true (bad [ 0; 4 ]);
+  check "strictly increasing" true (bad [ 0; 3; 3; 5 ]);
+  check "ok" true (D.boundaries (D.make ~m:5 [ 0; 3; 5 ]) = [ 0; 3; 5 ])
+
+let test_trivial_binary () =
+  check "trivial" true (D.boundaries (D.trivial ~m:4) = [ 0; 4 ]);
+  check "binary" true (D.boundaries (D.binary ~m:4) = [ 0; 1; 2; 3; 4 ]);
+  check "binary is_binary" true (D.is_binary (D.binary ~m:4));
+  check "trivial not binary" false (D.is_binary (D.trivial ~m:4))
+
+let test_all_count () =
+  check_int "2^(m-1) decompositions" 16 (List.length (D.all ~m:5));
+  check_int "m=1 single" 1 (List.length (D.all ~m:1));
+  (* All distinct. *)
+  let l = List.map D.to_string (D.all ~m:5) in
+  check_int "all distinct" 16 (List.length (List.sort_uniq compare l))
+
+let test_partitions () =
+  let d = D.make ~m:5 [ 0; 3; 4; 5 ] in
+  check "partitions" true (D.partitions d = [ (0, 3); (3, 4); (4, 5) ]);
+  check_int "count" 3 (D.partition_count d)
+
+let test_covering () =
+  let d = D.make ~m:5 [ 0; 3; 5 ] in
+  check "interior" true (D.covering d 1 = (0, 3));
+  check "boundary prefers start" true (D.covering d 3 = (3, 5));
+  check "last column" true (D.covering d 5 = (3, 5))
+
+let test_string_roundtrip () =
+  let d = D.make ~m:5 [ 0; 3; 5 ] in
+  Alcotest.(check string) "to_string" "(0,3,5)" (D.to_string d);
+  check "roundtrip" true (D.equal d (D.of_string ~m:5 "(0,3,5)"));
+  check "roundtrip bare" true (D.equal d (D.of_string ~m:5 "0, 3, 5"))
+
+let test_project_company () =
+  let b = Workload.Schemas.Company.base () in
+  let path = Workload.Schemas.Company.name_path b.Workload.Schemas.Company.store in
+  let ext =
+    Core.Extension.compute b.Workload.Schemas.Company.store path Core.Extension.Canonical
+  in
+  let parts = D.split ext (D.binary ~m:5) in
+  check_int "five binary partitions" 5 (List.length parts);
+  List.iter (fun p -> check_int "binary width" 2 (Relation.width p)) parts;
+  (* Both complete paths share the (sec560 -> sec_parts) hop: the
+     partition projection deduplicates. *)
+  let p23 = List.nth parts 2 in
+  check_int "shared hop stored once" 1 (Relation.cardinal p23)
+
+(* ---- Theorem 3.9: every decomposition of every extension is lossless
+   (reconstruction by null-equality join over the shared columns). ---- *)
+
+let lossless_on_store store path kind dec =
+  let ext = Core.Extension.compute store path kind in
+  let parts = D.split ext dec in
+  let rejoined = Relation.reconstruct parts in
+  Relation.equal ext rejoined
+
+let test_lossless_company_all () =
+  let b = Workload.Schemas.Company.base () in
+  let store = b.Workload.Schemas.Company.store in
+  let path = Workload.Schemas.Company.name_path store in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun dec ->
+          check
+            (Printf.sprintf "lossless %s %s" (Core.Extension.name kind) (D.to_string dec))
+            true
+            (lossless_on_store store path kind dec))
+        (D.all ~m:5))
+    Core.Extension.all
+
+let spec_gen =
+  (* Small random chain bases: n in 1..3, counts in 1..6. *)
+  QCheck.Gen.(
+    let* nn = int_range 1 3 in
+    let* counts = list_repeat (nn + 1) (int_range 1 6) in
+    let* defined = flatten_l (List.map (fun c -> int_range 0 c) (List.filteri (fun i _ -> i < nn) counts)) in
+    let* fan = list_repeat nn (int_range 1 3) in
+    let* sv =
+      flatten_l (List.map (fun f -> if f > 1 then return true else bool) fan)
+    in
+    let* seed = int_range 0 10000 in
+    return (Workload.Generator.spec ~seed ~set_valued:sv ~counts ~defined ~fan ()))
+
+let arb_spec = QCheck.make ~print:(fun _ -> "<spec>") spec_gen
+
+let prop_lossless =
+  QCheck.Test.make ~name:"Theorem 3.9: decompositions are lossless" ~count:120
+    QCheck.(pair arb_spec (pair (int_bound 3) small_int))
+    (fun (spec, (kind_idx, dec_pick)) ->
+      let store, path = Workload.Generator.build spec in
+      let kind = List.nth Core.Extension.all kind_idx in
+      let m = Gom.Path.arity path - 1 in
+      let decs = D.all ~m in
+      let dec = List.nth decs (dec_pick mod List.length decs) in
+      lossless_on_store store path kind dec)
+
+let prop_contiguous =
+  QCheck.Test.make
+    ~name:"extension tuples have contiguous defined spans" ~count:120
+    QCheck.(pair arb_spec (int_bound 3))
+    (fun (spec, kind_idx) ->
+      let store, path = Workload.Generator.build spec in
+      let kind = List.nth Core.Extension.all kind_idx in
+      let ext = Core.Extension.compute store path kind in
+      List.for_all Relation.Tuple.contiguous (Relation.to_list ext))
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "trivial and binary" `Quick test_trivial_binary;
+    Alcotest.test_case "all decompositions" `Quick test_all_count;
+    Alcotest.test_case "partitions" `Quick test_partitions;
+    Alcotest.test_case "covering" `Quick test_covering;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "company projections" `Quick test_project_company;
+    Alcotest.test_case "losslessness on the paper base" `Quick test_lossless_company_all;
+    QCheck_alcotest.to_alcotest prop_lossless;
+    QCheck_alcotest.to_alcotest prop_contiguous;
+  ]

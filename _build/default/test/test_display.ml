@@ -1,0 +1,144 @@
+(* Coverage for pretty-printers and the page-accounting structure of
+   supported queries (the executable analogue of equations 33-34). *)
+
+module V = Gom.Value
+module D = Core.Decomposition
+module C = Workload.Schemas.Company
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_schema_pp () =
+  let s = C.schema () in
+  let out = Format.asprintf "%a" Gom.Schema.pp s in
+  check "tuple rendered" true
+    (contains ~needle:"type Division is [Name: STRING, Manufactures: ProdSET];" out);
+  check "set rendered" true (contains ~needle:"type ProdSET is {Product};" out);
+  check "builtins hidden" true (not (contains ~needle:"type STRING" out))
+
+let test_schema_pp_supertypes () =
+  let s = Gom.Schema.empty in
+  let s = Gom.Schema.define_tuple s "A" [ ("x", "INT") ] in
+  let s = Gom.Schema.define_tuple s "B" ~supertypes:[ "A" ] [ ("y", "INT") ] in
+  let out = Format.asprintf "%a" Gom.Schema.pp s in
+  check "supertypes rendered" true (contains ~needle:"supertypes (A)" out)
+
+let test_instance_pp () =
+  let b = C.base () in
+  let store = b.C.store in
+  let door = Gom.Store.get_exn store b.C.door in
+  let out = Format.asprintf "%a" Gom.Instance.pp door in
+  check "tuple instance shows fields" true
+    (contains ~needle:"Name: \"Door\"" out && contains ~needle:":BasePart[" out);
+  let set_oid = V.oid_exn (Gom.Store.get_attr store b.C.sec560 "Composition") in
+  let set_inst = Gom.Store.get_exn store set_oid in
+  let out = Format.asprintf "%a" Gom.Instance.pp set_inst in
+  check "set instance shows braces" true (contains ~needle:"{" out)
+
+let test_tuple_pp () =
+  check_str "tuple rendering" "(i1, NULL, \"x\")"
+    (Relation.Tuple.to_string [| V.Ref (Gom.Oid.of_int 1); V.Null; V.Str "x" |])
+
+let test_relation_pp () =
+  let r = Relation.of_list ~width:2 [ [| V.Int 1; V.Int 2 |] ] in
+  check "relation rendering" true
+    (contains ~needle:"(1, 2)" (Format.asprintf "%a" Relation.pp r))
+
+let test_decomposition_pp_all () =
+  check_str "trivial" "(0,5)" (D.to_string (D.trivial ~m:5));
+  check_str "mixed" "(0,2,5)" (D.to_string (D.make ~m:5 [ 0; 2; 5 ]))
+
+let test_path_pp () =
+  let b = C.base () in
+  check_str "path" "Division.Manufactures.Composition.Name"
+    (Gom.Path.to_string (C.name_path b.C.store))
+
+let test_ast_pp_roundtrip () =
+  let q =
+    Gql.Parser.parse
+      {|select d.Name from d in Mercedes, b in d.Manufactures
+        where b.Name = "MB Trak" and not d.Name = "Space" order by d.Name desc limit 3|}
+  in
+  let printed = Format.asprintf "%a" Gql.Ast.pp q in
+  (* The printed form must re-parse to the same AST. *)
+  let q' = Gql.Parser.parse printed in
+  check "pp/parse fixpoint" true (q = q')
+
+(* Supported-query accounting: a boundary-anchored backward query pays a
+   descent per partition (eq. 34's ht + Rnlp structure), while a query
+   entering a partition mid-column pays the whole partition (the ap
+   term). *)
+let test_supported_accounting_structure () =
+  let spec =
+    Workload.Generator.spec ~seed:17
+      ~counts:[ 200; 400; 800; 1600 ]
+      ~defined:[ 190; 380; 760 ] ~fan:[ 1; 1; 1 ]
+      ~set_valued:[ false; false; false ] ()
+  in
+  let store, path = Workload.Generator.build spec in
+  let n = Gom.Path.length path in
+  let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
+  let env = { Core.Exec.store; Core.Exec.heap } in
+  (* A target guaranteed to be reachable, so every partition hop has a
+     non-empty frontier. *)
+  let target =
+    Gom.Store.extent store "T0"
+    |> List.find_map (fun o ->
+           match Core.Exec.forward_scan env path ~i:0 ~j:n o with
+           | v :: _ -> Some v
+           | [] -> None)
+    |> Option.get
+  in
+  let stats = Storage.Stats.create () in
+  let cost a =
+    Storage.Stats.begin_op stats;
+    ignore (Core.Exec.backward_supported ~stats a ~i:0 ~j:n ~target);
+    Storage.Stats.op_accesses stats
+  in
+  (* Binary partitions: a lookup chain paying at least one page per
+     partition. *)
+  let bi = Core.Asr.create store path Core.Extension.Full (D.binary ~m:n) in
+  let c_bi = cost bi in
+  check "binary: at least one page per partition" true (c_bi >= n);
+  (* Non-decomposed: a single descent, fewest pages. *)
+  let no = Core.Asr.create store path Core.Extension.Full (D.trivial ~m:n) in
+  let c_no = cost no in
+  check "no-dec cheapest" true (c_no <= c_bi);
+  (* A mid-partition entry must scan: query (1,3) against a (0,3)-
+     partitioned left-complete relation enters at an interior column. *)
+  let coarse = Core.Asr.create store path Core.Extension.Full (D.trivial ~m:n) in
+  Storage.Stats.begin_op stats;
+  ignore (Core.Exec.backward_supported ~stats coarse ~i:1 ~j:n ~target);
+  let c_interior_end = Storage.Stats.op_accesses stats in
+  (* Ends at the clustering boundary: still a lookup. *)
+  check "suffix query stays cheap" true (c_interior_end <= c_no + 2);
+  (* But a forward query entering mid-partition scans every page. *)
+  let source = List.hd (Gom.Store.extent store "T1") in
+  Storage.Stats.begin_op stats;
+  ignore (Core.Exec.forward_supported ~stats coarse ~i:1 ~j:n source);
+  let c_scan = Storage.Stats.op_accesses stats in
+  let leafs =
+    List.fold_left
+      (fun acc (g : Core.Asr.part_geometry) -> acc + g.Core.Asr.leaf_pages)
+      0 (Core.Asr.geometry coarse)
+  in
+  check "mid-partition forward pays the whole partition" true (c_scan >= leafs)
+
+let suite =
+  [
+    Alcotest.test_case "schema pp" `Quick test_schema_pp;
+    Alcotest.test_case "schema pp supertypes" `Quick test_schema_pp_supertypes;
+    Alcotest.test_case "instance pp" `Quick test_instance_pp;
+    Alcotest.test_case "tuple pp" `Quick test_tuple_pp;
+    Alcotest.test_case "relation pp" `Quick test_relation_pp;
+    Alcotest.test_case "decomposition pp" `Quick test_decomposition_pp_all;
+    Alcotest.test_case "path pp" `Quick test_path_pp;
+    Alcotest.test_case "ast pp/parse fixpoint" `Quick test_ast_pp_roundtrip;
+    Alcotest.test_case "supported accounting structure" `Quick
+      test_supported_accounting_structure;
+  ]

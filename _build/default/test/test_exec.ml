@@ -1,0 +1,252 @@
+(* Tests for Core.Exec: the paper's Query 1-3, agreement between
+   supported and navigational evaluation, and page-cost sanity. *)
+
+module E = Core.Exec
+module D = Core.Decomposition
+module V = Gom.Value
+module R = Workload.Schemas.Robot
+module C = Workload.Schemas.Company
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let env_of store =
+  let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+  { E.store; E.heap }
+
+let robot_env () =
+  let b = R.base () in
+  (b, env_of b.R.store, R.location_path b.R.store)
+
+let company_env () =
+  let b = C.base () in
+  (b, env_of b.C.store, C.name_path b.C.store)
+
+(* Query 1: robots using a tool manufactured in "Utopia". *)
+let test_query1_backward () =
+  let b, env, path = robot_env () in
+  let result = E.backward_scan env path ~i:0 ~j:4 ~target:(V.Str "Utopia") in
+  check_int "all three robots" 3 (List.length result);
+  check "contains r2d2" true (List.mem b.R.r2d2 result)
+
+let test_query1_discriminating () =
+  let b, env, path = robot_env () in
+  (* Move the gripping tool's manufacturer to Mars; only R2D2's welding
+     tool remains from Utopia. *)
+  let mars = Gom.Store.new_object b.R.store "MANUFACTURER" in
+  Gom.Store.set_attr b.R.store mars "Name" (V.Str "MarsTools");
+  Gom.Store.set_attr b.R.store mars "Location" (V.Str "Mars");
+  let arm o = V.oid_exn (Gom.Store.get_attr b.R.store o "Arm") in
+  let tool o = V.oid_exn (Gom.Store.get_attr b.R.store (arm o) "MountedTool") in
+  Gom.Store.set_attr b.R.store (tool b.R.x4d5) "ManufacturedBy" (V.Ref mars);
+  let result = E.backward_scan env path ~i:0 ~j:4 ~target:(V.Str "Utopia") in
+  check "only r2d2" true (result = [ b.R.r2d2 ]);
+  let result = E.backward_scan env path ~i:0 ~j:4 ~target:(V.Str "Mars") in
+  (* x4d5 and robi share the gripping tool. *)
+  check_int "two robots from Mars" 2 (List.length result)
+
+let test_forward_robot () =
+  let b, env, path = robot_env () in
+  let result = E.forward_scan env path ~i:0 ~j:4 b.R.r2d2 in
+  check "location reached" true (result = [ V.Str "Utopia" ]);
+  let result = E.forward_scan env path ~i:0 ~j:3 b.R.r2d2 in
+  check "manufacturer oid" true (result = [ V.Ref b.R.rob_clone ])
+
+(* Query 2: which division uses a base part named "Door"?  (backward
+   over positions 0..3 with the name as target). *)
+let test_query2 () =
+  let b, env, path = company_env () in
+  let divisions = E.backward_scan env path ~i:0 ~j:3 ~target:(V.Str "Door") in
+  check_int "auto and truck" 2 (List.length divisions);
+  check "auto" true (List.mem b.C.auto divisions);
+  check "truck" true (List.mem b.C.truck divisions)
+
+(* Query 3: base part names used by a given division (forward). *)
+let test_query3 () =
+  let b, env, path = company_env () in
+  let names = E.forward_scan env path ~i:0 ~j:3 b.C.auto in
+  check "auto uses Door" true (names = [ V.Str "Door" ]);
+  let names = E.forward_scan env path ~i:0 ~j:3 b.C.space in
+  check "space uses nothing" true (names = [])
+
+let test_forward_partial_range () =
+  let b, env, path = company_env () in
+  let prods = E.forward_scan env path ~i:0 ~j:1 b.C.truck in
+  check_int "truck manufactures two products" 2 (List.length prods);
+  let parts = E.forward_scan env path ~i:1 ~j:2 b.C.sausage in
+  check "sausage parts" true (parts = [ V.Ref b.C.pepper ])
+
+let all_ranges n =
+  List.concat_map (fun i -> List.filter_map (fun j -> if i < j then Some (i, j) else None)
+                              (List.init (n + 1) Fun.id))
+    (List.init n Fun.id)
+
+(* Supported evaluation agrees with navigation on every supported range,
+   extension and decomposition, over the company base. *)
+let test_supported_agrees_company () =
+  let b, env, path = company_env () in
+  let n = Gom.Path.length path in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun dec ->
+          let a = Core.Asr.create b.C.store path kind dec in
+          List.iter
+            (fun (i, j) ->
+              if Core.Asr.supports a ~i ~j then begin
+                (* Forward from every source object. *)
+                List.iter
+                  (fun src ->
+                    let nav = E.forward_scan env path ~i ~j src in
+                    let sup = E.forward_supported a ~i ~j src in
+                    if nav <> sup then
+                      Alcotest.failf "fw mismatch %s %s (%d,%d)"
+                        (Core.Extension.name kind) (D.to_string dec) i j)
+                  (Gom.Store.extent ~deep:true b.C.store (Gom.Path.type_at path i));
+                (* Backward to every target value. *)
+                let targets =
+                  if j = n then [ V.Str "Door"; V.Str "Pepper"; V.Str "Nothing" ]
+                  else
+                    List.map (fun o -> V.Ref o)
+                      (Gom.Store.extent ~deep:true b.C.store (Gom.Path.type_at path j))
+                in
+                List.iter
+                  (fun target ->
+                    let nav = E.backward_scan env path ~i ~j ~target in
+                    let sup = E.backward_supported a ~i ~j ~target in
+                    if nav <> sup then
+                      Alcotest.failf "bw mismatch %s %s (%d,%d)"
+                        (Core.Extension.name kind) (D.to_string dec) i j)
+                  targets
+              end)
+            (all_ranges n))
+        [ D.trivial ~m:5; D.binary ~m:5; D.make ~m:5 [ 0; 2; 5 ]; D.make ~m:5 [ 0; 3; 4; 5 ] ])
+    Core.Extension.all
+
+let spec_gen =
+  QCheck.Gen.(
+    let* nn = int_range 1 3 in
+    let* counts = list_repeat (nn + 1) (int_range 1 6) in
+    let* defined =
+      flatten_l
+        (List.map (fun c -> int_range 0 c) (List.filteri (fun i _ -> i < nn) counts))
+    in
+    let* fan = list_repeat nn (int_range 1 3) in
+    let* sv = flatten_l (List.map (fun f -> if f > 1 then return true else bool) fan) in
+    let* seed = int_range 0 10000 in
+    return (Workload.Generator.spec ~seed ~set_valued:sv ~counts ~defined ~fan ()))
+
+let prop_supported_agrees =
+  QCheck.Test.make ~name:"supported = navigational on random bases" ~count:60
+    QCheck.(
+      pair (make ~print:(fun _ -> "<spec>") spec_gen) (pair (int_bound 3) small_int))
+    (fun (spec, (kind_idx, pick)) ->
+      let store, path = Workload.Generator.build spec in
+      let env = env_of store in
+      let kind = List.nth Core.Extension.all kind_idx in
+      let m = Gom.Path.arity path - 1 in
+      let decs = D.all ~m in
+      let dec = List.nth decs (pick mod List.length decs) in
+      let a = Core.Asr.create store path kind dec in
+      let n = Gom.Path.length path in
+      List.for_all
+        (fun (i, j) ->
+          (not (Core.Asr.supports a ~i ~j))
+          || (List.for_all
+                (fun src ->
+                  E.forward_scan env path ~i ~j src = E.forward_supported a ~i ~j src)
+                (Gom.Store.extent ~deep:true store (Gom.Path.type_at path i))
+             &&
+             let targets =
+               Gom.Store.extent ~deep:true store (Gom.Path.type_at path j)
+               |> List.map (fun o -> V.Ref o)
+             in
+             List.for_all
+               (fun target ->
+                 E.backward_scan env path ~i ~j ~target
+                 = E.backward_supported a ~i ~j ~target)
+               targets))
+        (all_ranges n))
+
+(* Forward and backward queries are dual: o reaches the target at (i,j)
+   iff the target is among o's forward values at (i,j). *)
+let prop_forward_backward_dual =
+  QCheck.Test.make ~name:"forward/backward duality on random bases" ~count:50
+    QCheck.(make ~print:(fun _ -> "<spec>") spec_gen)
+    (fun spec ->
+      let store, path = Workload.Generator.build spec in
+      let env = env_of store in
+      let n = Gom.Path.length path in
+      List.for_all
+        (fun (i, j) ->
+          let sources = Gom.Store.extent ~deep:true store (Gom.Path.type_at path i) in
+          let targets =
+            Gom.Store.extent ~deep:true store (Gom.Path.type_at path j)
+            |> List.map (fun o -> V.Ref o)
+          in
+          List.for_all
+            (fun target ->
+              let bw = E.backward_scan env path ~i ~j ~target in
+              List.for_all
+                (fun src ->
+                  let fw = E.forward_scan env path ~i ~j src in
+                  List.mem src bw = List.exists (V.equal target) fw)
+                sources)
+            targets)
+        (all_ranges n))
+
+(* Page-cost sanity on a generated base: a supported backward query
+   must touch far fewer pages than the exhaustive search. *)
+let test_supported_cheaper () =
+  let spec =
+    Workload.Generator.spec ~seed:7
+      ~counts:[ 200; 400; 800; 1600 ]
+      ~defined:[ 180; 350; 700 ] ~fan:[ 2; 2; 2 ] ()
+  in
+  let store, path = Workload.Generator.build spec in
+  let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
+  let env = { E.store; E.heap } in
+  let a =
+    Core.Asr.create store path Core.Extension.Canonical
+      (D.trivial ~m:(Gom.Path.arity path - 1))
+  in
+  let target =
+    match Gom.Store.extent store "T3" with o :: _ -> V.Ref o | [] -> assert false
+  in
+  let stats = Storage.Stats.create () in
+  Storage.Stats.begin_op stats;
+  let nav = E.backward_scan ~stats env path ~i:0 ~j:3 ~target in
+  let scan_cost = Storage.Stats.op_accesses stats in
+  Storage.Stats.begin_op stats;
+  let sup = E.backward_supported ~stats a ~i:0 ~j:3 ~target in
+  let sup_cost = Storage.Stats.op_accesses stats in
+  check "same answers" true (nav = sup);
+  check "exhaustive search touches many pages" true (scan_cost > 20);
+  check "supported is much cheaper" true (sup_cost * 5 < scan_cost)
+
+let test_dispatch () =
+  let b, env, path = company_env () in
+  let a = Core.Asr.create b.C.store path Core.Extension.Right_complete (D.binary ~m:5) in
+  (* (0,3) supported by right-complete: dispatch uses the index. *)
+  let r1 = E.backward ~index:a env path ~i:0 ~j:3 ~target:(V.Str "Door") in
+  let r2 = E.backward env path ~i:0 ~j:3 ~target:(V.Str "Door") in
+  check "same result either way" true (r1 = r2);
+  (* (0,1) unsupported by right-complete: falls back to navigation. *)
+  let r3 = E.backward ~index:a env path ~i:0 ~j:1 ~target:(V.Ref b.C.sec560) in
+  check_int "both divisions make the 560" 2 (List.length r3)
+
+let suite =
+  [
+    Alcotest.test_case "Query 1 (backward, linear path)" `Quick test_query1_backward;
+    Alcotest.test_case "Query 1 discriminating" `Quick test_query1_discriminating;
+    Alcotest.test_case "forward along robot path" `Quick test_forward_robot;
+    Alcotest.test_case "Query 2 (backward through sets)" `Quick test_query2;
+    Alcotest.test_case "Query 3 (forward through sets)" `Quick test_query3;
+    Alcotest.test_case "partial ranges" `Quick test_forward_partial_range;
+    Alcotest.test_case "supported agrees (company, exhaustive)" `Quick
+      test_supported_agrees_company;
+    QCheck_alcotest.to_alcotest prop_supported_agrees;
+    QCheck_alcotest.to_alcotest prop_forward_backward_dual;
+    Alcotest.test_case "supported cheaper than scan" `Quick test_supported_cheaper;
+    Alcotest.test_case "eq. 35 dispatch" `Quick test_dispatch;
+  ]

@@ -1,0 +1,240 @@
+(* Tests for Core.Aux_rel and Core.Extension against the paper's
+   worked example (Figure 2 and the tables of section 3). *)
+
+module V = Gom.Value
+module C = Workload.Schemas.Company
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let r o = V.Ref o
+let t l = Array.of_list l
+
+let with_base f =
+  let b = C.base () in
+  let path = C.name_path b.C.store in
+  f b path
+
+(* The ProdSET / BasePartSET instances reached from an object. *)
+let set_of store o attr = V.oid_exn (Gom.Store.get_attr store o attr)
+
+let test_aux_count_and_widths () =
+  with_base (fun _b path ->
+      check_int "n aux relations" 3 (Core.Aux_rel.count path);
+      check_int "E0 ternary" 3 (Core.Aux_rel.width path 0);
+      check_int "E1 ternary" 3 (Core.Aux_rel.width path 1);
+      check_int "E2 binary" 2 (Core.Aux_rel.width path 2);
+      check "spans" true
+        (Core.Aux_rel.column_span path 0 = (0, 2)
+        && Core.Aux_rel.column_span path 1 = (2, 4)
+        && Core.Aux_rel.column_span path 2 = (4, 5)))
+
+let test_aux_contents () =
+  with_base (fun b path ->
+      let store = b.C.store in
+      let e0 = Core.Aux_rel.build_one store path 0 in
+      let auto_ps = set_of store b.C.auto "Manufactures" in
+      let truck_ps = set_of store b.C.truck "Manufactures" in
+      check_int "E0 rows" 3 (Relation.cardinal e0);
+      check "auto row" true (Relation.mem e0 (t [ r b.C.auto; r auto_ps; r b.C.sec560 ]));
+      check "truck rows" true
+        (Relation.mem e0 (t [ r b.C.truck; r truck_ps; r b.C.sec560 ])
+        && Relation.mem e0 (t [ r b.C.truck; r truck_ps; r b.C.mb_trak ]));
+      let e1 = Core.Aux_rel.build_one store path 1 in
+      check_int "E1 rows (mb_trak absent: NULL attr)" 2 (Relation.cardinal e1);
+      let e2 = Core.Aux_rel.build_one store path 2 in
+      check "E2 has Door" true
+        (Relation.mem e2 (t [ r b.C.door; V.Str "Door" ]));
+      check "E2 has Pepper" true
+        (Relation.mem e2 (t [ r b.C.pepper; V.Str "Pepper" ])))
+
+let complete_rows b =
+  let store = b.C.store in
+  let auto_ps = set_of store b.C.auto "Manufactures" in
+  let truck_ps = set_of store b.C.truck "Manufactures" in
+  let sec_parts = set_of store b.C.sec560 "Composition" in
+  [
+    t [ r b.C.auto; r auto_ps; r b.C.sec560; r sec_parts; r b.C.door; V.Str "Door" ];
+    t [ r b.C.truck; r truck_ps; r b.C.sec560; r sec_parts; r b.C.door; V.Str "Door" ];
+  ]
+
+let truncated_truck_row b =
+  let store = b.C.store in
+  let truck_ps = set_of store b.C.truck "Manufactures" in
+  t [ r b.C.truck; r truck_ps; r b.C.mb_trak; V.Null; V.Null; V.Null ]
+
+let sausage_row b =
+  let store = b.C.store in
+  let sausage_parts = set_of store b.C.sausage "Composition" in
+  t [ V.Null; V.Null; r b.C.sausage; r sausage_parts; r b.C.pepper; V.Str "Pepper" ]
+
+let test_canonical () =
+  with_base (fun b path ->
+      let e = Core.Extension.compute b.C.store path Core.Extension.Canonical in
+      check_int "only complete paths" 2 (Relation.cardinal e);
+      List.iter (fun row -> check "complete row present" true (Relation.mem e row))
+        (complete_rows b))
+
+let test_left_complete () =
+  with_base (fun b path ->
+      let e = Core.Extension.compute b.C.store path Core.Extension.Left_complete in
+      check_int "complete + truck/mbtrak" 3 (Relation.cardinal e);
+      check "truncated truck row" true (Relation.mem e (truncated_truck_row b));
+      check "sausage absent" false (Relation.mem e (sausage_row b)))
+
+let test_right_complete () =
+  with_base (fun b path ->
+      let e = Core.Extension.compute b.C.store path Core.Extension.Right_complete in
+      check_int "complete + sausage" 3 (Relation.cardinal e);
+      check "sausage row" true (Relation.mem e (sausage_row b));
+      check "truck truncated absent" false (Relation.mem e (truncated_truck_row b)))
+
+let test_full () =
+  with_base (fun b path ->
+      let e = Core.Extension.compute b.C.store path Core.Extension.Full in
+      check_int "all maximal partial paths" 4 (Relation.cardinal e);
+      check "truck truncated" true (Relation.mem e (truncated_truck_row b));
+      check "sausage" true (Relation.mem e (sausage_row b)))
+
+let test_subset_ordering () =
+  (* can <= left <= full and can <= right <= full, on any base. *)
+  with_base (fun b path ->
+      let compute k = Core.Extension.compute b.C.store path k in
+      let can = compute Core.Extension.Canonical in
+      let left = compute Core.Extension.Left_complete in
+      let right = compute Core.Extension.Right_complete in
+      let full = compute Core.Extension.Full in
+      check "can <= left" true (Relation.subset can left);
+      check "can <= right" true (Relation.subset can right);
+      check "left <= full" true (Relation.subset left full);
+      check "right <= full" true (Relation.subset right full))
+
+let test_empty_set_marker_last_aux () =
+  (* A product with an empty Composition: the (product, set, NULL)
+     marker is terminal for the 2-step path and must survive even in the
+     canonical extension when the prefix is complete. *)
+  let b = C.base () in
+  let store = b.C.store in
+  let empty_set = Gom.Store.new_object store "BasePartSET" in
+  Gom.Store.set_attr store b.C.mb_trak "Composition" (V.Ref empty_set);
+  let path2 = Gom.Path.make (Gom.Store.schema store) "Division" [ "Manufactures"; "Composition" ] in
+  let can = Core.Extension.compute store path2 Core.Extension.Canonical in
+  let truck_ps = set_of store b.C.truck "Manufactures" in
+  check "marker row in canonical" true
+    (Relation.mem can (t [ r b.C.truck; r truck_ps; r b.C.mb_trak; r empty_set; V.Null ]))
+
+let test_empty_set_marker_mid_path () =
+  (* The same empty set on the full 3-step path: the marker now sits in
+     the middle, so the canonical extension drops the row and the
+     left-complete keeps the truncation. *)
+  let b = C.base () in
+  let store = b.C.store in
+  let empty_set = Gom.Store.new_object store "BasePartSET" in
+  Gom.Store.set_attr store b.C.mb_trak "Composition" (V.Ref empty_set);
+  let path = C.name_path store in
+  let truck_ps = set_of store b.C.truck "Manufactures" in
+  let marker_row =
+    t [ r b.C.truck; r truck_ps; r b.C.mb_trak; r empty_set; V.Null; V.Null ]
+  in
+  let can = Core.Extension.compute store path Core.Extension.Canonical in
+  check "canonical drops marker" false (Relation.mem can marker_row);
+  let left = Core.Extension.compute store path Core.Extension.Left_complete in
+  check "left keeps marker truncation" true (Relation.mem left marker_row);
+  let right = Core.Extension.compute store path Core.Extension.Right_complete in
+  check "right drops marker" false (Relation.mem right marker_row)
+
+let test_member_classification () =
+  with_base (fun b path ->
+      let full_rows =
+        Relation.to_list (Core.Extension.compute b.C.store path Core.Extension.Full)
+      in
+      List.iter
+        (fun kind ->
+          let direct = Core.Extension.compute b.C.store path kind in
+          let via_member =
+            List.filter (Core.Extension.member kind path) full_rows
+          in
+          check
+            (Printf.sprintf "member agrees with compute for %s"
+               (Core.Extension.name kind))
+            true
+            (Relation.equal direct (Relation.of_list ~width:6 via_member)))
+        Core.Extension.all)
+
+let test_subtype_instances_participate () =
+  (* Instances of subtypes belong to their supertype's extent (strong
+     typing with substitutability), so they appear in path extensions
+     anchored at the supertype. *)
+  let s = Workload.Schemas.Robot.schema () in
+  let s =
+    Gom.Schema.define_tuple s "WeldingRobot" ~supertypes:[ "ROBOT" ]
+      [ ("MaxAmps", "INT") ]
+  in
+  let store = Gom.Store.create s in
+  let manu =
+    let m = Gom.Store.new_object store "MANUFACTURER" in
+    Gom.Store.set_attr store m "Location" (Gom.Value.Str "Utopia");
+    m
+  in
+  let tool =
+    let t = Gom.Store.new_object store "TOOL" in
+    Gom.Store.set_attr store t "ManufacturedBy" (Gom.Value.Ref manu);
+    t
+  in
+  let arm =
+    let a = Gom.Store.new_object store "ARM" in
+    Gom.Store.set_attr store a "MountedTool" (Gom.Value.Ref tool);
+    a
+  in
+  let wr = Gom.Store.new_object store "WeldingRobot" in
+  Gom.Store.set_attr store wr "Arm" (Gom.Value.Ref arm);
+  let path =
+    Gom.Path.make s "ROBOT" [ "Arm"; "MountedTool"; "ManufacturedBy"; "Location" ]
+  in
+  let can = Core.Extension.compute store path Core.Extension.Canonical in
+  check_int "subtype instance indexed" 1 (Relation.cardinal can);
+  check "tuple anchored at the subtype instance" true
+    (Relation.mem can
+       [| r wr; r arm; r tool; r manu; V.Str "Utopia" |]);
+  (* Queries and maintenance see it too. *)
+  let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+  let env = { Core.Exec.store; Core.Exec.heap } in
+  check "backward query finds subtype instance" true
+    (Core.Exec.backward_scan env path ~i:0 ~j:4 ~target:(V.Str "Utopia") = [ wr ]);
+  let mgr = Core.Maintenance.create env in
+  let a = Core.Asr.create store path Core.Extension.Full (Core.Decomposition.binary ~m:4) in
+  Core.Maintenance.register mgr a;
+  Gom.Store.set_attr store wr "Arm" Gom.Value.Null;
+  check "maintenance handles subtype anchor" true
+    (Relation.equal
+       (Core.Extension.compute store path Core.Extension.Full)
+       (Core.Asr.extension_relation a))
+
+let test_supports () =
+  let sup k i j = Core.Extension.supports k ~n:4 ~i ~j in
+  check "can only (0,n)" true
+    (sup Core.Extension.Canonical 0 4
+    && (not (sup Core.Extension.Canonical 0 3))
+    && not (sup Core.Extension.Canonical 1 4));
+  check "left i=0" true
+    (sup Core.Extension.Left_complete 0 2 && not (sup Core.Extension.Left_complete 1 4));
+  check "right j=n" true
+    (sup Core.Extension.Right_complete 2 4 && not (sup Core.Extension.Right_complete 0 3));
+  check "full always" true (sup Core.Extension.Full 1 3);
+  check "bad ranges" false (sup Core.Extension.Full 3 3 || sup Core.Extension.Full 2 1)
+
+let suite =
+  [
+    Alcotest.test_case "aux relation shapes" `Quick test_aux_count_and_widths;
+    Alcotest.test_case "aux relation contents" `Quick test_aux_contents;
+    Alcotest.test_case "canonical extension (paper table)" `Quick test_canonical;
+    Alcotest.test_case "left-complete extension" `Quick test_left_complete;
+    Alcotest.test_case "right-complete extension" `Quick test_right_complete;
+    Alcotest.test_case "full extension" `Quick test_full;
+    Alcotest.test_case "extension subset ordering" `Quick test_subset_ordering;
+    Alcotest.test_case "empty-set marker, last step" `Quick test_empty_set_marker_last_aux;
+    Alcotest.test_case "empty-set marker, mid path" `Quick test_empty_set_marker_mid_path;
+    Alcotest.test_case "member classifies full rows" `Quick test_member_classification;
+    Alcotest.test_case "subtype instances participate" `Quick test_subtype_instances_participate;
+    Alcotest.test_case "applicability (eq. 35)" `Quick test_supports;
+  ]

@@ -1,0 +1,129 @@
+(* Unit tests for Gom.Path: Definition 3.1 validation and column maps. *)
+
+module P = Gom.Path
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let throws f = try f (); false with P.Path_error _ -> true
+
+let robot_path () =
+  let b = Workload.Schemas.Robot.base () in
+  Workload.Schemas.Robot.location_path b.Workload.Schemas.Robot.store
+
+let company_path () =
+  let b = Workload.Schemas.Company.base () in
+  Workload.Schemas.Company.name_path b.Workload.Schemas.Company.store
+
+let test_linear () =
+  let p = robot_path () in
+  check_int "n" 4 (P.length p);
+  check_int "k" 0 (P.set_occurrences p);
+  check_int "arity" 5 (P.arity p);
+  check "linear" true (P.linear p);
+  Alcotest.(check string)
+    "pp" "ROBOT.Arm.MountedTool.ManufacturedBy.Location" (P.to_string p)
+
+let test_with_sets () =
+  let p = company_path () in
+  check_int "n" 3 (P.length p);
+  check_int "k" 2 (P.set_occurrences p);
+  check_int "arity = n+k+1" 6 (P.arity p);
+  check "not linear" false (P.linear p)
+
+let test_columns_company () =
+  let p = company_path () in
+  match P.columns p with
+  | [ P.Obj "Division"; P.Set_of "ProdSET"; P.Obj "Product"; P.Set_of "BasePartSET";
+      P.Obj "BasePart"; P.Atom Gom.Schema.A_string ] ->
+    ()
+  | cols ->
+    Alcotest.failf "unexpected columns (%d)" (List.length cols)
+
+let test_column_positions () =
+  let p = company_path () in
+  check_int "pos 0" 0 (P.column_of_object_position p 0);
+  check_int "pos 1 skips set col" 2 (P.column_of_object_position p 1);
+  check_int "pos 2" 4 (P.column_of_object_position p 2);
+  check_int "pos 3 (value)" 5 (P.column_of_object_position p 3);
+  check "inverse at 0" true (P.object_position_of_column p 0 = Some 0);
+  check "set col has no position" true (P.object_position_of_column p 1 = None);
+  check "inverse at 2" true (P.object_position_of_column p 2 = Some 1);
+  check "inverse at 5" true (P.object_position_of_column p 5 = Some 3)
+
+let test_types_at () =
+  let p = company_path () in
+  Alcotest.(check string) "t0" "Division" (P.type_at p 0);
+  Alcotest.(check string) "t1" "Product" (P.type_at p 1);
+  Alcotest.(check string) "t3" "STRING" (P.type_at p 3)
+
+let test_parse () =
+  let b = Workload.Schemas.Company.base () in
+  let schema = Gom.Store.schema b.Workload.Schemas.Company.store in
+  let p = P.parse schema "Division.Manufactures.Composition.Name" in
+  check "parse equals make" true (P.equal p (company_path ()))
+
+let test_invalid_paths () =
+  let b = Workload.Schemas.Company.base () in
+  let schema = Gom.Store.schema b.Workload.Schemas.Company.store in
+  check "unknown attr" true (throws (fun () -> ignore (P.make schema "Division" [ "Nope" ])));
+  check "atomic mid-path" true
+    (throws (fun () -> ignore (P.make schema "Division" [ "Name"; "Manufactures" ])));
+  check "empty chain" true (throws (fun () -> ignore (P.make schema "Division" [])));
+  check "atomic anchor" true (throws (fun () -> ignore (P.make schema "STRING" [ "x" ])));
+  check "parse without dot" true (throws (fun () -> ignore (P.parse schema "Division")))
+
+let test_prefix () =
+  let b = Workload.Schemas.Company.base () in
+  let schema = Gom.Store.schema b.Workload.Schemas.Company.store in
+  let p = P.parse schema "Division.Manufactures.Composition.Name" in
+  let q = P.parse schema "Division.Manufactures.Composition" in
+  check "prefix" true (P.is_prefix ~affix:q p);
+  check "not prefix" false (P.is_prefix ~affix:p q)
+
+let test_list_occurrence () =
+  (* Lists are treated like sets (paper, section 2.1). *)
+  let s = Gom.Schema.empty in
+  let s = Gom.Schema.define_tuple s "Track" [ ("Title", "STRING") ] in
+  let s = Gom.Schema.define_list s "TrackList" "Track" in
+  let s = Gom.Schema.define_tuple s "Album" [ ("Tracks", "TrackList") ] in
+  let p = P.make s "Album" [ "Tracks"; "Title" ] in
+  check_int "k counts list occurrence" 1 (P.set_occurrences p);
+  check_int "arity" 4 (P.arity p);
+  (* The extension machinery works through the list. *)
+  let store = Gom.Store.create s in
+  let track title =
+    let t = Gom.Store.new_object store "Track" in
+    Gom.Store.set_attr store t "Title" (Gom.Value.Str title);
+    t
+  in
+  let album = Gom.Store.new_object store "Album" in
+  let tl = Gom.Store.new_object store "TrackList" in
+  Gom.Store.insert_elem store tl (Gom.Value.Ref (track "Intro"));
+  Gom.Store.insert_elem store tl (Gom.Value.Ref (track "Outro"));
+  Gom.Store.set_attr store album "Tracks" (Gom.Value.Ref tl);
+  let can = Core.Extension.compute store p Core.Extension.Canonical in
+  check_int "both list elements indexed" 2 (Relation.cardinal can);
+  (* And incremental maintenance follows list mutations. *)
+  let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+  let mgr = Core.Maintenance.create { Core.Exec.store; Core.Exec.heap = heap } in
+  let a = Core.Asr.create store p Core.Extension.Full (Core.Decomposition.binary ~m:3) in
+  Core.Maintenance.register mgr a;
+  Gom.Store.insert_elem store tl (Gom.Value.Ref (track "Bridge"));
+  check "list insert maintained" true
+    (Relation.equal
+       (Core.Extension.compute store p Core.Extension.Full)
+       (Core.Asr.extension_relation a))
+
+let suite =
+  [
+    Alcotest.test_case "linear path" `Quick test_linear;
+    Alcotest.test_case "list occurrence" `Quick test_list_occurrence;
+    Alcotest.test_case "path with set occurrences" `Quick test_with_sets;
+    Alcotest.test_case "column descriptors" `Quick test_columns_company;
+    Alcotest.test_case "column positions" `Quick test_column_positions;
+    Alcotest.test_case "types along path" `Quick test_types_at;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "invalid paths rejected" `Quick test_invalid_paths;
+    Alcotest.test_case "prefix relation" `Quick test_prefix;
+  ]

@@ -1,0 +1,107 @@
+(* Unit tests for Relation: chain joins with NULL semantics. *)
+
+module R = Relation
+module V = Gom.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let r x = V.Ref x
+let o = Gom.Oid.of_int
+let t l = Array.of_list l
+
+let rel w rows = R.of_list ~width:w rows
+
+(* E0 = {(1,2); (3,4)}   E1 = {(2,5); (6,7)} joining on the shared
+   middle column. *)
+let e0 () = rel 2 [ t [ r (o 1); r (o 2) ]; t [ r (o 3); r (o 4) ] ]
+let e1 () = rel 2 [ t [ r (o 2); r (o 5) ]; t [ r (o 6); r (o 7) ] ]
+
+let test_of_list_width_checked () =
+  check "bad width rejected" true
+    (try
+       ignore (rel 2 [ t [ V.Null ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_natural_join () =
+  let j = R.join R.Natural (e0 ()) (e1 ()) in
+  check_int "width" 3 (R.width j);
+  check_int "one match" 1 (R.cardinal j);
+  check "joined tuple" true (R.mem j (t [ r (o 1); r (o 2); r (o 5) ]))
+
+let test_left_outer_join () =
+  let j = R.join R.Left_outer (e0 ()) (e1 ()) in
+  check_int "two tuples" 2 (R.cardinal j);
+  check "dangling left padded" true (R.mem j (t [ r (o 3); r (o 4); V.Null ]))
+
+let test_right_outer_join () =
+  let j = R.join R.Right_outer (e0 ()) (e1 ()) in
+  check_int "two tuples" 2 (R.cardinal j);
+  check "dangling right padded" true (R.mem j (t [ V.Null; r (o 6); r (o 7) ]))
+
+let test_full_outer_join () =
+  let j = R.join R.Full_outer (e0 ()) (e1 ()) in
+  check_int "three tuples" 3 (R.cardinal j);
+  check "match kept" true (R.mem j (t [ r (o 1); r (o 2); r (o 5) ]));
+  check "left dangle kept" true (R.mem j (t [ r (o 3); r (o 4); V.Null ]));
+  check "right dangle kept" true (R.mem j (t [ V.Null; r (o 6); r (o 7) ]))
+
+let test_null_never_matches () =
+  let a = rel 2 [ t [ r (o 1); V.Null ] ] in
+  let b = rel 2 [ t [ V.Null; r (o 9) ] ] in
+  check_int "natural join empty" 0 (R.cardinal (R.join R.Natural a b));
+  let f = R.join R.Full_outer a b in
+  check_int "full keeps both, unglued" 2 (R.cardinal f)
+
+let test_null_equal_join () =
+  let a = rel 2 [ t [ r (o 1); V.Null ] ] in
+  let b = rel 2 [ t [ V.Null; V.Null ] ] in
+  let j = R.join ~null_equal:true R.Natural a b in
+  check_int "null glues" 1 (R.cardinal j);
+  check "reconstructed" true (R.mem j (t [ r (o 1); V.Null; V.Null ]))
+
+let test_join_chain_right_associated () =
+  (* E1 |> E2 keeps all of E2 even when E0 cannot extend it. *)
+  let e2 = rel 2 [ t [ r (o 5); V.Str "x" ]; t [ r (o 8); V.Str "y" ] ] in
+  let chain = R.join_chain R.Right_outer [ e0 (); e1 (); e2 ] in
+  check "terminal y kept with null prefix" true
+    (R.mem chain (t [ V.Null; V.Null; r (o 8); V.Str "y" ]));
+  check "complete path kept" true
+    (R.mem chain (t [ r (o 1); r (o 2); r (o 5); V.Str "x" ]));
+  (* The (6,7) row of E1 does not reach E2 and is dropped. *)
+  check_int "cardinality" 2 (R.cardinal chain)
+
+let test_project () =
+  let j = R.join R.Full_outer (e0 ()) (e1 ()) in
+  let p = R.project j [ 0; 2 ] in
+  check_int "projection width" 2 (R.width p);
+  check "projected tuple" true (R.mem p (t [ r (o 1); r (o 5) ]))
+
+let test_project_dedup () =
+  let x = rel 2 [ t [ r (o 1); r (o 2) ]; t [ r (o 1); r (o 3) ] ] in
+  check_int "dedup" 1 (R.cardinal (R.project x [ 0 ]))
+
+let test_set_ops () =
+  let a = e0 () in
+  let b = R.add a (t [ r (o 9); r (o 9) ]) in
+  check_int "add" 3 (R.cardinal b);
+  check "subset" true (R.subset a b);
+  let c = R.remove b (t [ r (o 9); r (o 9) ]) in
+  check "remove brings equality" true (R.equal a c);
+  check_int "union" 3 (R.cardinal (R.union a b))
+
+let suite =
+  [
+    Alcotest.test_case "width checked" `Quick test_of_list_width_checked;
+    Alcotest.test_case "natural join" `Quick test_natural_join;
+    Alcotest.test_case "left outer join" `Quick test_left_outer_join;
+    Alcotest.test_case "right outer join" `Quick test_right_outer_join;
+    Alcotest.test_case "full outer join" `Quick test_full_outer_join;
+    Alcotest.test_case "NULL never matches" `Quick test_null_never_matches;
+    Alcotest.test_case "null-equality join" `Quick test_null_equal_join;
+    Alcotest.test_case "right-associated chain" `Quick test_join_chain_right_associated;
+    Alcotest.test_case "projection" `Quick test_project;
+    Alcotest.test_case "projection dedups" `Quick test_project_dedup;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+  ]

@@ -1,0 +1,181 @@
+(* Tests for Storage.Stats, Storage.Heap and Storage.Config. *)
+
+module S = Storage.Stats
+module H = Storage.Heap
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_config () =
+  check_int "default page size" 4056 Storage.Config.default.Storage.Config.page_size;
+  check_int "B+ fan-out" 338 (Storage.Config.bplus_fan Storage.Config.default);
+  check "bad sizes rejected" true
+    (try ignore (Storage.Config.make ~page_size:0 ()); false
+     with Invalid_argument _ -> true)
+
+let test_stats_distinct_counting () =
+  let st = S.create () in
+  S.begin_op st;
+  S.read st 1;
+  S.read st 1;
+  S.read st 2;
+  check_int "distinct reads" 2 (S.op_reads st);
+  S.write st 1;
+  S.write st 1;
+  check_int "distinct writes" 1 (S.op_writes st);
+  check_int "accesses" 3 (S.op_accesses st);
+  S.begin_op st;
+  check_int "op reset" 0 (S.op_reads st);
+  S.read st 1;
+  check_int "page countable again" 1 (S.op_reads st);
+  check_int "totals accumulate" 3 (S.total_reads st);
+  S.reset st;
+  check_int "reset clears totals" 0 (S.total_reads st)
+
+let test_buffer_pool_hits () =
+  let st = S.create ~buffer_capacity:2 () in
+  S.begin_op st;
+  S.read st 1;
+  S.read st 2;
+  check_int "cold misses counted" 2 (S.op_reads st);
+  S.begin_op st;
+  S.read st 1;
+  S.read st 2;
+  check_int "warm reads free" 0 (S.op_reads st);
+  check_int "hits recorded" 2 (S.buffer_hits st);
+  (* Page 3 evicts the LRU page (1 was used before 2... both touched this
+     op; 1 is older). *)
+  S.read st 3;
+  S.begin_op st;
+  S.read st 1;
+  check_int "evicted page is a miss again" 1 (S.op_reads st);
+  check_int "capacity" 2 (S.buffer_capacity st)
+
+let test_buffer_lru_order () =
+  let st = S.create ~buffer_capacity:2 () in
+  S.begin_op st;
+  S.read st 1;
+  S.read st 2;
+  S.read st 1 (* touch 1: now 2 is the LRU *);
+  S.begin_op st;
+  S.read st 1 (* hit; refreshes 1 *);
+  S.read st 3 (* evicts 2 *);
+  S.begin_op st;
+  S.read st 1;
+  check_int "1 still resident" 0 (S.op_reads st);
+  S.read st 2;
+  check_int "2 was evicted" 1 (S.op_reads st)
+
+let test_buffer_write_through () =
+  let st = S.create ~buffer_capacity:4 () in
+  S.begin_op st;
+  S.write st 7;
+  check_int "write counted" 1 (S.op_writes st);
+  S.begin_op st;
+  S.read st 7;
+  check_int "written page resident" 0 (S.op_reads st)
+
+let test_buffer_reset () =
+  let st = S.create ~buffer_capacity:4 () in
+  S.begin_op st;
+  S.read st 1;
+  S.reset st;
+  S.begin_op st;
+  S.read st 1;
+  check_int "reset drops the pool" 1 (S.op_reads st)
+
+let test_no_buffer_by_default () =
+  let st = S.create () in
+  S.begin_op st;
+  S.read st 1;
+  S.begin_op st;
+  S.read st 1;
+  check_int "cold across operations" 1 (S.op_reads st);
+  check_int "no hits" 0 (S.buffer_hits st);
+  check_int "capacity 0" 0 (S.buffer_capacity st)
+
+let heap_setup ?(size = 500) () =
+  let s = Gom.Schema.empty in
+  let s = Gom.Schema.define_tuple s "Big" [ ("x", "INT") ] in
+  let s = Gom.Schema.define_tuple s "Small" [ ("x", "INT") ] in
+  let store = Gom.Store.create s in
+  let heap =
+    H.create ~size_of:(function "Big" -> size | _ -> 50) store
+  in
+  (store, heap)
+
+let test_heap_packing () =
+  let store, heap = heap_setup () in
+  (* 4056 / 500 = 8 objects per page. *)
+  let objs = List.init 20 (fun _ -> Gom.Store.new_object store "Big") in
+  check_int "20 objects over 3 pages" 3 (H.pages_of_type heap "Big");
+  check_int "opp" 8 (H.objects_per_page heap "Big");
+  (* First 8 objects share the first page. *)
+  let pages = List.map (H.page_of heap) objs in
+  let first8 = List.filteri (fun i _ -> i < 8) pages in
+  check "first 8 co-located" true
+    (List.for_all (fun p -> p = List.hd first8) first8);
+  check "9th elsewhere" true (List.nth pages 8 <> List.hd pages)
+
+let test_heap_type_clustering () =
+  let store, heap = heap_setup () in
+  let big = Gom.Store.new_object store "Big" in
+  let small = Gom.Store.new_object store "Small" in
+  check "different type, different page" true
+    (H.page_of heap big <> H.page_of heap small)
+
+let test_heap_scan_and_read () =
+  let store, heap = heap_setup () in
+  let objs = List.init 20 (fun _ -> Gom.Store.new_object store "Big") in
+  let st = S.create () in
+  S.begin_op st;
+  H.scan_extent heap st "Big";
+  check_int "scan touches all pages" 3 (S.op_reads st);
+  S.begin_op st;
+  H.read_object heap st (List.hd objs);
+  check_int "single object, one page" 1 (S.op_reads st)
+
+let test_heap_large_objects () =
+  let store, heap = heap_setup ~size:10000 () in
+  let o = Gom.Store.new_object store "Big" in
+  let st = S.create () in
+  S.begin_op st;
+  H.read_object heap st o;
+  (* ceil(10000 / 4056) = 3 pages. *)
+  check_int "spanning object" 3 (S.op_reads st)
+
+let test_heap_deep_extent () =
+  let s = Gom.Schema.empty in
+  let s = Gom.Schema.define_tuple s "Base" [ ("x", "INT") ] in
+  let s = Gom.Schema.define_tuple s "Derived" ~supertypes:[ "Base" ] [] in
+  let store = Gom.Store.create s in
+  let heap = H.create ~size_of:(fun _ -> 500) store in
+  ignore (Gom.Store.new_object store "Base");
+  ignore (Gom.Store.new_object store "Derived");
+  check_int "shallow pages" 1 (H.pages_of_type heap "Base");
+  check_int "deep pages include subtype extents" 2
+    (H.pages_of_type ~deep:true heap "Base")
+
+let test_heap_delete_forgets () =
+  let store, heap = heap_setup () in
+  let o = Gom.Store.new_object store "Big" in
+  Gom.Store.delete store o;
+  check "placement dropped" true
+    (try ignore (H.page_of heap o); false with Not_found -> true)
+
+let suite =
+  [
+    Alcotest.test_case "config" `Quick test_config;
+    Alcotest.test_case "stats distinct counting" `Quick test_stats_distinct_counting;
+    Alcotest.test_case "buffer pool hits" `Quick test_buffer_pool_hits;
+    Alcotest.test_case "buffer LRU order" `Quick test_buffer_lru_order;
+    Alcotest.test_case "buffer write-through" `Quick test_buffer_write_through;
+    Alcotest.test_case "buffer reset" `Quick test_buffer_reset;
+    Alcotest.test_case "no buffer by default" `Quick test_no_buffer_by_default;
+    Alcotest.test_case "heap packing" `Quick test_heap_packing;
+    Alcotest.test_case "heap type clustering" `Quick test_heap_type_clustering;
+    Alcotest.test_case "heap scans and reads" `Quick test_heap_scan_and_read;
+    Alcotest.test_case "large objects span pages" `Quick test_heap_large_objects;
+    Alcotest.test_case "deep extents" `Quick test_heap_deep_extent;
+    Alcotest.test_case "deletion forgets placement" `Quick test_heap_delete_forgets;
+  ]

@@ -1,0 +1,149 @@
+(* Tests for Gom.Txn: rollback must restore the object base exactly and
+   keep registered access support relations consistent throughout. *)
+
+module V = Gom.Value
+module C = Workload.Schemas.Company
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let snapshot store path kind = Core.Extension.compute store path kind
+
+let test_commit_keeps_changes () =
+  let b = C.base () in
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Hatch");
+  check "active" true (Gom.Txn.active b.C.store);
+  Gom.Txn.commit t;
+  check "inactive after commit" false (Gom.Txn.active b.C.store);
+  check "change kept" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.door "Name") (V.Str "Hatch"))
+
+let test_rollback_attr () =
+  let b = C.base () in
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Hatch");
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Lid");
+  Gom.Txn.rollback t;
+  check "attr restored" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.door "Name") (V.Str "Door"))
+
+let test_rollback_set_ops () =
+  let b = C.base () in
+  let sec_parts = V.oid_exn (Gom.Store.get_attr b.C.store b.C.sec560 "Composition") in
+  let before = Gom.Store.elements b.C.store sec_parts in
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.insert_elem b.C.store sec_parts (V.Ref b.C.pepper);
+  Gom.Store.remove_elem b.C.store sec_parts (V.Ref b.C.door);
+  Gom.Txn.rollback t;
+  check "set restored" true (Gom.Store.elements b.C.store sec_parts = before)
+
+let test_rollback_creation () =
+  let b = C.base () in
+  let count_before = Gom.Store.count b.C.store "BasePart" in
+  let t = Gom.Txn.start b.C.store in
+  let nut = Gom.Store.new_object b.C.store "BasePart" in
+  Gom.Store.set_attr b.C.store nut "Name" (V.Str "Nut");
+  let sec_parts = V.oid_exn (Gom.Store.get_attr b.C.store b.C.sec560 "Composition") in
+  Gom.Store.insert_elem b.C.store sec_parts (V.Ref nut);
+  Gom.Txn.rollback t;
+  check "created object gone" false (Gom.Store.mem b.C.store nut);
+  check_int "extent restored" count_before (Gom.Store.count b.C.store "BasePart");
+  check "set no longer references it" true
+    (not (List.mem (V.Ref nut) (Gom.Store.elements b.C.store sec_parts)))
+
+let test_rollback_deletion () =
+  let b = C.base () in
+  let path = C.name_path b.C.store in
+  let before = snapshot b.C.store path Core.Extension.Full in
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.delete b.C.store b.C.sec560;
+  check "deleted inside txn" false (Gom.Store.mem b.C.store b.C.sec560);
+  Gom.Txn.rollback t;
+  check "object resurrected under its oid" true (Gom.Store.mem b.C.store b.C.sec560);
+  check "name restored" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.sec560 "Name") (V.Str "560 SEC"));
+  (* All inbound references (from both divisions' ProdSETs) are back. *)
+  check "object graph identical" true
+    (Relation.equal before (snapshot b.C.store path Core.Extension.Full))
+
+let test_rollback_keeps_asr_consistent () =
+  List.iter
+    (fun kind ->
+      let b = C.base () in
+      let path = C.name_path b.C.store in
+      let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.C.store in
+      let mgr = Core.Maintenance.create { Core.Exec.store = b.C.store; Core.Exec.heap = heap } in
+      let a = Core.Asr.create b.C.store path kind (Core.Decomposition.binary ~m:5) in
+      Core.Maintenance.register mgr a;
+      let before = Core.Asr.extension_relation a in
+      let t = Gom.Txn.start b.C.store in
+      Gom.Store.delete b.C.store b.C.sec560;
+      let parts = Gom.Store.new_object b.C.store "BasePartSET" in
+      Gom.Store.insert_elem b.C.store parts (V.Ref b.C.pepper);
+      Gom.Store.set_attr b.C.store b.C.mb_trak "Composition" (V.Ref parts);
+      Gom.Txn.rollback t;
+      check
+        (Core.Extension.name kind ^ ": ASR identical after rollback")
+        true
+        (Relation.equal before (Core.Asr.extension_relation a));
+      check
+        (Core.Extension.name kind ^ ": ASR matches scratch")
+        true
+        (Relation.equal
+           (snapshot b.C.store path kind)
+           (Core.Asr.extension_relation a)))
+    Core.Extension.all
+
+let test_no_nesting () =
+  let b = C.base () in
+  let t = Gom.Txn.start b.C.store in
+  check "nested start refused" true
+    (try ignore (Gom.Txn.start b.C.store); false with Gom.Txn.Txn_error _ -> true);
+  Gom.Txn.commit t;
+  (* A new transaction may start after the previous one finished. *)
+  let t2 = Gom.Txn.start b.C.store in
+  Gom.Txn.rollback t2;
+  check "double finish refused" true
+    (try Gom.Txn.rollback t2; false with Gom.Txn.Txn_error _ -> true)
+
+let test_with_txn () =
+  let b = C.base () in
+  let r =
+    Gom.Txn.with_txn b.C.store (fun () ->
+        Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Hatch");
+        42)
+  in
+  check "success commits" true (r = Ok 42);
+  check "change kept" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.door "Name") (V.Str "Hatch"));
+  let r =
+    Gom.Txn.with_txn b.C.store (fun () ->
+        Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Broken");
+        failwith "boom")
+  in
+  check "failure rolls back" true (match r with Error (Failure _) -> true | _ -> false);
+  check "change undone" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.door "Name") (V.Str "Hatch"))
+
+let test_event_count () =
+  let b = C.base () in
+  let t = Gom.Txn.start b.C.store in
+  check_int "empty log" 0 (Gom.Txn.events_logged t);
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "X");
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "X") (* no-op *);
+  check_int "one event" 1 (Gom.Txn.events_logged t);
+  Gom.Txn.rollback t
+
+let suite =
+  [
+    Alcotest.test_case "commit keeps changes" `Quick test_commit_keeps_changes;
+    Alcotest.test_case "rollback attributes" `Quick test_rollback_attr;
+    Alcotest.test_case "rollback set operations" `Quick test_rollback_set_ops;
+    Alcotest.test_case "rollback creation" `Quick test_rollback_creation;
+    Alcotest.test_case "rollback deletion (resurrection)" `Quick test_rollback_deletion;
+    Alcotest.test_case "rollback keeps ASRs consistent" `Quick test_rollback_keeps_asr_consistent;
+    Alcotest.test_case "no nesting" `Quick test_no_nesting;
+    Alcotest.test_case "with_txn" `Quick test_with_txn;
+    Alcotest.test_case "event accounting" `Quick test_event_count;
+  ]

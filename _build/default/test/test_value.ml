@@ -1,0 +1,75 @@
+(* Unit tests for Gom.Oid and Gom.Value. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+module V = Gom.Value
+
+let test_oid_fresh () =
+  let g = Gom.Oid.make_gen () in
+  let a = Gom.Oid.fresh g and b = Gom.Oid.fresh g in
+  check "fresh oids differ" true (not (Gom.Oid.equal a b));
+  check_int "fresh oids increase" 1 (Gom.Oid.compare b a)
+
+let test_oid_roundtrip () =
+  let o = Gom.Oid.of_int 42 in
+  check_int "to_int/of_int" 42 (Gom.Oid.to_int o);
+  check_str "pp" "i42" (Format.asprintf "%a" Gom.Oid.pp o)
+
+let test_null () =
+  check "null is null" true (V.is_null V.Null);
+  check "ref not null" false (V.is_null (V.Ref (Gom.Oid.of_int 0)));
+  check "int not null" false (V.is_null (V.Int 0))
+
+let test_compare_same_constructor () =
+  check "int order" true (V.compare (V.Int 1) (V.Int 2) < 0);
+  check "str order" true (V.compare (V.Str "a") (V.Str "b") < 0);
+  check "dec order" true (V.compare (V.Dec 0.5) (V.Dec 1.5) < 0);
+  check "ref order" true
+    (V.compare (V.Ref (Gom.Oid.of_int 1)) (V.Ref (Gom.Oid.of_int 2)) < 0);
+  check_int "equal ints" 0 (V.compare (V.Int 7) (V.Int 7))
+
+let test_compare_across_constructors () =
+  check "null sorts first vs ref" true (V.compare V.Null (V.Ref (Gom.Oid.of_int 0)) < 0);
+  check "null sorts first vs str" true (V.compare V.Null (V.Str "") < 0);
+  check "total order is antisymmetric" true
+    (V.compare (V.Int 1) (V.Str "x") = -V.compare (V.Str "x") (V.Int 1))
+
+let test_oid_extraction () =
+  let o = Gom.Oid.of_int 5 in
+  check "oid of ref" true (V.oid (V.Ref o) = Some o);
+  check "oid of int" true (V.oid (V.Int 5) = None);
+  check "oid_exn raises" true
+    (try
+       ignore (V.oid_exn (V.Str "x"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pp () =
+  check_str "pp null" "NULL" (V.to_string V.Null);
+  check_str "pp ref" "i3" (V.to_string (V.Ref (Gom.Oid.of_int 3)));
+  check_str "pp str" "\"hi\"" (V.to_string (V.Str "hi"));
+  check_str "pp bool" "true" (V.to_string (V.Bool true))
+
+let compare_total =
+  QCheck.Test.make ~name:"Value.compare is a total order (transitivity sample)"
+    ~count:500
+    QCheck.(triple small_int small_int small_int)
+    (fun (a, b, c) ->
+      let vs = [| V.Int a; V.Str (string_of_int b); V.Dec (float_of_int c); V.Null |] in
+      let x = vs.(a mod 4) and y = vs.(b mod 4) and z = vs.(c mod 4) in
+      (* transitivity: x<=y && y<=z => x<=z *)
+      if V.compare x y <= 0 && V.compare y z <= 0 then V.compare x z <= 0 else true)
+
+let suite =
+  [
+    Alcotest.test_case "oid fresh" `Quick test_oid_fresh;
+    Alcotest.test_case "oid roundtrip" `Quick test_oid_roundtrip;
+    Alcotest.test_case "null" `Quick test_null;
+    Alcotest.test_case "compare same constructor" `Quick test_compare_same_constructor;
+    Alcotest.test_case "compare across constructors" `Quick test_compare_across_constructors;
+    Alcotest.test_case "oid extraction" `Quick test_oid_extraction;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest compare_total;
+  ]
