@@ -150,6 +150,63 @@ let engine_tests =
                 ~p_up:0.2)));
   ]
 
+(* Durability benchmarks: write-ahead-log append throughput, commit
+   barriers, and crash-recovery time (snapshot load + committed-prefix
+   replay + ASR rebuild) over a pre-built log. *)
+let durability_tests =
+  let fresh_dir tag =
+    let d = Filename.temp_file ("asrdb-" ^ tag) "" in
+    Sys.remove d;
+    Sys.mkdir d 0o755;
+    d
+  in
+  let company_path = "Division.Manufactures.Composition.Name" in
+  (* A durable base whose log holds [txns] committed transactions. *)
+  let build_logged_base ~txns =
+    let dir = fresh_dir "recover" in
+    let b = Workload.Schemas.Company.base () in
+    let store = b.Workload.Schemas.Company.store in
+    let db = Durability.Db.create ~dir ~policy:Durability.Wal.Sync_never store in
+    ignore
+      (Durability.Db.register_asr db ~path:company_path ~kind:Core.Extension.Full ());
+    for i = 1 to txns do
+      ignore
+        (Gom.Txn.with_txn store (fun () ->
+             Gom.Store.set_attr store b.Workload.Schemas.Company.door "Name"
+               (Gom.Value.Str (Printf.sprintf "Door-%d" i))))
+    done;
+    Durability.Db.close db;
+    dir
+  in
+  let recover_dir = build_logged_base ~txns:500 in
+  let append_dir = fresh_dir "append" in
+  let append_base = Workload.Schemas.Company.base () in
+  let append_store = append_base.Workload.Schemas.Company.store in
+  let (_ : Durability.Db.t) =
+    Durability.Db.create ~dir:append_dir ~policy:Durability.Wal.Sync_never append_store
+  in
+  let flip = ref 0 in
+  [
+    Test.make ~name:"durability/wal-append"
+      (Staged.stage (fun () ->
+           incr flip;
+           Gom.Store.set_attr append_store append_base.Workload.Schemas.Company.door
+             "Name"
+             (Gom.Value.Str (if !flip land 1 = 0 then "A" else "B"))));
+    Test.make ~name:"durability/txn-commit"
+      (Staged.stage (fun () ->
+           incr flip;
+           ignore
+             (Gom.Txn.with_txn append_store (fun () ->
+                  Gom.Store.set_attr append_store
+                    append_base.Workload.Schemas.Company.door "Name"
+                    (Gom.Value.Str (if !flip land 1 = 0 then "C" else "D"))))));
+    Test.make ~name:"durability/recover-500txn"
+      (Staged.stage (fun () ->
+           let db = Durability.Db.open_ ~dir:recover_dir () in
+           Durability.Db.close db));
+  ]
+
 let run_benchmarks tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
@@ -183,4 +240,4 @@ let () =
   Format.printf "===============================================================@.";
   Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
   Format.printf "===============================================================@.@.";
-  run_benchmarks (figure_tests @ engine_tests)
+  run_benchmarks (figure_tests @ engine_tests @ durability_tests)

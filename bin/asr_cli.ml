@@ -293,6 +293,138 @@ let repl_cmd base file path_spec index_spec =
    with Exit -> ());
   0
 
+(* ---------------- durable base commands ---------------- *)
+
+let print_recovery (r : Durability.Db.report) =
+  Format.printf "recovered generation %d@." r.Durability.Db.generation;
+  Format.printf "  log records: %d intact, %d replayed, %d uncommitted dropped@."
+    r.Durability.Db.records_scanned r.Durability.Db.records_replayed
+    r.Durability.Db.records_dropped;
+  if r.Durability.Db.bytes_truncated > 0 then
+    Format.printf "  torn/uncommitted tail truncated: %d bytes@."
+      r.Durability.Db.bytes_truncated;
+  Format.printf "  committed transactions replayed: %d@." r.Durability.Db.commits_replayed;
+  List.iter
+    (fun (spec, ok) ->
+      Format.printf "  asr %-40s %s@." spec
+        (if ok then "verified against from-scratch build" else "MISMATCH"))
+    r.Durability.Db.asr_checks
+
+let db_status db =
+  let store = Durability.Db.store db in
+  Format.printf "dir:        %s@." (Durability.Db.dir db);
+  Format.printf "generation: %d@." (Durability.Db.generation db);
+  Format.printf "objects:    %d@."
+    (Gom.Store.fold_objects store ~init:0 ~f:(fun acc _ -> acc + 1));
+  Format.printf "asrs:       %d@." (List.length (Durability.Db.asrs db))
+
+let with_db dir f =
+  match Durability.Db.open_ ~dir () with
+  | exception Durability.Db.Recovery_error m -> exit_usage ("recovery failed: " ^ m)
+  | db ->
+    Fun.protect ~finally:(fun () -> Durability.Db.close db) (fun () -> f db)
+
+let db_open_cmd dir base =
+  if Sys.file_exists (Filename.concat dir "MANIFEST") then
+    with_db dir (fun db ->
+        (match Durability.Db.last_recovery db with
+        | Some r -> print_recovery r
+        | None -> ());
+        db_status db;
+        0)
+  else begin
+    let store, _, _ = make_env base in
+    let db = Durability.Db.create ~dir store in
+    Fun.protect
+      ~finally:(fun () -> Durability.Db.close db)
+      (fun () ->
+        Format.printf "initialised durable base from demo base %S@." base;
+        db_status db;
+        0)
+  end
+
+(* One mutation per argument, applied inside a single transaction:
+     new TYPE | set OID ATTR VALUE | ins OID VALUE | rem OID VALUE
+     | del OID | name NAME OID
+   VALUE uses the persistence syntax: null, int:7, str:"x", ref:3, ... *)
+let db_append_cmd dir ops =
+  with_db dir (fun db ->
+      let store = Durability.Db.store db in
+      let parse_oid s =
+        match int_of_string_opt s with
+        | Some i -> Gom.Oid.of_int i
+        | None -> exit_usage (Printf.sprintf "bad object id %S" s)
+      in
+      let parse_value s =
+        try Gom.Serial.value_of_string ~line:0 s
+        with Gom.Serial.Corrupt m -> exit_usage (Printf.sprintf "bad value %S: %s" s m)
+      in
+      (* Syntax (op shape, oids, values) is checked before the
+         transaction starts: a typo must exit cleanly, not leave an
+         uncommitted begin..tail in the write-ahead log. *)
+      let compile op =
+        match String.split_on_char ' ' op |> List.filter (fun s -> s <> "") with
+        | [ "new"; ty ] ->
+          fun () ->
+            let oid = Gom.Store.new_object store ty in
+            Format.printf "new %s -> %d@." ty (Gom.Oid.to_int oid)
+        | "set" :: oid :: attr :: rest when rest <> [] ->
+          let oid = parse_oid oid and v = parse_value (String.concat " " rest) in
+          fun () -> Gom.Store.set_attr store oid attr v
+        | "ins" :: oid :: rest when rest <> [] ->
+          let oid = parse_oid oid and v = parse_value (String.concat " " rest) in
+          fun () -> Gom.Store.insert_elem store oid v
+        | "rem" :: oid :: rest when rest <> [] ->
+          let oid = parse_oid oid and v = parse_value (String.concat " " rest) in
+          fun () -> Gom.Store.remove_elem store oid v
+        | [ "del"; oid ] ->
+          let oid = parse_oid oid in
+          fun () -> Gom.Store.delete store oid
+        | [ "name"; name; oid ] ->
+          let oid = parse_oid oid in
+          fun () -> Durability.Db.bind_name db name oid
+        | _ -> exit_usage (Printf.sprintf "bad operation %S" op)
+      in
+      let compiled = List.map compile ops in
+      (match Gom.Txn.with_txn store (fun () -> List.iter (fun f -> f ()) compiled) with
+      | Ok () -> Format.printf "committed %d operation(s)@." (List.length ops)
+      | Error (Gom.Store.Type_error m) -> exit_usage ("type error (rolled back): " ^ m)
+      | Error e -> raise e);
+      0)
+
+let db_checkpoint_cmd dir =
+  with_db dir (fun db ->
+      Durability.Db.checkpoint db;
+      Format.printf "checkpointed as generation %d@." (Durability.Db.generation db);
+      0)
+
+let db_recover_cmd dir =
+  with_db dir (fun db ->
+      (match Durability.Db.last_recovery db with
+      | Some r ->
+        print_recovery r;
+        if not (Durability.Db.verified r) then begin
+          Format.printf "RECOVERY VERIFICATION FAILED@.";
+          exit 1
+        end
+      | None -> ());
+      db_status db;
+      0)
+
+let db_index_cmd dir kind_s path dec =
+  with_db dir (fun db ->
+      let kind =
+        match Core.Extension.of_name kind_s with
+        | Some k -> k
+        | None -> exit_usage (Printf.sprintf "unknown extension %S" kind_s)
+      in
+      match Durability.Db.register_asr db ~path ~kind ?dec () with
+      | exception Durability.Db.Db_error m -> exit_usage m
+      | a ->
+        Format.printf "materialised %d tuples over %d partitions@."
+          (Core.Asr.cardinal a) (Core.Asr.partition_count a);
+        0)
+
 (* ---------------- cmdliner wiring ---------------- *)
 
 open Cmdliner
@@ -405,8 +537,76 @@ let dump_t =
   in
   Term.(const dump_cmd $ base $ file)
 
+let db_dir =
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Directory of the durable base.")
+
+let db_open_t =
+  let base =
+    Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
+           ~doc:"Demo base to initialise from if $(docv) is empty.")
+  in
+  Term.(const db_open_cmd $ db_dir $ base)
+
+let db_append_t =
+  let ops =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"OP"
+           ~doc:"Mutations, e.g. $(b,'new ROBOT'), $(b,'set 3 Name str:\"Z3\"'), \
+                 $(b,'ins 5 ref:3'), $(b,'del 7'), $(b,'name Root 3'); all applied \
+                 in one transaction.")
+  in
+  Term.(const db_append_cmd $ db_dir $ ops)
+
+let db_checkpoint_t = Term.(const db_checkpoint_cmd $ db_dir)
+let db_recover_t = Term.(const db_recover_cmd $ db_dir)
+
+let db_index_t =
+  let kind =
+    Arg.(value & opt string "full" & info [ "kind" ] ~docv:"EXT"
+           ~doc:"Extension: $(b,can), $(b,full), $(b,left) or $(b,right).")
+  in
+  let path =
+    Arg.(required & opt (some string) None & info [ "path" ] ~docv:"T0.A1...."
+           ~doc:"Path expression to index.")
+  in
+  let dec =
+    Arg.(value & opt (some string) None & info [ "dec" ] ~docv:"B0,B1,..."
+           ~doc:"Decomposition boundaries (default: binary).")
+  in
+  Term.(const db_index_cmd $ db_dir $ kind $ path $ dec)
+
+let db_cmd =
+  Cmd.group
+    (Cmd.info "db"
+       ~doc:"Operate a durable object base (write-ahead log + snapshots + recovery).")
+    [
+      Cmd.v
+        (Cmd.info "open"
+           ~doc:"Open (recovering if needed) or initialise a durable base and show \
+                 its status.")
+        db_open_t;
+      Cmd.v
+        (Cmd.info "append"
+           ~doc:"Apply mutations in one write-ahead-logged transaction.")
+        db_append_t;
+      Cmd.v
+        (Cmd.info "checkpoint"
+           ~doc:"Snapshot the base atomically and rotate the write-ahead log.")
+        db_checkpoint_t;
+      Cmd.v
+        (Cmd.info "recover"
+           ~doc:"Recover, print the recovery report, and verify every registered \
+                 access support relation against a from-scratch build.")
+        db_recover_t;
+      Cmd.v
+        (Cmd.info "index"
+           ~doc:"Register a maintained, recovery-verified access support relation.")
+        db_index_t;
+    ]
+
 let cmds =
   [
+    db_cmd;
     Cmd.v (Cmd.info "list" ~doc:"List the paper's experiments.") list_t;
     Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a figure's data series.") experiment_t;
     Cmd.v (Cmd.info "advise" ~doc:"Rank physical designs for an operation mix.") advise_t;

@@ -1,0 +1,99 @@
+exception Crash
+
+type plan = {
+  crash_at_write : int;
+  survive_bytes : int;
+  corrupt_bytes : int;
+}
+
+type t = { mutable writes : int; plan : plan option }
+
+let real () = { writes = 0; plan = None }
+let faulty plan = { writes = 0; plan = Some plan }
+let writes t = t.writes
+
+type sim = {
+  path : string;
+  mutable durable : string;    (* what an fsynced disk holds *)
+  pending : Buffer.t;          (* handed to the OS, not yet synced *)
+}
+
+type chan = { oc : out_channel; fd : Unix.file_descr }
+
+type file =
+  | Real_file of t * chan
+  | Sim_file of t * sim
+
+let overwrite path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_all path =
+  if not (Sys.file_exists path) then ""
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let open_append t path =
+  match t.plan with
+  | None ->
+    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+    Real_file (t, { oc; fd = Unix.descr_of_out_channel oc })
+  | Some _ ->
+    let durable = read_all path in
+    if not (Sys.file_exists path) then overwrite path durable;
+    Sim_file (t, { path; durable; pending = Buffer.create 256 })
+
+(* Bitwise-not the last [k] bytes, the shape of a torn sector. *)
+let corrupt_tail s k =
+  if k <= 0 || s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    for i = max 0 (n - k) to n - 1 do
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF))
+    done;
+    Bytes.to_string b
+  end
+
+let write file payload =
+  match file with
+  | Real_file (t, c) ->
+    t.writes <- t.writes + 1;
+    output_string c.oc payload;
+    flush c.oc
+  | Sim_file (t, s) ->
+    t.writes <- t.writes + 1;
+    (match t.plan with
+    | Some p when t.writes = p.crash_at_write ->
+      Buffer.add_string s.pending payload;
+      let tail = Buffer.contents s.pending in
+      let keep = min (max 0 p.survive_bytes) (String.length tail) in
+      let survived = corrupt_tail (String.sub tail 0 keep) p.corrupt_bytes in
+      overwrite s.path (s.durable ^ survived);
+      raise Crash
+    | _ -> Buffer.add_string s.pending payload)
+
+let sync = function
+  | Real_file (_, c) ->
+    flush c.oc;
+    Unix.fsync c.fd
+  | Sim_file (_, s) ->
+    s.durable <- s.durable ^ Buffer.contents s.pending;
+    Buffer.clear s.pending;
+    overwrite s.path s.durable
+
+let close = function
+  | Real_file (_, c) ->
+    flush c.oc;
+    (try Unix.fsync c.fd with Unix.Unix_error _ -> ());
+    close_out c.oc
+  | Sim_file (_, s) ->
+    (* An orderly shutdown: the OS flushes its buffers. *)
+    overwrite s.path (s.durable ^ Buffer.contents s.pending);
+    s.durable <- s.durable ^ Buffer.contents s.pending;
+    Buffer.clear s.pending

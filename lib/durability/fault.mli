@@ -1,0 +1,61 @@
+(** Deterministic fault injection for the durability layer.
+
+    All write-ahead-log file traffic goes through an injectable
+    file-operations environment.  The {!real} environment performs
+    ordinary buffered writes ([sync] = fsync).  A {!faulty} environment
+    simulates a kill-at-a-chosen-instant instead: it tracks which bytes
+    an fsynced disk would hold ({e durable}) separately from bytes
+    merely handed to the OS ({e pending}), and on the [crash_at_write]'th
+    append it materialises a post-crash file image — the durable prefix
+    plus a configurable amount of the pending tail, optionally with
+    trailing bytes corrupted — and raises {!Crash}.
+
+    Because the crash point is a deterministic function of the plan,
+    tests can prove a property {e at every crash point} by sweeping
+    [crash_at_write] over the whole workload. *)
+
+exception Crash
+(** The simulated power failure.  After it is raised the in-memory
+    store must be considered gone; recovery starts from the files. *)
+
+type plan = {
+  crash_at_write : int;
+      (** 1-based index of the append (counted across the environment's
+          whole lifetime, spanning log rotations) that never returns. *)
+  survive_bytes : int;
+      (** How many bytes of the unsynced tail — everything appended
+          since the last [sync], including the fatal append itself —
+          still reach the disk.  [0] models a strict write-back cache;
+          [max_int] models a crash just after the write completed. *)
+  corrupt_bytes : int;
+      (** Flip (bitwise-not) this many trailing bytes of the surviving
+          data, modelling a torn sector. *)
+}
+
+type t
+(** A file-operations environment. *)
+
+val real : unit -> t
+(** Passthrough: ordinary file I/O, no faults. *)
+
+val faulty : plan -> t
+
+val writes : t -> int
+(** Appends performed through this environment so far (both modes);
+    used to size crash-point sweeps. *)
+
+type file
+
+val open_append : t -> string -> file
+(** Open for appending, creating the file if missing.  Existing
+    contents count as durable. *)
+
+val write : file -> string -> unit
+(** Append bytes (reaching the OS, not necessarily the disk).
+    @raise Crash at the planned instant. *)
+
+val sync : file -> unit
+(** Barrier: everything written so far is durable afterwards. *)
+
+val close : file -> unit
+(** Flush and close (an orderly shutdown, not a crash). *)

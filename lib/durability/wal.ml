@@ -1,0 +1,203 @@
+type sync_policy = Sync_always | Sync_on_commit | Sync_never
+
+type record =
+  | Begin
+  | Commit
+  | Abort
+  | Create of Gom.Oid.t * Gom.Schema.type_name
+  | Set of Gom.Oid.t * Gom.Schema.attr_name * Gom.Value.t
+  | Insert of Gom.Oid.t * Gom.Value.t
+  | Remove of Gom.Oid.t * Gom.Value.t
+  | Delete of Gom.Oid.t * Gom.Schema.type_name
+  | Bind of string * Gom.Oid.t
+
+let record_of_event store : Gom.Store.event -> record = function
+  | Gom.Store.Created oid -> Create (oid, Gom.Store.type_of store oid)
+  | Gom.Store.Attr_set { obj; attr; new_value; _ } -> Set (obj, attr, new_value)
+  | Gom.Store.Set_inserted { set; elem } -> Insert (set, elem)
+  | Gom.Store.Set_removed { set; elem } -> Remove (set, elem)
+  | Gom.Store.Deleted { obj; ty } -> Delete (obj, ty)
+
+(* ---------------- payload syntax ---------------- *)
+
+let payload_of_record = function
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Create (o, ty) -> Printf.sprintf "new %d %s" (Gom.Oid.to_int o) ty
+  | Set (o, a, v) ->
+    Printf.sprintf "set %d %s %s" (Gom.Oid.to_int o) a (Gom.Serial.value_to_string v)
+  | Insert (o, v) ->
+    Printf.sprintf "ins %d %s" (Gom.Oid.to_int o) (Gom.Serial.value_to_string v)
+  | Remove (o, v) ->
+    Printf.sprintf "rem %d %s" (Gom.Oid.to_int o) (Gom.Serial.value_to_string v)
+  | Delete (o, ty) -> Printf.sprintf "del %d %s" (Gom.Oid.to_int o) ty
+  | Bind (name, o) -> Printf.sprintf "name %S %d" name (Gom.Oid.to_int o)
+
+(* Tokenise the first [count] space-separated fields, keeping the
+   remainder verbatim (string payloads may contain spaces). *)
+let fields ~count s =
+  let len = String.length s in
+  let rec go start acc remaining =
+    if remaining = 0 then
+      if start <= len then Some (List.rev (String.sub s start (len - start) :: acc))
+      else None
+    else
+      match String.index_from_opt s start ' ' with
+      | Some i -> go (i + 1) (String.sub s start (i - start) :: acc) (remaining - 1)
+      | None -> None
+  in
+  go 0 [] count
+
+let record_of_payload ~recno s =
+  let oid s = Option.map Gom.Oid.of_int (int_of_string_opt s) in
+  let value s = try Some (Gom.Serial.value_of_string ~line:recno s) with Gom.Serial.Corrupt _ -> None in
+  match s with
+  | "begin" -> Some Begin
+  | "commit" -> Some Commit
+  | "abort" -> Some Abort
+  | _ -> (
+    match fields ~count:1 s with
+    | Some [ "new"; rest ] | Some [ "del"; rest ] -> (
+      match String.split_on_char ' ' rest with
+      | [ o; ty ] -> (
+        match oid o with
+        | Some o when ty <> "" ->
+          Some (if String.length s >= 3 && s.[0] = 'n' then Create (o, ty) else Delete (o, ty))
+        | _ -> None)
+      | _ -> None)
+    | Some [ "set"; rest ] -> (
+      match fields ~count:2 rest with
+      | Some [ o; a; v ] -> (
+        match (oid o, value v) with
+        | Some o, Some v when a <> "" -> Some (Set (o, a, v))
+        | _ -> None)
+      | _ -> None)
+    | Some [ "ins"; rest ] | Some [ "rem"; rest ] -> (
+      match fields ~count:1 rest with
+      | Some [ o; v ] -> (
+        match (oid o, value v) with
+        | Some o, Some v ->
+          Some (if s.[0] = 'i' then Insert (o, v) else Remove (o, v))
+        | _ -> None)
+      | _ -> None)
+    | Some [ "name"; _ ] -> (
+      try Scanf.sscanf s "name %S %d%!" (fun n o -> Some (Bind (n, Gom.Oid.of_int o)))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+    | _ -> None)
+
+(* ---------------- appending ---------------- *)
+
+type t = {
+  file : Fault.file;
+  policy : sync_policy;
+  mutable appended : int;
+}
+
+let open_append ?fault ~policy path =
+  let fault = match fault with Some f -> f | None -> Fault.real () in
+  { file = Fault.open_append fault path; policy; appended = 0 }
+
+let sync t = Fault.sync t.file
+
+let append t record =
+  let payload = payload_of_record record in
+  let line =
+    Printf.sprintf "%s %d %s\n"
+      (Gom.Crc32.to_hex (Gom.Crc32.string payload))
+      (String.length payload) payload
+  in
+  Fault.write t.file line;
+  t.appended <- t.appended + 1;
+  match (t.policy, record) with
+  | Sync_always, _ -> sync t
+  | Sync_on_commit, (Commit | Abort) -> sync t
+  | (Sync_on_commit | Sync_never), _ -> ()
+
+let close t = Fault.close t.file
+let appended t = t.appended
+
+(* ---------------- recovery-side reading ---------------- *)
+
+type scanned = {
+  records : record list;
+  committed : int;
+  committed_bytes : int;
+  valid_bytes : int;
+  total_bytes : int;
+}
+
+let parse_frame ~recno line =
+  match fields ~count:2 line with
+  | Some [ crc_hex; len_s; payload ] -> (
+    match (Gom.Crc32.of_hex crc_hex, int_of_string_opt len_s) with
+    | Some crc, Some len
+      when len = String.length payload
+           && Int32.equal crc (Gom.Crc32.string payload) ->
+      record_of_payload ~recno payload
+    | _ -> None)
+  | _ -> None
+
+let scan path =
+  let text =
+    if not (Sys.file_exists path) then ""
+    else
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let n = String.length text in
+  let rec go recs count off committed committed_bytes in_txn =
+    let finish valid_bytes =
+      {
+        records = List.rev recs;
+        committed;
+        committed_bytes;
+        valid_bytes;
+        total_bytes = n;
+      }
+    in
+    if off >= n then finish off
+    else
+      match String.index_from_opt text off '\n' with
+      | None -> finish off (* torn final record: no terminator *)
+      | Some nl -> (
+        let line = String.sub text off (nl - off) in
+        match parse_frame ~recno:(count + 1) line with
+        | None -> finish off (* damaged record: untrusted from here on *)
+        | Some record ->
+          let end_off = nl + 1 in
+          let in_txn', committed', cbytes' =
+            match record with
+            | Begin -> (true, committed, committed_bytes)
+            | Commit | Abort -> (false, count + 1, end_off)
+            | _ when in_txn -> (true, committed, committed_bytes)
+            | _ -> (false, count + 1, end_off)
+          in
+          go (record :: recs) (count + 1) end_off committed' cbytes' in_txn')
+  in
+  go [] 0 0 0 0 false
+
+exception Replay_error of string
+
+let replay store records =
+  let applied = ref 0 in
+  List.iteri
+    (fun i record ->
+      let apply f =
+        (try f ()
+         with Gom.Store.Type_error m ->
+           raise (Replay_error (Printf.sprintf "record %d: %s" (i + 1) m)));
+        incr applied
+      in
+      match record with
+      | Begin | Commit | Abort -> ()
+      | Create (o, ty) -> apply (fun () -> Gom.Store.restore_object store o ty)
+      | Set (o, a, v) -> apply (fun () -> Gom.Store.set_attr store o a v)
+      | Insert (o, v) -> apply (fun () -> Gom.Store.insert_elem store o v)
+      | Remove (o, v) -> apply (fun () -> Gom.Store.remove_elem store o v)
+      | Delete (o, _) -> apply (fun () -> Gom.Store.delete store o)
+      | Bind (name, o) -> apply (fun () -> Gom.Store.bind_name store name o))
+    records;
+  !applied

@@ -1,0 +1,96 @@
+(** The write-ahead log: every {!Gom.Store.event} of a durable object
+    base is serialised as one CRC-framed record, appended through the
+    fault-injectable file layer ({!Fault}).
+
+    {2 Format}
+
+    One record per line:
+    {v <crc32-hex> <payload-length> <payload>\n v}
+
+    where the CRC covers the payload.  Payloads reuse {!Gom.Serial}'s
+    value syntax and are newline-free:
+    {v
+    begin                      transaction started
+    commit                     transaction committed (flush barrier)
+    abort                      transaction rolled back (after its
+                               compensation records)
+    new 7 ROBOT                object i7 of type ROBOT created
+    set 7 Name str:"Z3"        attribute assigned
+    ins 5 ref:3                element inserted into set/list i5
+    rem 5 ref:3                element removed
+    del 7 ROBOT                object deleted (its reference
+                               nullifications precede it as [set]/[rem]
+                               records)
+    name "OurRobots" 5         persistent root bound
+    v}
+
+    A record is {e committed} when it lies outside any
+    [begin]..[commit]/[abort] span, or inside a closed one.  Recovery
+    replays exactly the committed prefix: a transaction whose [commit]
+    never reached the disk is dropped wholesale, and a rolled-back
+    transaction nets out because its compensation records and [abort]
+    marker replay too. *)
+
+type sync_policy =
+  | Sync_always  (** fsync after every record — maximum durability *)
+  | Sync_on_commit
+      (** fsync at [commit]/[abort] markers and explicit barriers; an
+          autocommit mutation outside any transaction may be lost in a
+          crash, but never partially applied *)
+  | Sync_never  (** leave it to the OS (checkpoints still sync) *)
+
+type record =
+  | Begin
+  | Commit
+  | Abort
+  | Create of Gom.Oid.t * Gom.Schema.type_name
+  | Set of Gom.Oid.t * Gom.Schema.attr_name * Gom.Value.t
+  | Insert of Gom.Oid.t * Gom.Value.t
+  | Remove of Gom.Oid.t * Gom.Value.t
+  | Delete of Gom.Oid.t * Gom.Schema.type_name
+  | Bind of string * Gom.Oid.t
+
+val record_of_event : Gom.Store.t -> Gom.Store.event -> record
+(** The loggable image of a store event ([Created] looks the object's
+    type up, so it must run while the object is live — i.e. from a
+    subscribed listener). *)
+
+type t
+
+val open_append : ?fault:Fault.t -> policy:sync_policy -> string -> t
+(** Open (creating if missing) for appending. *)
+
+val append : t -> record -> unit
+(** Frame and append one record, honouring the sync policy.
+    @raise Fault.Crash under an armed fault plan. *)
+
+val sync : t -> unit
+(** Explicit flush barrier. *)
+
+val close : t -> unit
+val appended : t -> int
+
+(** {2 Recovery-side reading} *)
+
+type scanned = {
+  records : record list;  (** every intact record, in order *)
+  committed : int;  (** length (in records) of the committed prefix *)
+  committed_bytes : int;  (** file offset just past that prefix *)
+  valid_bytes : int;  (** offset past the last intact record *)
+  total_bytes : int;  (** physical size, [> valid_bytes] iff torn *)
+}
+
+val scan : string -> scanned
+(** Read and validate a log.  Scanning stops at the first torn or
+    corrupt record — everything after it is untrusted tail.  A missing
+    file reads as empty. *)
+
+exception Replay_error of string
+
+val replay : Gom.Store.t -> record list -> int
+(** Apply records (markers are no-ops) to a store with {e no listeners
+    attached}; returns the number of mutations applied.  The caller
+    passes the committed prefix, i.e.
+    [List.filteri (fun i _ -> i < s.committed) s.records].
+    @raise Replay_error if a record does not apply (log/snapshot
+    mismatch). *)

@@ -1,0 +1,32 @@
+(* Table-driven CRC-32, reflected form, polynomial 0xEDB88320. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let sub ?(init = 0l) s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.sub";
+  let table = Lazy.force table in
+  let c = ref (Int32.logxor init 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let string ?init s = sub ?init s ~pos:0 ~len:(String.length s)
+
+let to_hex c = Printf.sprintf "%08lx" (Int32.logand c 0xFFFFFFFFl)
+
+let of_hex s =
+  let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+  if String.length s <> 8 || not (String.for_all is_hex s) then None
+  else try Some (Int32.of_string ("0x" ^ s)) with Failure _ -> None

@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), for integrity
+    framing of persisted data: the {!Serial} store footer and the
+    durability layer's write-ahead-log records. *)
+
+val string : ?init:int32 -> string -> int32
+(** Checksum of a whole string (or continue from a previous value with
+    [?init], which must be the {e returned} checksum, not the internal
+    register). *)
+
+val sub : ?init:int32 -> string -> pos:int -> len:int -> int32
+(** Checksum of a substring.  @raise Invalid_argument on bad bounds. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase hex image, 8 characters. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] if not 8 hex characters. *)

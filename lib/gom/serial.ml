@@ -115,6 +115,10 @@ let schema_of_string text =
 
 (* ---------------- store ---------------- *)
 
+(* Every serialised store ends with an integrity footer [X <crc> <len>]
+   covering all preceding bytes, so that a truncated or bit-damaged file
+   is detected instead of silently loading a partial object base. *)
+
 let store_to_string store =
   let buf = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
@@ -139,31 +143,82 @@ let store_to_string store =
   List.iter
     (fun (name, oid) -> out "N %S %d" name (Oid.to_int oid))
     (Store.names store);
-  Buffer.contents buf
+  let body = Buffer.contents buf in
+  Printf.sprintf "%sX %s %d\n" body (Crc32.to_hex (Crc32.string body)) (String.length body)
+
+(* Lines annotated with their 1-based line number and the byte offset of
+   their first character, so Corrupt messages can point into the file. *)
+let lines_with_offsets text =
+  let n = String.length text in
+  let rec go acc line off =
+    if off >= n then List.rev acc
+    else
+      let stop =
+        match String.index_from_opt text off '\n' with Some i -> i | None -> n
+      in
+      let acc = (line, off, String.trim (String.sub text off (stop - off))) :: acc in
+      go acc (line + 1) (stop + 1)
+  in
+  go [] 1 0
+
+let check_footer text =
+  (* The writer always terminates the footer line, so an unterminated
+     file lost at least its final byte. *)
+  if text <> "" && text.[String.length text - 1] <> '\n' then
+    corrupt "byte %d: missing final newline - file truncated?" (String.length text);
+  let all =
+    lines_with_offsets text |> List.filter (fun (_, _, s) -> s <> "")
+  in
+  match List.rev all with
+  | [] -> corrupt "byte 0: empty input"
+  | (fline, foff, footer) :: _ -> (
+    match split_ws footer with
+    | [ "X"; crc_hex; len_s ] -> (
+      match (Crc32.of_hex crc_hex, int_of_string_opt len_s) with
+      | Some crc, Some len when len >= 0 && len <= String.length text ->
+        if foff <> len then
+          corrupt
+            "line %d (byte %d): integrity footer covers %d bytes but starts at byte %d - \
+             file truncated or spliced"
+            fline foff len foff
+        else if not (Int32.equal (Crc32.sub text ~pos:0 ~len) crc) then
+          corrupt "line %d (byte %d): checksum mismatch - file damaged" fline foff
+      | _ -> corrupt "line %d (byte %d): malformed integrity footer %S" fline foff footer)
+    | _ ->
+      corrupt
+        "line %d (byte %d): missing integrity footer %S - file truncated?"
+        fline foff footer)
 
 let store_of_string text =
+  check_footer text;
   let lines =
-    String.split_on_char '\n' text
-    |> List.mapi (fun i s -> (i + 1, String.trim s))
-    |> List.filter (fun (_, s) -> s <> "")
+    lines_with_offsets text
+    |> List.filter (fun (_, _, s) -> s <> "" && s.[0] <> 'X')
+    |> List.map (fun (line, off, s) -> ((line, off), s))
   in
   (match lines with
   | (_, h) :: _ when h = header -> ()
-  | (_, h) :: _ -> corrupt "line 1: unknown header %S" h
-  | [] -> corrupt "empty input");
+  | ((line, off), h) :: _ -> corrupt "line %d (byte %d): unknown header %S" line off h
+  | [] -> corrupt "byte 0: no content before integrity footer");
   let lines = List.tl lines in
   let tagged tag = List.filter (fun (_, s) -> String.length s > 1 && s.[0] = tag) lines in
+  (* Decorate errors raised while processing one line with its byte
+     offset (the nested message already carries the line number). *)
+  let located (_, off) f =
+    try f () with Corrupt m -> corrupt "%s (byte %d)" m off
+  in
   let schema =
     List.fold_left
-      (fun schema (line, s) ->
-        try apply_schema_line ~line schema s
-        with Schema.Schema_error m -> corrupt "line %d: %s" line m)
+      (fun schema ((line, _) as loc, s) ->
+        located loc (fun () ->
+            try apply_schema_line ~line schema s
+            with Schema.Schema_error m -> corrupt "line %d: %s" line m))
       Schema.empty
       (tagged 'F' @ tagged 'T')
   in
   let store =
     try Store.create schema
-    with Store.Type_error m -> corrupt "invalid schema: %s" m
+    with Store.Type_error m -> corrupt "byte 0: invalid schema: %s" m
   in
   let parse_oid ~line s =
     match int_of_string_opt s with
@@ -172,11 +227,12 @@ let store_of_string text =
   in
   let wrap ~line f = try f () with Store.Type_error m -> corrupt "line %d: %s" line m in
   List.iter
-    (fun (line, s) ->
-      match split_ws s with
-      | [ "O"; oid; ty ] ->
-        wrap ~line (fun () -> Store.restore_object store (parse_oid ~line oid) ty)
-      | _ -> corrupt "line %d: malformed object line %S" line s)
+    (fun ((line, _) as loc, s) ->
+      located loc (fun () ->
+          match split_ws s with
+          | [ "O"; oid; ty ] ->
+            wrap ~line (fun () -> Store.restore_object store (parse_oid ~line oid) ty)
+          | _ -> corrupt "line %d: malformed object line %S" line s))
     (tagged 'O');
   (* A/E lines carry a verbatim value tail (string payloads may contain
      runs of spaces), so only the leading fields are tokenised. *)
@@ -194,40 +250,67 @@ let store_of_string text =
     go 0 [] count
   in
   List.iter
-    (fun (line, s) ->
-      match fields ~line ~count:3 s with
-      | [ "A"; oid; attr; value ] ->
-        let v = value_of_string ~line value in
-        wrap ~line (fun () -> Store.set_attr store (parse_oid ~line oid) attr v)
-      | _ -> corrupt "line %d: malformed attribute line %S" line s)
+    (fun ((line, _) as loc, s) ->
+      located loc (fun () ->
+          match fields ~line ~count:3 s with
+          | [ "A"; oid; attr; value ] ->
+            let v = value_of_string ~line value in
+            wrap ~line (fun () -> Store.set_attr store (parse_oid ~line oid) attr v)
+          | _ -> corrupt "line %d: malformed attribute line %S" line s))
     (tagged 'A');
   List.iter
-    (fun (line, s) ->
-      match fields ~line ~count:2 s with
-      | [ "E"; oid; value ] ->
-        let v = value_of_string ~line value in
-        wrap ~line (fun () -> Store.insert_elem store (parse_oid ~line oid) v)
-      | _ -> corrupt "line %d: malformed element line %S" line s)
+    (fun ((line, _) as loc, s) ->
+      located loc (fun () ->
+          match fields ~line ~count:2 s with
+          | [ "E"; oid; value ] ->
+            let v = value_of_string ~line value in
+            wrap ~line (fun () -> Store.insert_elem store (parse_oid ~line oid) v)
+          | _ -> corrupt "line %d: malformed element line %S" line s))
     (tagged 'E');
   List.iter
-    (fun (line, s) ->
+    (fun ((line, _) as loc, s) ->
       (* N %S <oid> *)
-      try
-        Scanf.sscanf s "N %S %d" (fun name oid ->
-            wrap ~line (fun () -> Store.bind_name store name (Oid.of_int oid)))
-      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-        corrupt "line %d: malformed name line %S" line s)
+      located loc (fun () ->
+          try
+            Scanf.sscanf s "N %S %d" (fun name oid ->
+                wrap ~line (fun () -> Store.bind_name store name (Oid.of_int oid)))
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            corrupt "line %d: malformed name line %S" line s))
     (tagged 'N');
   store
 
+(* Atomic save: write a sibling temp file, fsync it, then rename over
+   the destination, so a crash mid-save can never leave a half-written
+   (or empty) base behind - either the old file or the new one is seen. *)
 let save store filename =
-  let oc = open_out filename in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (store_to_string store))
+  let dir = Filename.dirname filename in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename filename) ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (store_to_string store);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp filename
+  with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let load filename =
-  let ic = open_in filename in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> store_of_string (really_input_string ic (in_channel_length ic)))
+  let ic =
+    try open_in_bin filename
+    with Sys_error m -> corrupt "cannot open %s: %s" filename m
+  in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try really_input_string ic (in_channel_length ic)
+        with Sys_error m | Failure m -> corrupt "cannot read %s: %s" filename m
+           | End_of_file -> corrupt "cannot read %s: unexpected end of file" filename)
+  in
+  store_of_string text

@@ -16,10 +16,25 @@
     A 0 Name str:"RobClone"
     E 5 ref:3
     N OurRobots 5
-    v} *)
+    X 7c9f01a2 153
+    v}
+
+    The trailing [X <crc32> <length>] integrity footer covers every
+    preceding byte, so a truncated, spliced or bit-damaged file raises
+    {!Corrupt} instead of silently yielding a partial object base. *)
 
 exception Corrupt of string
-(** Raised by the readers on malformed input (with a line number). *)
+(** Raised by the readers on malformed input.  Every message carries the
+    line and/or byte offset of the damage. *)
+
+val value_to_string : Value.t -> string
+(** One value in the format's tagged syntax ([null], [ref:3],
+    [str:"x"], ...); newline-free.  Shared with the durability layer's
+    write-ahead log. *)
+
+val value_of_string : line:int -> string -> Value.t
+(** Inverse of {!value_to_string}; [~line] (a line or record number) is
+    quoted in {!Corrupt} messages. *)
 
 val schema_to_string : Schema.t -> string
 (** Only the type definitions (built-ins omitted). *)
@@ -33,7 +48,11 @@ val store_to_string : Store.t -> string
 val store_of_string : string -> Store.t
 
 val save : Store.t -> string -> unit
-(** Write {!store_to_string} to a file. *)
+(** Write {!store_to_string} to a file {e atomically}: the bytes go to
+    a sibling temp file which is fsynced and then renamed over the
+    destination, so a crash mid-save leaves either the old file or the
+    complete new one - never a torn mixture. *)
 
 val load : string -> Store.t
-(** Read a file written by {!save}.  @raise Corrupt on damage. *)
+(** Read a file written by {!save}.  @raise Corrupt on damage,
+    truncation, or an unreadable file (no bare [Sys_error] escapes). *)

@@ -14,6 +14,41 @@ let active_stores : Store.t list ref = ref []
 
 let active store = List.exists (fun s -> s == store) !active_stores
 
+type hooks = {
+  on_start : unit -> unit;
+  on_commit : unit -> unit;
+  on_rollback : unit -> unit;
+}
+
+(* Lifecycle observers, keyed by physical store identity (the
+   durability layer turns these into write-ahead-log markers). *)
+let hook_table : (Store.t * hooks) list ref = ref []
+
+let set_hooks store h =
+  hook_table := (store, h) :: List.filter (fun (s, _) -> not (s == store)) !hook_table
+
+let clear_hooks store =
+  hook_table := List.filter (fun (s, _) -> not (s == store)) !hook_table
+
+let hooks_of store =
+  List.find_map (fun (s, h) -> if s == store then Some h else None) !hook_table
+
+let run_hook store f =
+  match hooks_of store with None -> () | Some h -> f h
+
+(* Release every per-store registration this transaction holds.  All the
+   exception-safety paths below funnel through here, so no failure mode
+   can leave the store marked active with a dangling event logger. *)
+let release t state =
+  Store.unsubscribe t.store t.sub;
+  active_stores := List.filter (fun s -> not (s == t.store)) !active_stores;
+  t.state <- state
+
+let ensure_active t =
+  match t.state with
+  | `Active -> ()
+  | `Committed | `Rolled_back -> error "transaction already finished"
+
 let start store =
   if active store then error "a transaction is already active on this store";
   let rec t =
@@ -29,21 +64,21 @@ let start store =
   in
   let t = Lazy.force t in
   active_stores := store :: !active_stores;
+  (* If the start hook refuses (e.g. the write-ahead log is gone), the
+     store must not stay marked active. *)
+  (try run_hook store (fun h -> h.on_start ())
+   with e ->
+     release t `Rolled_back;
+     raise e);
   t
-
-let finish t state =
-  (match t.state with
-  | `Active -> ()
-  | `Committed | `Rolled_back -> error "transaction already finished");
-  Store.unsubscribe t.store t.sub;
-  active_stores := List.filter (fun s -> not (s == t.store)) !active_stores;
-  t.state <- state
 
 let events_logged t = List.length t.log
 
 let commit t =
-  finish t `Committed;
-  t.log <- []
+  ensure_active t;
+  release t `Committed;
+  t.log <- [];
+  run_hook t.store (fun h -> h.on_commit ())
 
 let undo store = function
   | Store.Created oid ->
@@ -59,9 +94,25 @@ let undo store = function
   | Store.Deleted { obj; ty } -> Store.restore_object store obj ty
 
 let rollback t =
-  finish t `Rolled_back;
-  List.iter (undo t.store) t.log;
-  t.log <- []
+  ensure_active t;
+  (* Detach this transaction's own event logger first, so the inverse
+     mutations below are not themselves recorded; other listeners
+     (maintenance, write-ahead log) do observe them.  [Fun.protect]
+     guarantees the store is released even if a listener raises
+     mid-undo. *)
+  Store.unsubscribe t.store t.sub;
+  Fun.protect
+    ~finally:(fun () -> release t `Rolled_back)
+    (fun () -> List.iter (undo t.store) t.log);
+  t.log <- [];
+  run_hook t.store (fun h -> h.on_rollback ())
+
+let abandon t =
+  match t.state with
+  | `Committed | `Rolled_back -> ()
+  | `Active ->
+    release t `Rolled_back;
+    t.log <- []
 
 let with_txn store f =
   let t = start store in

@@ -29,8 +29,35 @@ val commit : t -> unit
     @raise Txn_error if the transaction already finished. *)
 
 val rollback : t -> unit
-(** Undo all changes made since {!start}.
+(** Undo all changes made since {!start}.  The inverse mutations run
+    through the regular store mutators, so remaining listeners (index
+    maintenance, the write-ahead log) observe them as ordinary events —
+    a durability layer logs them as {e compensation records}.  Even if a
+    listener raises mid-undo, the store is released (exception-safe).
     @raise Txn_error if the transaction already finished. *)
+
+val abandon : t -> unit
+(** Drop the transaction {e without} undoing: release the store and
+    discard the log, leaving the object base as the mutations left it.
+    Used by crash simulation and process teardown, where the in-memory
+    state is about to be discarded wholesale.  Idempotent; runs no
+    hook. *)
+
+type hooks = {
+  on_start : unit -> unit;    (** after the transaction became active *)
+  on_commit : unit -> unit;   (** after a successful commit *)
+  on_rollback : unit -> unit; (** after the undo completed *)
+}
+(** Lifecycle observers for one store.  The durability layer maps these
+    to write-ahead-log begin/commit/abort markers, with commit acting as
+    the log's flush barrier.  If [on_start] raises, {!start} releases
+    the store again and re-raises (the transaction never existed). *)
+
+val set_hooks : Store.t -> hooks -> unit
+(** Install (or replace) the lifecycle hooks of a store. *)
+
+val clear_hooks : Store.t -> unit
+(** Remove them; idempotent. *)
 
 val with_txn : Store.t -> (unit -> 'a) -> ('a, exn) result
 (** Run the function inside a transaction: commit on success, rollback

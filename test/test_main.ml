@@ -6,6 +6,7 @@ let () =
       ("store", Test_store.suite);
       ("txn", Test_txn.suite);
       ("serial", Test_serial.suite);
+      ("durability", Test_durability.suite);
       ("path", Test_path.suite);
       ("relation", Test_relation.suite);
       ("extension", Test_extension.suite);

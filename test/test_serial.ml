@@ -119,6 +119,58 @@ let test_corrupt_inputs () =
     (bad "asr-object-base v1\nT tuple X - a:INT\nO 0 X\nA 0 a wat:7\n");
   check "dangling name" true (bad "asr-object-base v1\nN \"x\" 99\n")
 
+let test_truncation_fuzz () =
+  (* A torn write must never load as a silently partial base: cutting
+     the serialised text at EVERY byte (which subsumes every line
+     boundary) must raise [Corrupt] — never succeed, never escape with
+     another exception. *)
+  let b = C.base () in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "with \"quotes\" and\nnewline");
+  let text = S.store_to_string b.C.store in
+  let n = String.length text in
+  check "non-trivial text" true (n > 100);
+  for cut = 0 to n - 1 do
+    match S.store_of_string (String.sub text 0 cut) with
+    | (_ : Gom.Store.t) ->
+      Alcotest.failf "truncation at byte %d/%d loaded successfully" cut n
+    | exception S.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "truncation at byte %d/%d escaped with %s" cut n
+        (Printexc.to_string e)
+  done;
+  (* The intact text still loads. *)
+  ignore (S.store_of_string text)
+
+let test_corrupt_messages_located () =
+  (* Every [Corrupt] arising from damaged content names the byte
+     offset, so a torn file can be inspected by hand. *)
+  let has_byte text =
+    match S.store_of_string text with
+    | (_ : Gom.Store.t) -> false
+    | exception S.Corrupt m ->
+      let rec find i =
+        i + 4 <= String.length m && (String.sub m i 4 = "byte" || find (i + 1))
+      in
+      find 0
+  in
+  let b = C.base () in
+  let text = S.store_to_string b.C.store in
+  (* Flip one byte inside the body: footer CRC catches it, and the
+     message locates the damage. *)
+  let flipped = Bytes.of_string text in
+  Bytes.set flipped (String.length text / 2)
+    (if Bytes.get flipped (String.length text / 2) = 'x' then 'y' else 'x');
+  check "bit damage located" true (has_byte (Bytes.to_string flipped));
+  (* A well-framed file with a bad value line: the per-line error must
+     carry the line's byte offset. *)
+  let body = "asr-object-base v1\nT tuple X - a:INT\nO 0 X\nA 0 a wat:7\n" in
+  let framed =
+    Printf.sprintf "%sX %s %d\n" body
+      (Gom.Crc32.to_hex (Gom.Crc32.string body))
+      (String.length body)
+  in
+  check "bad value located" true (has_byte framed)
+
 let test_generated_roundtrip () =
   let spec =
     Workload.Generator.spec ~seed:31 ~counts:[ 80; 160; 320 ] ~defined:[ 70; 150 ]
@@ -177,6 +229,8 @@ let suite =
     Alcotest.test_case "tricky strings" `Quick test_tricky_strings;
     Alcotest.test_case "special values" `Quick test_special_values;
     Alcotest.test_case "corrupt inputs" `Quick test_corrupt_inputs;
+    Alcotest.test_case "truncation fuzz: cut at every byte" `Quick test_truncation_fuzz;
+    Alcotest.test_case "corrupt messages carry byte offsets" `Quick test_corrupt_messages_located;
     Alcotest.test_case "generated base roundtrip" `Quick test_generated_roundtrip;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     Alcotest.test_case "save/load file" `Quick test_save_load_file;

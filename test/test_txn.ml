@@ -95,6 +95,78 @@ let test_rollback_keeps_asr_consistent () =
            (Core.Asr.extension_relation a)))
     Core.Extension.all
 
+let test_rollback_asr_byte_identical () =
+  (* Stronger than relation equality: the rendered ASR — partition
+     layout included — must come back byte-for-byte. *)
+  let b = C.base () in
+  let path = C.name_path b.C.store in
+  let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.C.store in
+  let mgr = Core.Maintenance.create { Core.Exec.store = b.C.store; Core.Exec.heap = heap } in
+  let a = Core.Asr.create b.C.store path Core.Extension.Full (Core.Decomposition.binary ~m:5) in
+  Core.Maintenance.register mgr a;
+  let render () = Format.asprintf "%a" Relation.pp (Core.Asr.extension_relation a) in
+  let before = render () in
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Hatch");
+  Gom.Store.delete b.C.store b.C.sec560;
+  Gom.Txn.rollback t;
+  Alcotest.(check string) "rendered ASR byte-identical after rollback" before (render ())
+
+let test_failing_start_hook_releases_store () =
+  let b = C.base () in
+  Gom.Txn.set_hooks b.C.store
+    {
+      Gom.Txn.on_start = (fun () -> failwith "wal gone");
+      Gom.Txn.on_commit = (fun () -> ());
+      Gom.Txn.on_rollback = (fun () -> ());
+    };
+  check "start propagates hook failure" true
+    (try ignore (Gom.Txn.start b.C.store); false with Failure _ -> true);
+  check "store not left active" false (Gom.Txn.active b.C.store);
+  Gom.Txn.clear_hooks b.C.store;
+  (* The store is usable again once the hook is gone. *)
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Hatch");
+  Gom.Txn.commit t;
+  check "later transaction commits" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.door "Name") (V.Str "Hatch"))
+
+let test_failing_listener_mid_undo_releases_store () =
+  let b = C.base () in
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Hatch");
+  Gom.Store.set_attr b.C.store b.C.door "Price" (V.Dec 1.0);
+  (* A listener (e.g. a broken maintenance client) that blows up on the
+     first compensation event of the rollback. *)
+  let sub =
+    Gom.Store.subscribe_cancellable b.C.store (fun _ -> failwith "listener boom")
+  in
+  check "rollback propagates listener failure" true
+    (try Gom.Txn.rollback t; false with Failure _ -> true);
+  Gom.Store.unsubscribe b.C.store sub;
+  check "store released despite mid-undo failure" false (Gom.Txn.active b.C.store);
+  check "finished transaction cannot be reused" true
+    (try Gom.Txn.rollback t; false with Gom.Txn.Txn_error _ -> true);
+  (* The store accepts a fresh transaction afterwards. *)
+  let t2 = Gom.Txn.start b.C.store in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Lid");
+  Gom.Txn.commit t2;
+  check "fresh transaction works" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.door "Name") (V.Str "Lid"))
+
+let test_abandon () =
+  let b = C.base () in
+  let t = Gom.Txn.start b.C.store in
+  Gom.Store.set_attr b.C.store b.C.door "Name" (V.Str "Hatch");
+  Gom.Txn.abandon t;
+  check "abandon releases the store" false (Gom.Txn.active b.C.store);
+  (* Unlike rollback, abandon leaves the mutation in place (the caller
+     is simulating a dead process, not undoing work). *)
+  check "mutation left as-is" true
+    (V.equal (Gom.Store.get_attr b.C.store b.C.door "Name") (V.Str "Hatch"));
+  Gom.Txn.abandon t;
+  check "abandon idempotent" false (Gom.Txn.active b.C.store)
+
 let test_no_nesting () =
   let b = C.base () in
   let t = Gom.Txn.start b.C.store in
@@ -143,6 +215,10 @@ let suite =
     Alcotest.test_case "rollback creation" `Quick test_rollback_creation;
     Alcotest.test_case "rollback deletion (resurrection)" `Quick test_rollback_deletion;
     Alcotest.test_case "rollback keeps ASRs consistent" `Quick test_rollback_keeps_asr_consistent;
+    Alcotest.test_case "rollback leaves ASR byte-identical" `Quick test_rollback_asr_byte_identical;
+    Alcotest.test_case "failing start hook releases store" `Quick test_failing_start_hook_releases_store;
+    Alcotest.test_case "failing listener mid-undo releases store" `Quick test_failing_listener_mid_undo_releases_store;
+    Alcotest.test_case "abandon" `Quick test_abandon;
     Alcotest.test_case "no nesting" `Quick test_no_nesting;
     Alcotest.test_case "with_txn" `Quick test_with_txn;
     Alcotest.test_case "event accounting" `Quick test_event_count;
