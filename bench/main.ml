@@ -72,7 +72,7 @@ let engine_tests =
   in
   let store, path = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   let m = Gom.Path.arity path - 1 in
   let dec_bi = Core.Decomposition.binary ~m in
   let index = Core.Asr.create store path Core.Extension.Full dec_bi in
@@ -88,13 +88,15 @@ let engine_tests =
     Core.Asr.create store tag_path Core.Extension.Full
       (Core.Decomposition.binary ~m:(Gom.Path.arity tag_path - 1))
   in
+  let gql_engine = Engine.create env in
+  Engine.register gql_engine tag_index;
   let maintained_store, mpath = Workload.Generator.build spec in
   let mheap =
     Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) maintained_store
   in
   let mgr =
     Core.Maintenance.create
-      { Core.Exec.store = maintained_store; Core.Exec.heap = mheap }
+      (Core.Exec.make maintained_store mheap)
   in
   Core.Maintenance.register mgr
     (Core.Asr.create maintained_store mpath Core.Extension.Full
@@ -108,13 +110,13 @@ let engine_tests =
            ignore (Core.Asr.create store path Core.Extension.Full dec_bi)));
     Test.make ~name:"engine/backward-supported"
       (Staged.stage (fun () ->
-           ignore (Core.Exec.backward_supported index ~i:0 ~j:n ~target)));
+           ignore (Core.Exec.backward_supported env index ~i:0 ~j:n ~target)));
     Test.make ~name:"engine/backward-scan"
       (Staged.stage (fun () ->
            ignore (Core.Exec.backward_scan env path ~i:0 ~j:n ~target)));
     Test.make ~name:"engine/forward-supported"
       (Staged.stage (fun () ->
-           ignore (Core.Exec.forward_supported index ~i:0 ~j:n source)));
+           ignore (Core.Exec.forward_supported env index ~i:0 ~j:n source)));
     Test.make ~name:"engine/forward-scan"
       (Staged.stage (fun () ->
            ignore (Core.Exec.forward_scan env path ~i:0 ~j:n source)));
@@ -138,8 +140,18 @@ let engine_tests =
     Test.make ~name:"engine/gql-indexed-query"
       (Staged.stage (fun () ->
            ignore
-             (Gql.Eval.query ~env ~indexes:[ tag_index ]
+             (Gql.Eval.query ~engine:gql_engine
                 {|select t from t in T0 where t.A1.A2.A3.Tag = "t3_7"|})));
+    Test.make ~name:"engine/batched-backward-64"
+      (Staged.stage
+         (let targets =
+            Gom.Store.extent store "T3"
+            |> List.filteri (fun i _ -> i mod 25 = 0)
+            |> List.map (fun o -> Gom.Value.Ref o)
+          in
+          let bengine = Engine.create env in
+          Engine.register bengine index;
+          fun () -> ignore (Engine.backward_batch bengine path ~i:0 ~j:n ~targets)));
     Test.make ~name:"engine/advisor-rank"
       (Staged.stage (fun () ->
            ignore
@@ -207,6 +219,92 @@ let durability_tests =
            Durability.Db.close db));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: batched-vs-naive page trajectory (BENCH_*.json)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's headline number: total page accesses for K backward
+   probes, one accounting operation per probe vs one batched operation.
+   Dropped as BENCH_batched_backward.json so CI can track the
+   trajectory; [--quick] runs only this part on a smaller base. *)
+let bench_batched ~quick () =
+  let spec =
+    if quick then
+      Workload.Generator.spec ~seed:7
+        ~counts:[ 100; 200; 400; 800 ]
+        ~defined:[ 90; 180; 360 ] ~fan:[ 2; 2; 2 ] ()
+    else
+      Workload.Generator.spec ~seed:7
+        ~counts:[ 400; 800; 1600; 3200 ]
+        ~defined:[ 370; 730; 1450 ] ~fan:[ 2; 2; 2 ] ()
+  in
+  let store, path = Workload.Generator.build spec in
+  let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
+  let env = Core.Exec.make store heap in
+  let stats = env.Core.Exec.stats in
+  let n = Gom.Path.length path in
+  let m = Gom.Path.arity path - 1 in
+  let engine = Engine.create env in
+  Engine.register engine
+    (Core.Asr.create store path Core.Extension.Full (Core.Decomposition.binary ~m));
+  let k = if quick then 16 else 64 in
+  let last_extent = Gom.Store.extent store (Printf.sprintf "T%d" n) in
+  let stride = max 1 (List.length last_extent / k) in
+  let targets =
+    last_extent
+    |> List.filteri (fun i _ -> i mod stride = 0)
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map (fun o -> Gom.Value.Ref o)
+  in
+  let naive_rows = ref 0 in
+  let naive =
+    List.fold_left
+      (fun acc target ->
+        naive_rows := !naive_rows + List.length (Engine.backward engine path ~i:0 ~j:n ~target);
+        acc + Storage.Stats.op_accesses stats)
+      0 targets
+  in
+  let batched_result = Engine.backward_batch engine path ~i:0 ~j:n ~targets in
+  let batched = Storage.Stats.op_accesses stats in
+  let batched_rows =
+    List.fold_left (fun acc (_, os) -> acc + List.length os) 0 batched_result
+  in
+  assert (!naive_rows = batched_rows);
+  let choice = Engine.choose engine path ~i:0 ~j:n ~dir:Engine.Plan.Bwd in
+  let ci = Engine.cache_info engine in
+  Format.printf "batched-vs-naive backward Q(0,%d): %d probes@." n (List.length targets);
+  Format.printf "  plan          : %s@." (Engine.Plan.to_string choice.Engine.chosen);
+  Format.printf "  per-probe     : %d pages@." naive;
+  Format.printf "  batched       : %d pages@." batched;
+  Format.printf "  plan cache    : %d hit(s), %d miss(es), %d invalidation(s)@."
+    ci.Engine.hits ci.Engine.misses ci.Engine.invalidations;
+  let json =
+    Storage.Stats.summary_to_json
+      ~extra:
+        [
+          ("bench", {|"batched-vs-naive-backward"|});
+          ("quick", string_of_bool quick);
+          ("probes", string_of_int (List.length targets));
+          ("naive_pages", string_of_int naive);
+          ("batched_pages", string_of_int batched);
+          ("rows", string_of_int batched_rows);
+          ("est_cost", Printf.sprintf "%.1f" choice.Engine.est_cost);
+          ("plan_cache_hits", string_of_int ci.Engine.hits);
+          ("plan_cache_misses", string_of_int ci.Engine.misses);
+        ]
+      (Storage.Stats.snapshot stats)
+  in
+  let file = "BENCH_batched_backward.json" in
+  (try
+     let oc = open_out file in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (json ^ "\n"));
+     Format.printf "  written       : %s@." file
+   with Sys_error e -> Format.printf "  (could not write %s: %s)@." file e);
+  if batched >= naive then
+    Format.printf "  WARNING: batching did not reduce page accesses@."
+
 let run_benchmarks tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
@@ -236,8 +334,19 @@ let run_benchmarks tests =
     rows
 
 let () =
-  regenerate_figures ();
-  Format.printf "===============================================================@.";
-  Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
-  Format.printf "===============================================================@.@.";
-  run_benchmarks (figure_tests @ engine_tests @ durability_tests)
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  if quick then begin
+    Format.printf "=== quick mode: batched-vs-naive smoke benchmark ===@.@.";
+    bench_batched ~quick:true ()
+  end
+  else begin
+    regenerate_figures ();
+    Format.printf "===============================================================@.";
+    Format.printf " Batched execution trajectory@.";
+    Format.printf "===============================================================@.@.";
+    bench_batched ~quick:false ();
+    Format.printf "@.===============================================================@.";
+    Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
+    Format.printf "===============================================================@.@.";
+    run_benchmarks (figure_tests @ engine_tests @ durability_tests)
+  end

@@ -102,13 +102,13 @@ let make_env base =
     let b = Workload.Schemas.Robot.base () in
     let store = b.Workload.Schemas.Robot.store in
     let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-    (store, { Core.Exec.store; Core.Exec.heap },
+    (store, (Core.Exec.make store heap),
      Some (Workload.Schemas.Robot.location_path store))
   | "company" ->
     let b = Workload.Schemas.Company.base () in
     let store = b.Workload.Schemas.Company.store in
     let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-    (store, { Core.Exec.store; Core.Exec.heap },
+    (store, (Core.Exec.make store heap),
      Some (Workload.Schemas.Company.name_path store))
   | other ->
     exit_usage
@@ -144,7 +144,9 @@ let dump_cmd base file =
     (Gom.Store.fold_objects store ~init:0 ~f:(fun acc _ -> acc + 1));
   0
 
-let query_cmd base file path_spec index_spec text =
+(* Shared setup for query/explain: store + engine with any requested
+   index registered. *)
+let make_engine base file path_spec index_spec =
   let store, env, index_path =
     match file with
     | None -> make_env base
@@ -154,7 +156,7 @@ let query_cmd base file path_spec index_spec text =
       | exception Sys_error m -> exit_usage m
       | store ->
         let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-        (store, { Core.Exec.store; Core.Exec.heap }, None))
+        (store, Core.Exec.make store heap, None))
   in
   let index_path =
     match path_spec with
@@ -169,18 +171,88 @@ let query_cmd base file path_spec index_spec text =
     | Some spec, Some p -> [ parse_index store p spec ]
     | Some _, None -> exit_usage "--index over a file base requires --path"
   in
-  match Gql.Eval.query ~env ~indexes text with
+  let engine = Engine.create env in
+  List.iter (Engine.register engine) indexes;
+  (store, engine)
+
+let print_cache_line engine =
+  let info = Engine.cache_info engine in
+  Format.printf "plan cache: %d hit(s), %d miss(es), %d invalidation(s)@."
+    info.Engine.hits info.Engine.misses info.Engine.invalidations
+
+let stats_json engine =
+  let env = Engine.env engine in
+  let info = Engine.cache_info engine in
+  Storage.Stats.summary_to_json
+    ~extra:
+      [
+        ("plan_cache_hits", string_of_int info.Engine.hits);
+        ("plan_cache_misses", string_of_int info.Engine.misses);
+        ("plan_cache_invalidations", string_of_int info.Engine.invalidations);
+      ]
+    (Storage.Stats.snapshot env.Core.Exec.stats)
+
+let query_cmd base file path_spec index_spec batch texts =
+  let _store, engine = make_engine base file path_spec index_spec in
+  let run_one text =
+    match Gql.Eval.query ~engine text with
+    | exception Gql.Parser.Parse_error m -> exit_usage ("parse error: " ^ m)
+    | exception Gql.Typecheck.Check_error m -> exit_usage ("type error: " ^ m)
+    | r ->
+      if batch then
+        Format.printf "%4d pages  %4d row(s)  %s@." r.Gql.Eval.pages
+          (List.length r.Gql.Eval.rows)
+          (Gql.Eval.plan_to_string r.Gql.Eval.plan)
+      else begin
+        Format.printf "plan:  %s@." (Gql.Eval.plan_to_string r.Gql.Eval.plan);
+        Format.printf "pages: %d@." r.Gql.Eval.pages;
+        Format.printf "rows  (%d):@." (List.length r.Gql.Eval.rows);
+        List.iter
+          (fun row ->
+            Format.printf "  %s@."
+              (String.concat ", " (List.map Gom.Value.to_string row)))
+          r.Gql.Eval.rows
+      end
+  in
+  List.iter run_one texts;
+  if batch then begin
+    print_cache_line engine;
+    print_endline (stats_json engine)
+  end;
+  0
+
+(* ---------------- explain command ---------------- *)
+
+let explain_cmd base file path_spec index_spec text =
+  let _store, engine = make_engine base file path_spec index_spec in
+  match Gql.Eval.query ~engine text with
   | exception Gql.Parser.Parse_error m -> exit_usage ("parse error: " ^ m)
   | exception Gql.Typecheck.Check_error m -> exit_usage ("type error: " ^ m)
   | r ->
-    Format.printf "plan:  %s@." (Gql.Eval.plan_to_string r.Gql.Eval.plan);
-    Format.printf "pages: %d@." r.Gql.Eval.pages;
-    Format.printf "rows  (%d):@." (List.length r.Gql.Eval.rows);
-    List.iter
-      (fun row ->
-        Format.printf "  %s@."
-          (String.concat ", " (List.map Gom.Value.to_string row)))
-      r.Gql.Eval.rows;
+    (match r.Gql.Eval.plan with
+    | Gql.Eval.Nested_loop ->
+      Format.printf
+        "plan      : nested-loop navigation (the query does not merge into a \
+         single path expression)@."
+    | Gql.Eval.Merged_backward { choice; path; residual; _ } ->
+      Format.printf "query path: %s@." (Gom.Path.to_string path);
+      Format.printf "plan      : %s@." (Engine.Plan.to_string choice.Engine.chosen);
+      (match residual with
+      | Gql.Typecheck.TTrue -> ()
+      | _ -> Format.printf "            + residual filter on the anchor variable@.");
+      Format.printf "estimated : %.1f page accesses@." choice.Engine.est_cost;
+      (match choice.Engine.candidates with
+      | [] | [ _ ] -> ()
+      | _ :: rest ->
+        Format.printf "also considered:@.";
+        List.iter
+          (fun (c : Engine.candidate) ->
+            Format.printf "  est %8.1f  %s@." c.Engine.est_cost
+              (Engine.Plan.to_string c.Engine.plan))
+          rest));
+    Format.printf "measured  : %d page accesses, %d row(s)@." r.Gql.Eval.pages
+      (List.length r.Gql.Eval.rows);
+    print_cache_line engine;
     0
 
 (* ---------------- auto design ---------------- *)
@@ -195,7 +267,7 @@ let auto_cmd base file path_spec p_up queries updates =
       | exception Sys_error m -> exit_usage m
       | store ->
         let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-        (store, { Core.Exec.store; Core.Exec.heap }, None))
+        (store, (Core.Exec.make store heap), None))
   in
   let path =
     match path_spec with
@@ -246,7 +318,7 @@ let repl_cmd base file path_spec index_spec =
       | exception Sys_error m -> exit_usage m
       | store ->
         let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-        (store, { Core.Exec.store; Core.Exec.heap }, None))
+        (store, (Core.Exec.make store heap), None))
   in
   let index_path =
     match path_spec with
@@ -261,6 +333,8 @@ let repl_cmd base file path_spec index_spec =
     | Some spec, Some p -> [ parse_index store p spec ]
     | Some _, None -> exit_usage "--index requires --path on a file base"
   in
+  let engine = Engine.create env in
+  List.iter (Engine.register engine) indexes;
   Format.printf
     "GOM-SQL repl - one query per line; \\schema shows the schema, \\names the \
      roots, \\q quits.@.";
@@ -278,7 +352,7 @@ let repl_cmd base file path_spec index_spec =
            (Gom.Store.names store)
        | "" -> ()
        | line -> (
-         match Gql.Eval.query ~env ~indexes line with
+         match Gql.Eval.query ~engine line with
          | exception Gql.Parser.Parse_error m -> Format.printf "parse error: %s@." m
          | exception Gql.Typecheck.Check_error m -> Format.printf "type error: %s@." m
          | r ->
@@ -477,10 +551,40 @@ let query_t =
            ~doc:"Create an access support relation over the path, e.g. \
                  $(b,full:0,3,5) or $(b,can).")
   in
+  let batch =
+    Arg.(value & flag & info [ "batch" ]
+           ~doc:"Run all queries through one shared engine, print one line per \
+                 query plus the plan-cache and page-access summary as JSON \
+                 (repeated query shapes hit the plan cache).")
+  in
+  let texts =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
+           ~doc:"GOM-SQL text; repeatable.")
+  in
+  Term.(const query_cmd $ base $ file $ path $ index $ batch $ texts)
+
+let explain_t =
+  let base =
+    Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
+           ~doc:"Demo base: $(b,robots) or $(b,company).")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Load the object base from a file written by $(b,dump) instead.")
+  in
+  let path =
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"T0.A1...."
+           ~doc:"Path expression to index (defaults to the demo base's path).")
+  in
+  let index =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"EXT[:DEC]"
+           ~doc:"Create an access support relation over the path, e.g. \
+                 $(b,full:0,3,5) or $(b,can).")
+  in
   let text =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"GOM-SQL text.")
   in
-  Term.(const query_cmd $ base $ file $ path $ index $ text)
+  Term.(const explain_cmd $ base $ file $ path $ index $ text)
 
 let repl_t =
   let base =
@@ -611,6 +715,11 @@ let cmds =
     Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a figure's data series.") experiment_t;
     Cmd.v (Cmd.info "advise" ~doc:"Rank physical designs for an operation mix.") advise_t;
     Cmd.v (Cmd.info "query" ~doc:"Run a GOM-SQL query against a demo or saved base.") query_t;
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:"Show the engine's chosen physical plan, its cost estimate, every \
+               considered alternative, and the measured page accesses.")
+      explain_t;
     Cmd.v (Cmd.info "dump" ~doc:"Persist a demo base to a file.") dump_t;
     Cmd.v (Cmd.info "repl" ~doc:"Interactive GOM-SQL shell.") repl_t;
     Cmd.v

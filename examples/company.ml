@@ -52,12 +52,14 @@ let () =
 
   section "5. Queries 2 and 3 through the GOM-SQL front end";
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   let index =
     Core.Asr.create store path Core.Extension.Full (Core.Decomposition.binary ~m:5)
   in
+  let engine = Engine.create env in
+  Engine.register engine index;
   let run text =
-    let r = Gql.Eval.query ~env ~indexes:[ index ] text in
+    let r = Gql.Eval.query ~engine text in
     Format.printf "@.%s@.  plan: %s, %d pages@." (String.trim text)
       (Gql.Eval.plan_to_string r.Gql.Eval.plan)
       r.Gql.Eval.pages;

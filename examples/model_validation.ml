@@ -31,7 +31,7 @@ let () =
   let spec = Workload.Generator.of_profile ~seed:2026 ~set_valued:[ false; false; false ] profile in
   let store, path = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = Core.Exec.make store heap in
   let n = Gom.Path.length path in
   Format.printf "generated %d objects over path %a@."
     (List.length
@@ -59,7 +59,7 @@ let () =
       ("right binary", X.Right_complete, D.binary ~m:n) ];
 
   section "3. Queries: measured vs predicted page accesses";
-  let stats = Storage.Stats.create () in
+  let stats = env.Core.Exec.stats in
   let measure f =
     Storage.Stats.begin_op stats;
     f ();
@@ -75,12 +75,12 @@ let () =
   (* Unsupported. *)
   let m =
     measure (fun () ->
-        ignore (Core.Exec.backward_scan ~stats env path ~i:0 ~j:n ~target:(some_target n)))
+        ignore (Core.Exec.backward_scan env path ~i:0 ~j:n ~target:(some_target n)))
   in
   Format.printf "%-34s %10d %10.0f@." "bw(0,3), no support" m (QC.qnas profile QC.Bw 0 n);
   let m =
     measure (fun () ->
-        ignore (Core.Exec.forward_scan ~stats env path ~i:0 ~j:n some_source))
+        ignore (Core.Exec.forward_scan env path ~i:0 ~j:n some_source))
   in
   Format.printf "%-34s %10d %10.0f@." "fw(0,3), no support" m (QC.qnas profile QC.Fw 0 n);
   (* Supported, several designs. *)
@@ -90,7 +90,7 @@ let () =
       let m =
         measure (fun () ->
             ignore
-              (Core.Exec.backward_supported ~stats a ~i:0 ~j:n ~target:(some_target n)))
+              (Core.Exec.backward_supported env a ~i:0 ~j:n ~target:(some_target n)))
       in
       Format.printf "%-34s %10d %10.0f@."
         (Printf.sprintf "bw(0,3), %s" label)
@@ -104,13 +104,13 @@ let () =
   let a = Core.Asr.create store path X.Right_complete (D.binary ~m:n) in
   let m =
     measure (fun () ->
-        ignore (Core.Exec.backward ~stats ~index:a env path ~i:1 ~j:n ~target:(some_target n)))
+        ignore (Core.Exec.backward ~index:a env path ~i:1 ~j:n ~target:(some_target n)))
   in
   Format.printf "bw(1,3) via right-complete: %d pages (model: %.0f)@." m
     (QC.q profile X.Right_complete (D.binary ~m:n) QC.Bw 1 n);
   let m =
     measure (fun () ->
-        ignore (Core.Exec.backward ~stats ~index:a env path ~i:0 ~j:2 ~target:(some_target 2)))
+        ignore (Core.Exec.backward ~index:a env path ~i:0 ~j:2 ~target:(some_target 2)))
   in
   Format.printf "bw(0,2) falls back to navigation: %d pages (model: %.0f)@." m
     (QC.q profile X.Right_complete (D.binary ~m:n) QC.Bw 0 2);

@@ -23,7 +23,8 @@ let () =
   (* A heap lays the objects out on simulated pages; all costs below are
      page accesses against it. *)
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = Core.Exec.make store heap in
+  let stats = env.Core.Exec.stats in
 
   section "2. The path expression";
   let path = Workload.Schemas.Robot.location_path store in
@@ -31,11 +32,9 @@ let () =
     (Gom.Path.length path) (Gom.Path.linear path);
 
   section "3. Query 1 by navigation (no access support)";
-  let stats = Storage.Stats.create () in
   Storage.Stats.begin_op stats;
   let robots =
-    Core.Exec.backward_scan ~stats env path ~i:0 ~j:4
-      ~target:(Gom.Value.Str "Utopia")
+    Core.Exec.backward_scan env path ~i:0 ~j:4 ~target:(Gom.Value.Str "Utopia")
   in
   Format.printf "robots from Utopia: %s  (%d page accesses)@."
     (String.concat ", "
@@ -55,7 +54,7 @@ let () =
 
   Storage.Stats.begin_op stats;
   let robots' =
-    Core.Exec.backward_supported ~stats index ~i:0 ~j:4
+    Core.Exec.backward_supported env index ~i:0 ~j:4
       ~target:(Gom.Value.Str "Utopia")
   in
   Format.printf "same query through the ASR: %d robots (%d page accesses)@."
@@ -63,9 +62,11 @@ let () =
     (Storage.Stats.op_accesses stats);
   assert (robots = robots');
 
-  section "5. The GOM-SQL front end picks the plan itself";
+  section "5. The engine prices the strategies and picks the plan";
+  let engine = Engine.create env in
+  Engine.register engine index;
   let result =
-    Gql.Eval.query ~env ~indexes:[ index ]
+    Gql.Eval.query ~engine
       {|select r.Name from r in OurRobots
         where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"|}
   in
@@ -83,8 +84,10 @@ let () =
     (Gom.Value.Str "Marsopolis");
   Format.printf "after relocating RobClone (%d maintenance page accesses):@."
     (Core.Maintenance.last_event_cost mgr);
+  (* The update also bumped the engine's generation counter, so any
+     cached plan for this path is invalidated and repriced. *)
   let result =
-    Gql.Eval.query ~env ~indexes:[ index ]
+    Gql.Eval.query ~engine
       {|select r.Name from r in OurRobots
         where r.Arm.MountedTool.ManufacturedBy.Location = "Marsopolis"|}
   in
@@ -92,4 +95,7 @@ let () =
     (fun row ->
       Format.printf "  %s@." (String.concat ", " (List.map Gom.Value.to_string row)))
     result.Gql.Eval.rows;
+  let ci = Engine.cache_info engine in
+  Format.printf "plan cache: %d hit(s), %d miss(es), %d invalidation(s)@."
+    ci.Engine.hits ci.Engine.misses ci.Engine.invalidations;
   Format.printf "@.done.@."

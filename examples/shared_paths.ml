@@ -83,12 +83,12 @@ let () =
 
   section "3. Both answer their queries from the shared tail";
   let heap = Storage.Heap.create ~size_of:(fun _ -> 120) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   let mgr = Core.Maintenance.create env in
   Core.Maintenance.register mgr a1;
   Core.Maintenance.register mgr a2;
   let ask a path label =
-    let who = Core.Exec.backward_supported a ~i:0 ~j:3 ~target:(V.Str "Wheel") in
+    let who = Core.Exec.backward_supported env a ~i:0 ~j:3 ~target:(V.Str "Wheel") in
     Format.printf "%s using Wheel: %s@." label
       (String.concat ", "
          (List.map

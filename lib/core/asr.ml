@@ -193,6 +193,12 @@ let lookup_fwd ?stats t i key = Storage.Bptree.lookup ?stats t.parts.(i).trees.f
 
 let lookup_bwd ?stats t i key = Storage.Bptree.lookup ?stats t.parts.(i).trees.bwd key
 
+let lookup_fwd_many ?stats t i keys =
+  Storage.Bptree.lookup_many ?stats t.parts.(i).trees.fwd keys
+
+let lookup_bwd_many ?stats t i keys =
+  Storage.Bptree.lookup_many ?stats t.parts.(i).trees.bwd keys
+
 let scan_partition ?stats t i = Storage.Bptree.scan ?stats t.parts.(i).trees.fwd
 
 let insert_tuple ?stats t tup =

@@ -1,7 +1,10 @@
-type env = { store : Gom.Store.t; heap : Storage.Heap.t }
+type env = { store : Gom.Store.t; heap : Storage.Heap.t; stats : Storage.Stats.t }
 
-let read_obj ?stats env oid =
-  match stats with Some st -> Storage.Heap.read_object env.heap st oid | None -> ()
+let make ?stats store heap =
+  let stats = match stats with Some s -> s | None -> Storage.Stats.create () in
+  { store; heap; stats }
+
+let read_obj env oid = Storage.Heap.read_object env.heap env.stats oid
 
 let check_range path ~i ~j =
   let n = Gom.Path.length path in
@@ -15,10 +18,10 @@ let sort_oids os = List.sort_uniq Gom.Oid.compare os
 (* Values reachable at position [j] from object [oid] at position [p].
    Reads the pages of every object it dereferences an attribute of,
    i.e. positions p .. j-1 plus intermediate set instances. *)
-let rec reach ?stats env path ~p ~j oid =
+let rec reach env path ~p ~j oid =
   if p >= j then [ Gom.Value.Ref oid ]
   else begin
-    read_obj ?stats env oid;
+    read_obj env oid;
     let step = Gom.Path.step path (p + 1) in
     match Gom.Store.get_attr env.store oid step.Gom.Path.attr with
     | Gom.Value.Null -> []
@@ -26,21 +29,21 @@ let rec reach ?stats env path ~p ~j oid =
       match step.Gom.Path.set_type with
       | None ->
         if p + 1 = j then [ v ]
-        else reach ?stats env path ~p:(p + 1) ~j (Gom.Value.oid_exn v)
+        else reach env path ~p:(p + 1) ~j (Gom.Value.oid_exn v)
       | Some _ ->
         let set_oid = Gom.Value.oid_exn v in
-        read_obj ?stats env set_oid;
+        read_obj env set_oid;
         Gom.Store.elements env.store set_oid
         |> List.concat_map (fun e ->
                if p + 1 = j then [ e ]
-               else reach ?stats env path ~p:(p + 1) ~j (Gom.Value.oid_exn e)))
+               else reach env path ~p:(p + 1) ~j (Gom.Value.oid_exn e)))
   end
 
-let forward_scan ?stats env path ~i ~j oid =
+let forward_scan env path ~i ~j oid =
   check_range path ~i ~j;
-  sort_values (reach ?stats env path ~p:i ~j oid)
+  sort_values (reach env path ~p:i ~j oid)
 
-let backward_scan ?stats env path ~i ~j ~target =
+let backward_scan env path ~i ~j ~target =
   check_range path ~i ~j;
   (* Memoised reachability test so that shared sub-objects are traversed
      (and their pages charged) once. *)
@@ -51,7 +54,7 @@ let backward_scan ?stats env path ~i ~j ~target =
     | None ->
       let r =
         begin
-          read_obj ?stats env oid;
+          read_obj env oid;
           let step = Gom.Path.step path (p + 1) in
           match Gom.Store.get_attr env.store oid step.Gom.Path.attr with
           | Gom.Value.Null -> false
@@ -62,7 +65,7 @@ let backward_scan ?stats env path ~i ~j ~target =
               else reaches (p + 1) (Gom.Value.oid_exn v)
             | Some _ ->
               let set_oid = Gom.Value.oid_exn v in
-              read_obj ?stats env set_oid;
+              read_obj env set_oid;
               let elems = Gom.Store.elements env.store set_oid in
               if p + 1 = j then List.exists (Gom.Value.equal target) elems
               else
@@ -86,7 +89,8 @@ let distinct_at rows col_in_part =
          if Gom.Value.is_null v then None else Some v)
   |> sort_values
 
-let forward_supported ?stats index ~i ~j oid =
+let forward_supported env index ~i ~j oid =
+  let stats = env.stats in
   let path = Asr.path index in
   check_range path ~i ~j;
   let ci = Gom.Path.column_of_object_position path i in
@@ -99,10 +103,10 @@ let forward_supported ?stats index ~i ~j oid =
         if cur > lo then
           (* Entered the partition away from its clustering column:
              every page must be inspected. *)
-          Asr.scan_partition ?stats index pidx
+          Asr.scan_partition ~stats index pidx
           |> List.filter (fun (row : Relation.Tuple.t) ->
                  List.exists (Gom.Value.equal row.(cur - lo)) frontier)
-        else List.concat_map (fun key -> Asr.lookup_fwd ?stats index pidx key) frontier
+        else List.concat_map (fun key -> Asr.lookup_fwd ~stats index pidx key) frontier
       in
       let stop = min hi cj in
       let frontier' = distinct_at rows (stop - lo) in
@@ -111,7 +115,8 @@ let forward_supported ?stats index ~i ~j oid =
   let pidx = Asr.partition_index_of_column index ci in
   go pidx ci [ Gom.Value.Ref oid ]
 
-let backward_supported ?stats index ~i ~j ~target =
+let backward_supported env index ~i ~j ~target =
+  let stats = env.stats in
   let path = Asr.path index in
   check_range path ~i ~j;
   let ci = Gom.Path.column_of_object_position path i in
@@ -132,10 +137,10 @@ let backward_supported ?stats index ~i ~j ~target =
       let lo, hi = Asr.partition_bounds index pidx in
       let rows =
         if cur < hi then
-          Asr.scan_partition ?stats index pidx
+          Asr.scan_partition ~stats index pidx
           |> List.filter (fun (row : Relation.Tuple.t) ->
                  List.exists (Gom.Value.equal row.(cur - lo)) frontier)
-        else List.concat_map (fun key -> Asr.lookup_bwd ?stats index pidx key) frontier
+        else List.concat_map (fun key -> Asr.lookup_bwd ~stats index pidx key) frontier
       in
       let stop = max lo ci in
       let frontier' = distinct_at rows (stop - lo) in
@@ -144,14 +149,14 @@ let backward_supported ?stats index ~i ~j ~target =
   let pidx = part_ending cj in
   go pidx cj [ target ] |> List.map Gom.Value.oid_exn |> sort_oids
 
-let forward ?stats ?index env path ~i ~j oid =
+let forward ?index env path ~i ~j oid =
   match index with
   | Some a when Asr.supports a ~i ~j && Gom.Path.equal (Asr.path a) path ->
-    forward_supported ?stats a ~i ~j oid
-  | Some _ | None -> forward_scan ?stats env path ~i ~j oid
+    forward_supported env a ~i ~j oid
+  | Some _ | None -> forward_scan env path ~i ~j oid
 
-let backward ?stats ?index env path ~i ~j ~target =
+let backward ?index env path ~i ~j ~target =
   match index with
   | Some a when Asr.supports a ~i ~j && Gom.Path.equal (Asr.path a) path ->
-    backward_supported ?stats a ~i ~j ~target
-  | Some _ | None -> backward_scan ?stats env path ~i ~j ~target
+    backward_supported env a ~i ~j ~target
+  | Some _ | None -> backward_scan env path ~i ~j ~target

@@ -16,44 +16,43 @@
     boundaries and scanning partitions entered in the middle — exactly
     the access patterns the paper's cost formulas (33)-(34) charge.
 
-    All page traffic is reported to the optional [stats]. *)
+    All page traffic is reported to the environment's {!Storage.Stats.t}
+    — the environment {e is} the accounting context; callers that want a
+    fresh measurement call {!Storage.Stats.begin_op} on [env.stats]
+    before evaluating. *)
 
-type env = { store : Gom.Store.t; heap : Storage.Heap.t }
+type env = {
+  store : Gom.Store.t;
+  heap : Storage.Heap.t;
+  stats : Storage.Stats.t;  (** Every evaluation charges its pages here. *)
+}
+
+val make : ?stats:Storage.Stats.t -> Gom.Store.t -> Storage.Heap.t -> env
+(** [make store heap] builds an environment with a fresh cold
+    {!Storage.Stats.t}; pass [?stats] to share or buffer one (e.g. the
+    warm-cache ablation's LRU pool). *)
 
 val forward_scan :
-  ?stats:Storage.Stats.t ->
-  env ->
-  Gom.Path.t ->
-  i:int ->
-  j:int ->
-  Gom.Oid.t ->
-  Gom.Value.t list
+  env -> Gom.Path.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list
 (** Navigational evaluation of [Q^(i,j)(fw)] from one source object.
     Results are distinct, sorted; pages of objects at positions
     [i .. j-1] (and of traversed set instances) are read. *)
 
 val backward_scan :
-  ?stats:Storage.Stats.t ->
-  env ->
-  Gom.Path.t ->
-  i:int ->
-  j:int ->
-  target:Gom.Value.t ->
-  Gom.Oid.t list
+  env -> Gom.Path.t -> i:int -> j:int -> target:Gom.Value.t -> Gom.Oid.t list
 (** Exhaustive evaluation of [Q^(i,j)(bw)]: scans the [ti] extent and
     tests reachability of [target] at position [j]. *)
 
 val forward_supported :
-  ?stats:Storage.Stats.t -> Asr.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list
+  env -> Asr.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list
 (** Index evaluation of [Q^(i,j)(fw)].  The caller must ensure
     {!Asr.supports}; results on supported ranges agree with
     {!forward_scan} (property-tested). *)
 
 val backward_supported :
-  ?stats:Storage.Stats.t -> Asr.t -> i:int -> j:int -> target:Gom.Value.t -> Gom.Oid.t list
+  env -> Asr.t -> i:int -> j:int -> target:Gom.Value.t -> Gom.Oid.t list
 
 val forward :
-  ?stats:Storage.Stats.t ->
   ?index:Asr.t ->
   env ->
   Gom.Path.t ->
@@ -65,7 +64,6 @@ val forward :
     fall back to navigation otherwise. *)
 
 val backward :
-  ?stats:Storage.Stats.t ->
   ?index:Asr.t ->
   env ->
   Gom.Path.t ->

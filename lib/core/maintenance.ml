@@ -262,10 +262,12 @@ let handle_event t index ev =
              List.iter (fun o -> handle_change t index ~i ~obj:o ~targets) os)
 
 let create env =
-  let t = { env; stats = Storage.Stats.create (); asrs = [] } in
-  Gom.Store.subscribe env.Exec.store (fun ev ->
+  let t = { env; stats = env.Exec.stats; asrs = [] } in
+  let (_ : Gom.Store.subscription) =
+    Gom.Store.subscribe env.Exec.store (fun ev ->
       Storage.Stats.begin_op t.stats;
-      List.iter (fun index -> handle_event t index ev) (List.rev t.asrs));
+      List.iter (fun index -> handle_event t index ev) (List.rev t.asrs))
+  in
   t
 
 let register t index =

@@ -36,8 +36,9 @@ val register : t -> Asr.t -> unit
 val asrs : t -> Asr.t list
 
 val stats : t -> Storage.Stats.t
-(** Cumulative maintenance page traffic; each store event is one
-    operation ({!Storage.Stats.begin_op}). *)
+(** The environment's accounting context ([env.stats]): maintenance
+    page traffic accumulates there, each store event as one operation
+    ({!Storage.Stats.begin_op}). *)
 
 val last_event_cost : t -> int
 (** Pages read plus written while processing the most recent event. *)

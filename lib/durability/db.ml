@@ -122,7 +122,7 @@ type t = {
 }
 
 let store t = t.t_store
-let env t = { Core.Exec.store = t.t_store; Core.Exec.heap = t.heap }
+let env t = (Core.Exec.make t.t_store t.heap)
 let generation t = t.gen
 let dir t = t.t_dir
 let asrs t = List.rev t.handles
@@ -138,7 +138,7 @@ let ensure_open t = if t.closed then db_error "durable base handle is closed"
 let attach t =
   t.sub <-
     Some
-      (Gom.Store.subscribe_cancellable t.t_store (fun ev ->
+      (Gom.Store.subscribe t.t_store (fun ev ->
            Wal.append t.wal (Wal.record_of_event t.t_store ev)));
   Gom.Txn.set_hooks t.t_store
     {
@@ -149,7 +149,7 @@ let attach t =
 
 let make ~dir ~fault ~policy ~store ~gen ~specs ~handles ~wal ~recovery =
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let mgr = Core.Maintenance.create { Core.Exec.store; Core.Exec.heap = heap } in
+  let mgr = Core.Maintenance.create (Core.Exec.make store heap) in
   List.iter (Core.Maintenance.register mgr) handles;
   let t =
     {

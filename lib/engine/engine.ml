@@ -1,0 +1,576 @@
+(* Cost-based query engine over access support relations.
+
+   The engine owns the registered ASRs for one object base, measures (or
+   accepts) statistical profiles, enumerates the legal physical
+   strategies for a Q^(i,j) query (Definitions 3.4-3.8 decide which
+   extensions apply), prices every strategy with the paper's analytical
+   cost model (equations 31-35) fed by live profiles, caches the winning
+   plan per query shape, and executes plans either probe-at-a-time or
+   batched across many probes sharing B+ tree descents and leaf pages. *)
+
+module QC = Costmodel.Query_cost
+
+(* ------------------------------------------------------------------ *)
+(* Physical plan IR                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = struct
+  type dir = Fwd | Bwd
+
+  let dir_to_string = function Fwd -> "fw" | Bwd -> "bw"
+
+  (* One partition visit while stitching a decomposed extension back
+     together.  [enter] is the column at which the walk enters the
+     partition: at a clustering boundary the visit is a key lookup, at
+     an interior column every leaf page must be scanned (section 5.6). *)
+  type step =
+    | Lookup of { part : int; enter : int }
+    | Scan of { part : int; enter : int }
+
+  type t =
+    | Nav of { path : Gom.Path.t; i : int; j : int }
+        (** Forward pointer-chasing through the object graph. *)
+    | Extent_scan of { path : Gom.Path.t; i : int; j : int }
+        (** Backward by exhaustive search over the extent of [t_i]. *)
+    | Stitch of {
+        index : Core.Asr.t;
+        dir : dir;
+        i : int;
+        j : int;  (** Object positions within the {e index's} path. *)
+        steps : step list;
+      }  (** Prefix/suffix stitch across the index's decomposition. *)
+    | Union of t list  (** Merge sub-plan answers, duplicate-free. *)
+    | Distinct of t
+
+  let step_to_string = function
+    | Lookup { part; enter } -> Printf.sprintf "lookup(p%d@c%d)" part enter
+    | Scan { part; enter } -> Printf.sprintf "scan(p%d@c%d)" part enter
+
+  let rec to_string = function
+    | Nav { path; i; j } ->
+      Printf.sprintf "nav fw(%d,%d) over %s" i j (Gom.Path.to_string path)
+    | Extent_scan { path; i; j } ->
+      Printf.sprintf "extent-scan bw(%d,%d) over %s" i j (Gom.Path.to_string path)
+    | Stitch { index; dir; i; j; steps } ->
+      Printf.sprintf "asr %s(%d,%d) %s/%s on %s [%s]" (dir_to_string dir) i j
+        (Core.Extension.name (Core.Asr.kind index))
+        (Core.Decomposition.to_string (Core.Asr.decomposition index))
+        (Gom.Path.to_string (Core.Asr.path index))
+        (String.concat " ; " (List.map step_to_string steps))
+    | Union ps -> "union(" ^ String.concat " | " (List.map to_string ps) ^ ")"
+    | Distinct p -> "distinct(" ^ to_string p ^ ")"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type candidate = { plan : Plan.t; est_cost : float }
+
+type choice = {
+  chosen : Plan.t;
+  est_cost : float;
+  candidates : candidate list;  (** All priced strategies, cheapest first. *)
+}
+
+type cache_info = { hits : int; misses : int; invalidations : int; entries : int }
+
+type key = { k_path : string; k_i : int; k_j : int; k_dir : Plan.dir }
+
+type entry = { e_choice : choice; e_generation : int }
+
+type t = {
+  env : Core.Exec.env;
+  mutable indexes : Core.Asr.t list;
+  mutable generation : int;
+      (* Bumped on every store mutation and on index (un)registration;
+         cached plans and measured profiles from older generations are
+         stale. *)
+  cache : (key, entry) Hashtbl.t;
+  measured : (string, Costmodel.Profile.t) Hashtbl.t;
+  pinned : (string, Costmodel.Profile.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  sizes : Gom.Schema.type_name -> int;
+}
+
+let env t = t.env
+let indexes t = t.indexes
+let generation t = t.generation
+
+let create ?(sizes = fun _ -> 100) env =
+  let t =
+    {
+      env;
+      indexes = [];
+      generation = 0;
+      cache = Hashtbl.create 64;
+      measured = Hashtbl.create 8;
+      pinned = Hashtbl.create 4;
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+      sizes;
+    }
+  in
+  let (_ : Gom.Store.subscription) =
+    Gom.Store.subscribe env.Core.Exec.store (fun _event ->
+        t.generation <- t.generation + 1;
+        Hashtbl.reset t.measured)
+  in
+  t
+
+let register t a =
+  if not (List.memq a t.indexes) then begin
+    if not (Core.Asr.store a == t.env.Core.Exec.store) then
+      invalid_arg "Engine.register: index built over a different store";
+    t.indexes <- t.indexes @ [ a ];
+    t.generation <- t.generation + 1
+  end
+
+let cache_info t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.cache;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let measure_profile ?(sizes = fun _ -> 100) store path =
+  let n = Gom.Path.length path in
+  let type_count i =
+    let ty = Gom.Path.type_at path i in
+    if Gom.Schema.is_atomic (Gom.Store.schema store) ty then begin
+      (* Elementary terminal type: its "extent" is the set of distinct
+         values actually referenced (their value is their identity). *)
+      let step = Gom.Path.step path n in
+      let values = Hashtbl.create 64 in
+      List.iter
+        (fun o ->
+          match Gom.Store.get_attr store o step.Gom.Path.attr with
+          | Gom.Value.Null -> ()
+          | v -> (
+            match step.Gom.Path.set_type with
+            | None -> Hashtbl.replace values v ()
+            | Some _ ->
+              List.iter
+                (fun e -> Hashtbl.replace values e ())
+                (Gom.Store.elements store (Gom.Value.oid_exn v))))
+        (Gom.Store.extent ~deep:true store step.Gom.Path.domain);
+      max 1 (Hashtbl.length values)
+    end
+    else max 1 (Gom.Store.count ~deep:true store ty)
+  in
+  let level i =
+    (* d_i, total references, distinct referenced targets of A(i+1). *)
+    let step = Gom.Path.step path (i + 1) in
+    let defined = ref 0 in
+    let refs = ref 0 in
+    let distinct = Hashtbl.create 64 in
+    List.iter
+      (fun o ->
+        match Gom.Store.get_attr store o step.Gom.Path.attr with
+        | Gom.Value.Null -> ()
+        | v -> (
+          incr defined;
+          match step.Gom.Path.set_type with
+          | None ->
+            incr refs;
+            Hashtbl.replace distinct v ()
+          | Some _ ->
+            List.iter
+              (fun e ->
+                incr refs;
+                Hashtbl.replace distinct e ())
+              (Gom.Store.elements store (Gom.Value.oid_exn v))))
+      (Gom.Store.extent ~deep:true store step.Gom.Path.domain);
+    (!defined, !refs, Hashtbl.length distinct)
+  in
+  let stats = List.init n level in
+  let c = List.init (n + 1) (fun i -> float_of_int (type_count i)) in
+  let d = List.map (fun (defined, _, _) -> float_of_int defined) stats in
+  let fan =
+    List.map
+      (fun (defined, refs, _) ->
+        if defined = 0 then 0. else float_of_int refs /. float_of_int defined)
+      stats
+  in
+  let shar =
+    List.map
+      (fun (_, refs, distinct) ->
+        if distinct = 0 then 0. else float_of_int refs /. float_of_int distinct)
+      stats
+  in
+  let size_list =
+    List.init (n + 1) (fun i -> float_of_int (max 1 (sizes (Gom.Path.type_at path i))))
+  in
+  Costmodel.Profile.make ~sizes:size_list ~shar ~c ~d ~fan ()
+
+let set_profile t path prof =
+  Hashtbl.replace t.pinned (Gom.Path.to_string path) prof;
+  t.generation <- t.generation + 1
+
+let profile t path =
+  let key = Gom.Path.to_string path in
+  match Hashtbl.find_opt t.pinned key with
+  | Some p -> p
+  | None -> (
+    match Hashtbl.find_opt t.measured key with
+    | Some p -> p
+    | None ->
+      let p = measure_profile ~sizes:t.sizes t.env.Core.Exec.store path in
+      Hashtbl.replace t.measured key p;
+      p)
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Object-position offset at which the query path embeds in an index
+   path: the index positions off..off+n spell exactly the query's
+   anchor type and attribute chain. *)
+let embedding_offset ~index_path ~query_path =
+  let np = Gom.Path.length index_path in
+  let len = Gom.Path.length query_path in
+  let anchor = Gom.Path.type_at query_path 0 in
+  let attrs = List.map (fun s -> s.Gom.Path.attr) query_path.Gom.Path.steps in
+  let fits off =
+    String.equal (Gom.Path.type_at index_path off) anchor
+    && List.for_all2
+         (fun k attr ->
+           String.equal (Gom.Path.step index_path (off + k)).Gom.Path.attr attr)
+         (List.init len (fun k -> k + 1))
+         attrs
+  in
+  let rec go off =
+    if off + len > np then None else if fits off then Some off else go (off + 1)
+  in
+  go 0
+
+(* The analytical model works on object positions (its m = n
+   simplification drops set-OID columns); map a physical decomposition's
+   boundaries accordingly, discarding boundaries that sit on set
+   columns. *)
+let analytic_decomposition path dec =
+  let n = Gom.Path.length path in
+  let bounds =
+    Core.Decomposition.boundaries dec
+    |> List.filter_map (fun col -> Gom.Path.object_position_of_column path col)
+    |> List.sort_uniq Int.compare
+  in
+  let bounds = if List.mem 0 bounds then bounds else 0 :: bounds in
+  let bounds =
+    if List.mem n bounds then bounds else List.sort_uniq Int.compare (n :: bounds)
+  in
+  Core.Decomposition.make ~m:n bounds
+
+(* Static partition walks, mirroring Exec.forward_supported /
+   backward_supported exactly. *)
+
+let forward_steps index ~ci ~cj =
+  let rec go pidx cur acc =
+    let lo, hi = Core.Asr.partition_bounds index pidx in
+    let s =
+      if cur > lo then Plan.Scan { part = pidx; enter = cur }
+      else Plan.Lookup { part = pidx; enter = cur }
+    in
+    let stop = min hi cj in
+    if stop >= cj then List.rev (s :: acc) else go (pidx + 1) stop (s :: acc)
+  in
+  go (Core.Asr.partition_index_of_column index ci) ci []
+
+(* Index of the partition whose clustering end matches [col] if any,
+   else the one containing it (same rule as Exec). *)
+let part_ending index col =
+  let k = ref (-1) in
+  for idx = 0 to Core.Asr.partition_count index - 1 do
+    let _, hi = Core.Asr.partition_bounds index idx in
+    if !k < 0 && hi = col then k := idx
+  done;
+  if !k >= 0 then !k else Core.Asr.partition_index_of_column index col
+
+let backward_steps index ~ci ~cj =
+  let rec go pidx cur acc =
+    let lo, hi = Core.Asr.partition_bounds index pidx in
+    let s =
+      if cur < hi then Plan.Scan { part = pidx; enter = cur }
+      else Plan.Lookup { part = pidx; enter = cur }
+    in
+    let stop = max lo ci in
+    if stop <= ci then List.rev (s :: acc) else go (pidx - 1) stop (s :: acc)
+  in
+  go (part_ending index cj) cj []
+
+let steps_for index dir ~i ~j =
+  let path = Core.Asr.path index in
+  let ci = Gom.Path.column_of_object_position path i in
+  let cj = Gom.Path.column_of_object_position path j in
+  match (dir : Plan.dir) with
+  | Fwd -> forward_steps index ~ci ~cj
+  | Bwd -> backward_steps index ~ci ~cj
+
+let qkind = function Plan.Fwd -> QC.Fw | Plan.Bwd -> QC.Bw
+
+let check_range path ~i ~j =
+  let n = Gom.Path.length path in
+  if not (0 <= i && i < j && j <= n) then
+    invalid_arg (Printf.sprintf "Engine: invalid query range (%d,%d) for n=%d" i j n)
+
+let candidates t path ~i ~j ~dir =
+  check_range path ~i ~j;
+  let prof_q = profile t path in
+  let nav_plan =
+    match (dir : Plan.dir) with
+    | Fwd -> Plan.Nav { path; i; j }
+    | Bwd -> Plan.Extent_scan { path; i; j }
+  in
+  let nav = { plan = nav_plan; est_cost = QC.qnas prof_q (qkind dir) i j } in
+  let whole ipath off = off = 0 && Gom.Path.length ipath = Gom.Path.length path in
+  let supported =
+    List.filter_map
+      (fun a ->
+        let ipath = Core.Asr.path a in
+        match embedding_offset ~index_path:ipath ~query_path:path with
+        | Some off when Core.Asr.supports a ~i:(off + i) ~j:(off + j) ->
+          let pi = off + i and pj = off + j in
+          let prof_i = if whole ipath off then prof_q else profile t ipath in
+          let dec = analytic_decomposition ipath (Core.Asr.decomposition a) in
+          let est = QC.qsup prof_i (Core.Asr.kind a) dec (qkind dir) pi pj in
+          Some
+            {
+              plan =
+                Plan.Stitch
+                  { index = a; dir; i = pi; j = pj; steps = steps_for a dir ~i:pi ~j:pj };
+              est_cost = est;
+            }
+        | _ -> None)
+      t.indexes
+  in
+  (* Cheapest first; on a cost tie a supported plan beats navigation
+     (matching equation 35's dispatch when the model cannot separate
+     them). *)
+  let rank (c : candidate) = match c.plan with Plan.Stitch _ -> 0 | _ -> 1 in
+  List.sort
+    (fun (a : candidate) (b : candidate) ->
+      match Float.compare a.est_cost b.est_cost with
+      | 0 -> Int.compare (rank a) (rank b)
+      | c -> c)
+    (nav :: supported)
+
+let choose_aux t path ~i ~j ~dir =
+  let key = { k_path = Gom.Path.to_string path; k_i = i; k_j = j; k_dir = dir } in
+  match Hashtbl.find_opt t.cache key with
+  | Some e when e.e_generation = t.generation ->
+    t.hits <- t.hits + 1;
+    (e.e_choice, true)
+  | stale ->
+    if Option.is_some stale then t.invalidations <- t.invalidations + 1;
+    t.misses <- t.misses + 1;
+    let cands = candidates t path ~i ~j ~dir in
+    let best = List.hd cands in
+    let choice = { chosen = best.plan; est_cost = best.est_cost; candidates = cands } in
+    Hashtbl.replace t.cache key { e_choice = choice; e_generation = t.generation };
+    (choice, false)
+
+let choose t path ~i ~j ~dir = fst (choose_aux t path ~i ~j ~dir)
+
+(* ------------------------------------------------------------------ *)
+(* Execution: one probe                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec run_forward t plan oid =
+  match (plan : Plan.t) with
+  | Nav { path; i; j } -> Core.Exec.forward_scan t.env path ~i ~j oid
+  | Stitch { index; i; j; _ } -> Core.Exec.forward_supported t.env index ~i ~j oid
+  | Extent_scan _ -> invalid_arg "Engine.run_forward: backward plan"
+  | Union ps ->
+    List.concat_map (fun p -> run_forward t p oid) ps
+    |> List.sort_uniq Gom.Value.compare
+  | Distinct p -> List.sort_uniq Gom.Value.compare (run_forward t p oid)
+
+let rec run_backward t plan ~target =
+  match (plan : Plan.t) with
+  | Extent_scan { path; i; j } -> Core.Exec.backward_scan t.env path ~i ~j ~target
+  | Stitch { index; i; j; _ } -> Core.Exec.backward_supported t.env index ~i ~j ~target
+  | Nav _ -> invalid_arg "Engine.run_backward: forward plan"
+  | Union ps ->
+    List.concat_map (fun p -> run_backward t p ~target) ps
+    |> List.sort_uniq Gom.Oid.compare
+  | Distinct p -> List.sort_uniq Gom.Oid.compare (run_backward t p ~target)
+
+let forward t path ~i ~j oid =
+  let c = choose t path ~i ~j ~dir:Plan.Fwd in
+  Storage.Stats.begin_op t.env.Core.Exec.stats;
+  run_forward t c.chosen oid
+
+let backward t path ~i ~j ~target =
+  let c = choose t path ~i ~j ~dir:Plan.Bwd in
+  Storage.Stats.begin_op t.env.Core.Exec.stats;
+  run_backward t c.chosen ~target
+
+(* ------------------------------------------------------------------ *)
+(* Execution: batched probes                                           *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_at rows col =
+  rows
+  |> List.filter_map (fun (row : Relation.Tuple.t) ->
+         let v = row.(col) in
+         if Gom.Value.is_null v then None else Some v)
+  |> List.sort_uniq Gom.Value.compare
+
+let assoc_rows fetched key =
+  match List.find_opt (fun (k, _) -> Gom.Value.equal k key) fetched with
+  | Some (_, rows) -> rows
+  | None -> []
+
+let is_empty = function [] -> true | _ :: _ -> false
+
+(* Walk the partitions once for the whole batch ([frontiers] holds one
+   frontier per probe): a partition entered at an interior column is
+   scanned once and filtered per probe, a clustering-boundary entry
+   turns into one sorted multi-key lookup sharing descents and leaf
+   pages across probes.  The per-probe results are exactly those of
+   Exec.forward_supported / backward_supported. *)
+
+let batch_select ~stats index pidx ~interior ~col_in_part ~lookup_many frontiers =
+  if interior then begin
+    let rows = Core.Asr.scan_partition ~stats index pidx in
+    fun frontier ->
+      List.filter
+        (fun (row : Relation.Tuple.t) ->
+          List.exists (Gom.Value.equal row.(col_in_part)) frontier)
+        rows
+  end
+  else begin
+    let keys = Array.to_list frontiers |> List.concat in
+    let fetched = lookup_many ~stats index pidx keys in
+    fun frontier -> List.concat_map (assoc_rows fetched) frontier
+  end
+
+let advance frontiers select ~col_in_part =
+  Array.map
+    (fun f -> if is_empty f then [] else distinct_at (select f) col_in_part)
+    frontiers
+
+let batch_stitch_fwd t index ~i ~j frontiers =
+  let stats = t.env.Core.Exec.stats in
+  let path = Core.Asr.path index in
+  let ci = Gom.Path.column_of_object_position path i in
+  let cj = Gom.Path.column_of_object_position path j in
+  let lookup_many ~stats index pidx keys =
+    Core.Asr.lookup_fwd_many ~stats index pidx keys
+  in
+  let rec go pidx cur frontiers =
+    if Array.for_all is_empty frontiers then frontiers
+    else begin
+      let lo, hi = Core.Asr.partition_bounds index pidx in
+      let select =
+        batch_select ~stats index pidx ~interior:(cur > lo) ~col_in_part:(cur - lo)
+          ~lookup_many frontiers
+      in
+      let stop = min hi cj in
+      let frontiers' = advance frontiers select ~col_in_part:(stop - lo) in
+      if stop >= cj then frontiers' else go (pidx + 1) stop frontiers'
+    end
+  in
+  go (Core.Asr.partition_index_of_column index ci) ci frontiers
+
+let batch_stitch_bwd t index ~i ~j frontiers =
+  let stats = t.env.Core.Exec.stats in
+  let path = Core.Asr.path index in
+  let ci = Gom.Path.column_of_object_position path i in
+  let cj = Gom.Path.column_of_object_position path j in
+  let lookup_many ~stats index pidx keys =
+    Core.Asr.lookup_bwd_many ~stats index pidx keys
+  in
+  let rec go pidx cur frontiers =
+    if Array.for_all is_empty frontiers then frontiers
+    else begin
+      let lo, hi = Core.Asr.partition_bounds index pidx in
+      let select =
+        batch_select ~stats index pidx ~interior:(cur < hi) ~col_in_part:(cur - lo)
+          ~lookup_many frontiers
+      in
+      let stop = max lo ci in
+      let frontiers' = advance frontiers select ~col_in_part:(stop - lo) in
+      if stop <= ci then frontiers' else go (pidx - 1) stop frontiers'
+    end
+  in
+  go (part_ending index cj) cj frontiers
+
+let forward_batch t path ~i ~j oids =
+  let c = choose t path ~i ~j ~dir:Plan.Fwd in
+  Storage.Stats.begin_op t.env.Core.Exec.stats;
+  let probes = List.sort_uniq Gom.Oid.compare oids in
+  match c.chosen with
+  | Plan.Stitch { index; i = pi; j = pj; _ } ->
+    let frontiers = Array.of_list (List.map (fun o -> [ Gom.Value.Ref o ]) probes) in
+    let finals = batch_stitch_fwd t index ~i:pi ~j:pj frontiers in
+    List.mapi (fun k o -> (o, finals.(k))) probes
+  | plan -> List.map (fun o -> (o, run_forward t plan o)) probes
+
+let backward_batch t path ~i ~j ~targets =
+  let c = choose t path ~i ~j ~dir:Plan.Bwd in
+  Storage.Stats.begin_op t.env.Core.Exec.stats;
+  let probes = List.sort_uniq Gom.Value.compare targets in
+  match c.chosen with
+  | Plan.Stitch { index; i = pi; j = pj; _ } ->
+    let frontiers = Array.of_list (List.map (fun v -> [ v ]) probes) in
+    let finals = batch_stitch_bwd t index ~i:pi ~j:pj frontiers in
+    List.mapi
+      (fun k v ->
+        (v, finals.(k) |> List.map Gom.Value.oid_exn |> List.sort_uniq Gom.Oid.compare))
+      probes
+  | plan -> List.map (fun v -> (v, run_backward t plan ~target:v)) probes
+
+(* ------------------------------------------------------------------ *)
+(* Explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type explanation = {
+  x_path : Gom.Path.t;
+  x_i : int;
+  x_j : int;
+  x_dir : Plan.dir;
+  x_choice : choice;
+  x_cached : bool;
+  x_generation : int;
+}
+
+let explain t path ~i ~j ~dir =
+  let choice, cached = choose_aux t path ~i ~j ~dir in
+  {
+    x_path = path;
+    x_i = i;
+    x_j = j;
+    x_dir = dir;
+    x_choice = choice;
+    x_cached = cached;
+    x_generation = t.generation;
+  }
+
+let explanation_to_string x =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "query : %s(%d,%d) over %s\n" (Plan.dir_to_string x.x_dir) x.x_i
+    x.x_j
+    (Gom.Path.to_string x.x_path);
+  Printf.bprintf b "plan  : %s\n" (Plan.to_string x.x_choice.chosen);
+  Printf.bprintf b "cost  : %.1f estimated page accesses\n" x.x_choice.est_cost;
+  Printf.bprintf b "cache : %s (generation %d)\n"
+    (if x.x_cached then "hit" else "miss")
+    x.x_generation;
+  (match x.x_choice.candidates with
+  | [] | [ _ ] -> ()
+  | _ :: rest ->
+    Buffer.add_string b "also considered:\n";
+    List.iter
+      (fun (c : candidate) ->
+        Printf.bprintf b "  est %8.1f  %s\n" c.est_cost (Plan.to_string c.plan))
+      rest);
+  Buffer.contents b

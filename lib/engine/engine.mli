@@ -1,0 +1,168 @@
+(** Cost-based query engine over access support relations.
+
+    The engine is the unified entry point for [Q^(i,j)] queries: it owns
+    the registered access support relations of one object base, measures
+    (or accepts) statistical {!Costmodel.Profile}s, enumerates every
+    legal physical strategy for a query (Definitions 3.4-3.8 decide
+    which extensions apply via {!Core.Asr.supports}), prices the
+    strategies with the analytical cost model (equations 31-35) fed by
+    live profiles, caches the winning plan per query shape, and executes
+    plans either probe-at-a-time or batched.
+
+    {2 Plan cache}
+
+    Chosen plans are cached under [(path, i, j, direction)] and stamped
+    with the engine's {e generation} — a counter bumped on every store
+    mutation, on {!register} and on {!set_profile}.  A cached plan from
+    an older generation is re-planned (and counted as an invalidation),
+    so maintenance traffic transparently invalidates affected plans.
+
+    {2 Batched execution}
+
+    {!forward_batch} / {!backward_batch} evaluate many probes as one
+    accounting operation: probes are sorted by clustering key, partition
+    scans happen once per batch instead of once per probe, and
+    clustering-boundary lookups go through
+    {!Core.Asr.lookup_fwd_many} so sorted keys share B+ tree descents
+    and leaf pages.  Per-probe answers equal those of
+    {!Core.Exec.forward_supported} / {!Core.Exec.backward_supported}. *)
+
+(** Physical plan IR. *)
+module Plan : sig
+  type dir = Fwd | Bwd
+
+  val dir_to_string : dir -> string
+
+  (** One partition visit while stitching a decomposed extension back
+      together.  [enter] is the column at which the walk enters the
+      partition: at a clustering boundary the visit is a key lookup, at
+      an interior column every leaf page must be scanned (section
+      5.6). *)
+  type step =
+    | Lookup of { part : int; enter : int }
+    | Scan of { part : int; enter : int }
+
+  type t =
+    | Nav of { path : Gom.Path.t; i : int; j : int }
+        (** Forward pointer-chasing through the object graph. *)
+    | Extent_scan of { path : Gom.Path.t; i : int; j : int }
+        (** Backward by exhaustive search over the extent of [t_i]. *)
+    | Stitch of {
+        index : Core.Asr.t;
+        dir : dir;
+        i : int;
+        j : int;  (** Object positions within the {e index's} path. *)
+        steps : step list;
+      }  (** Prefix/suffix stitch across the index's decomposition. *)
+    | Union of t list  (** Merge sub-plan answers, duplicate-free. *)
+    | Distinct of t
+
+  val step_to_string : step -> string
+  val to_string : t -> string
+end
+
+type t
+
+type candidate = { plan : Plan.t; est_cost : float }
+
+type choice = {
+  chosen : Plan.t;
+  est_cost : float;
+  candidates : candidate list;  (** All priced strategies, cheapest first. *)
+}
+
+type cache_info = { hits : int; misses : int; invalidations : int; entries : int }
+
+val create : ?sizes:(Gom.Schema.type_name -> int) -> Core.Exec.env -> t
+(** An engine over the environment's store; [sizes] (default [100]
+    bytes per object) feeds measured profiles.  Subscribes to the store:
+    every mutation bumps the generation and drops measured profiles. *)
+
+val env : t -> Core.Exec.env
+val indexes : t -> Core.Asr.t list
+
+val register : t -> Core.Asr.t -> unit
+(** Make an access support relation available to the planner
+    (idempotent).  Bumps the generation: cached plans are re-planned.
+    @raise Invalid_argument if the index was built over another store. *)
+
+val generation : t -> int
+
+val cache_info : t -> cache_info
+
+(* {2 Profiles} *)
+
+val measure_profile :
+  ?sizes:(Gom.Schema.type_name -> int) -> Gom.Store.t -> Gom.Path.t -> Costmodel.Profile.t
+(** Measure a path's exact statistics ([c_i], [d_i], [fan_i], [shar_i])
+    from the object base — the live feed of the planner's cost model. *)
+
+val set_profile : t -> Gom.Path.t -> Costmodel.Profile.t -> unit
+(** Pin a profile for a path, overriding measurement (e.g. an assumed
+    future workload, or a deterministic profile for tests).  Bumps the
+    generation. *)
+
+val profile : t -> Gom.Path.t -> Costmodel.Profile.t
+(** The profile the planner uses for a path: pinned if set, else
+    measured (memoised until the next store mutation). *)
+
+(* {2 Planning} *)
+
+val analytic_decomposition : Gom.Path.t -> Core.Decomposition.t -> Core.Decomposition.t
+(** Map a physical decomposition's column boundaries to the analytical
+    model's object positions (its [m = n] simplification drops set-OID
+    columns). *)
+
+val candidates : t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> candidate list
+(** Every legal strategy for [Q^(i,j)] over the path, priced, cheapest
+    first: graph navigation (equations 31-32) plus one stitch per
+    registered index that embeds the path and supports the range
+    (equations 33-34).  On a cost tie a supported plan beats navigation.
+    @raise Invalid_argument unless [0 <= i < j <= n]. *)
+
+val choose : t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> choice
+(** Cheapest strategy, through the plan cache. *)
+
+(* {2 Execution} *)
+
+val run_forward : t -> Plan.t -> Gom.Oid.t -> Gom.Value.t list
+(** Execute a forward plan for one source object {e within the current
+    accounting operation} (no [begin_op]) — for callers composing a
+    larger operation.  @raise Invalid_argument on a backward plan. *)
+
+val run_backward : t -> Plan.t -> target:Gom.Value.t -> Gom.Oid.t list
+
+val forward : t -> Gom.Path.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list
+(** Plan (cached) and execute as one accounting operation. *)
+
+val backward : t -> Gom.Path.t -> i:int -> j:int -> target:Gom.Value.t -> Gom.Oid.t list
+
+val forward_batch :
+  t -> Gom.Path.t -> i:int -> j:int -> Gom.Oid.t list -> (Gom.Oid.t * Gom.Value.t list) list
+(** Evaluate many probes as {e one} accounting operation, sharing
+    partition scans, B+ tree descents and page locality across the
+    batch.  Probes are deduplicated and returned in sorted order. *)
+
+val backward_batch :
+  t ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  targets:Gom.Value.t list ->
+  (Gom.Value.t * Gom.Oid.t list) list
+
+(* {2 Explain} *)
+
+type explanation = {
+  x_path : Gom.Path.t;
+  x_i : int;
+  x_j : int;
+  x_dir : Plan.dir;
+  x_choice : choice;
+  x_cached : bool;  (** Served from the plan cache. *)
+  x_generation : int;
+}
+
+val explain : t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> explanation
+
+val explanation_to_string : explanation -> string

@@ -44,13 +44,11 @@ let emit t ev = List.iter (fun (_, f) -> f ev) (List.rev t.listeners)
 
 type subscription = int
 
-let subscribe_cancellable t f =
+let subscribe t f =
   let id = t.next_subscription in
   t.next_subscription <- id + 1;
   t.listeners <- (id, f) :: t.listeners;
   id
-
-let subscribe t f = ignore (subscribe_cancellable t f)
 
 let unsubscribe t id = t.listeners <- List.filter (fun (i, _) -> i <> id) t.listeners
 

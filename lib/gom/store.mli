@@ -85,14 +85,14 @@ val find_name : t -> string -> Oid.t option
 
 val names : t -> (string * Oid.t) list
 
-val subscribe : t -> (event -> unit) -> unit
-(** Register a mutation listener.  Listeners run synchronously, after
-    the store state has changed, in subscription order. *)
-
 type subscription
+(** Handle on a registered listener, for {!unsubscribe}. *)
 
-val subscribe_cancellable : t -> (event -> unit) -> subscription
-(** Like {!subscribe}, but the listener can be detached again. *)
+val subscribe : t -> (event -> unit) -> subscription
+(** Register a mutation listener and return its handle.  Listeners run
+    synchronously, after the store state has changed, in subscription
+    order.  Callers that never detach discard the handle:
+    [let (_ : subscription) = subscribe t f in ...]. *)
 
 val unsubscribe : t -> subscription -> unit
 (** Detach; idempotent. *)

@@ -55,7 +55,7 @@ let start store =
     lazy
       {
         store;
-        sub = Store.subscribe_cancellable store (fun ev ->
+        sub = Store.subscribe store (fun ev ->
                   let t = Lazy.force t in
                   t.log <- ev :: t.log);
         log = [];

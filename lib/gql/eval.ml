@@ -3,29 +3,19 @@ module T = Typecheck
 type plan =
   | Nested_loop
   | Merged_backward of {
-      index : Core.Asr.t option;
-      path : Gom.Path.t;  (** The index's path when [index] is set. *)
-      qi : int;
-      qj : int;  (** Object positions of the query range within [path]. *)
+      choice : Engine.choice;
+      path : Gom.Path.t;  (** The merged anchor-to-filter query path. *)
       target : Gom.Value.t;
       residual : T.tpred;  (** Anchor-only conjuncts checked afterwards. *)
     }
 
 let plan_to_string = function
   | Nested_loop -> "nested-loop navigation"
-  | Merged_backward { index; path; qi; qj; residual; _ } -> (
+  | Merged_backward { choice; residual; _ } ->
     let residual_s = match residual with T.TTrue -> "" | _ -> " + residual filter" in
-    let range_s =
-      if qi = 0 && qj = Gom.Path.length path then ""
-      else Printf.sprintf " [positions %d..%d]" qi qj
-    in
-    match index with
-    | Some a ->
-      Format.asprintf "backward via ASR (%s, %s) on %s%s%s"
-        (Core.Extension.name (Core.Asr.kind a))
-        (Core.Decomposition.to_string (Core.Asr.decomposition a))
-        (Gom.Path.to_string path) range_s residual_s
-    | None -> Format.asprintf "backward scan on %s%s%s" (Gom.Path.to_string path) range_s residual_s)
+    Printf.sprintf "merged backward: %s (est %.1f pages)%s"
+      (Engine.Plan.to_string choice.Engine.chosen)
+      choice.Engine.est_cost residual_s
 
 type result = {
   rows : Gom.Value.t list list;
@@ -122,99 +112,30 @@ let merged_chain (q : T.t) =
             in
             Some (anchor_ty, via_attrs @ tail, target, conjoin residual_list))))
 
-(* Where does the query chain (anchor type + attribute list) embed in a
-   registered path?  [Some (i, j)] when the index path's positions
-   i..j spell exactly the chain, starting at the anchor type. *)
-let embedding index_path ~anchor_ty ~attrs =
-  let np = Gom.Path.length index_path in
-  let len = List.length attrs in
-  let fits i =
-    i + len <= np
-    && String.equal (Gom.Path.type_at index_path i) anchor_ty
-    && List.for_all2
-         (fun k attr ->
-           String.equal (Gom.Path.step index_path (i + k)).Gom.Path.attr attr)
-         (List.init len (fun k -> k + 1))
-         attrs
-  in
-  let rec go i = if i + len > np then None else if fits i then Some (i, i + len) else go (i + 1) in
-  go 0
-
-(* Among several applicable indexes prefer whole-path coverage, then the
-   smallest relation (fewest pages across both clustering copies) — a
-   cheap proxy for lookup cost. *)
-let pick_index indexes ~anchor_ty ~attrs =
-  indexes
-  |> List.filter_map (fun a ->
-         match embedding (Core.Asr.path a) ~anchor_ty ~attrs with
-         | Some (i, j) when Core.Asr.supports a ~i ~j -> Some (a, i, j)
-         | _ -> None)
-  |> List.sort (fun (a, i1, _) (b, i2, _) ->
-         let whole x i = if i = 0 && Gom.Path.length (Core.Asr.path x) = List.length attrs then 0 else 1 in
-         match Int.compare (whole a i1) (whole b i2) with
-         | 0 -> Int.compare (Core.Asr.total_pages a) (Core.Asr.total_pages b)
-         | c -> c)
-  |> function
-  | [] -> None
-  | best :: _ -> Some best
-
-(* The analytical model works on object positions (its m = n
-   simplification drops set-OID columns); map a physical decomposition's
-   boundaries accordingly, discarding boundaries that sit on set
-   columns. *)
-let analytic_decomposition path dec =
-  let n = Gom.Path.length path in
-  let bounds =
-    Core.Decomposition.boundaries dec
-    |> List.filter_map (fun col -> Gom.Path.object_position_of_column path col)
-    |> List.sort_uniq Int.compare
-  in
-  let bounds = if List.mem 0 bounds then bounds else 0 :: bounds in
-  let bounds =
-    if List.mem n bounds then bounds
-    else List.sort_uniq Int.compare (n :: bounds)
-  in
-  Core.Decomposition.make ~m:n bounds
-
-let plan ?profile ~env ~indexes (q : T.t) =
+(* The engine enumerates the physical strategies (navigation vs every
+   registered index that embeds the merged path and supports the range)
+   and picks the cheapest under live profiles — equations 31-35. *)
+let plan ~engine (q : T.t) =
+  let env = Engine.env engine in
   let schema = Gom.Store.schema env.Core.Exec.store in
   match merged_chain q with
   | None -> Nested_loop
   | Some (anchor_ty, attrs, target, residual) -> (
     match Gom.Path.make schema anchor_ty attrs with
     | exception Gom.Path.Path_error _ -> Nested_loop
-    | query_path -> (
+    | query_path ->
       let n = Gom.Path.length query_path in
-      let hit = pick_index indexes ~anchor_ty ~attrs in
-      let hit =
-        (* Cost-based veto: when a profile of the base is supplied, keep
-           the index only if the model expects it to beat the scan.  The
-           profile describes the query path, so the veto only applies to
-           whole-path embeddings. *)
-        match (hit, profile) with
-        | Some (a, 0, j), Some prof when Costmodel.Profile.n prof = n && j = n ->
-          let dec = analytic_decomposition query_path (Core.Asr.decomposition a) in
-          let sup =
-            Costmodel.Query_cost.q prof (Core.Asr.kind a) dec Costmodel.Query_cost.Bw 0 n
-          in
-          let nas = Costmodel.Query_cost.qnas prof Costmodel.Query_cost.Bw 0 n in
-          if sup <= nas then hit else None
-        | _ -> hit
-      in
-      match hit with
-      | Some (a, i, j) ->
-        Merged_backward { index = Some a; path = Core.Asr.path a; qi = i; qj = j; target; residual }
-      | None ->
-        Merged_backward { index = None; path = query_path; qi = 0; qj = n; target; residual }))
+      let choice = Engine.choose engine query_path ~i:0 ~j:n ~dir:Engine.Plan.Bwd in
+      Merged_backward { choice; path = query_path; target; residual })
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Path-valued expressions are evaluated through a covering access
-   support relation when one is registered (the paper's forward
-   queries), falling back to object-graph navigation. *)
-let values_of_expr ?stats ?(indexes = []) ~env ~bindings = function
+(* Path-valued expressions are forward Q^(0,n) queries: the engine
+   routes them through a covering access support relation when that is
+   cheaper, falling back to object-graph navigation. *)
+let values_of_expr ~engine ~bindings = function
   | T.TLit l -> [ T.lit_value l ]
   | T.TPath { base; path; _ } -> (
     let v = List.assoc base bindings in
@@ -222,17 +143,10 @@ let values_of_expr ?stats ?(indexes = []) ~env ~bindings = function
     | None -> [ v ]
     | Some p -> (
       match v with
-      | Gom.Value.Ref o -> (
+      | Gom.Value.Ref o ->
         let n = Gom.Path.length p in
-        match
-          List.find_opt
-            (fun a ->
-              Gom.Path.equal (Core.Asr.path a) p && Core.Asr.supports a ~i:0 ~j:n)
-            indexes
-        with
-        | Some a -> Core.Exec.forward_supported ?stats a ~i:0 ~j:n o
-        | None -> Core.Exec.forward_scan ?stats env p ~i:0 ~j:n o)
-      | Gom.Value.Null -> []
+        let c = Engine.choose engine p ~i:0 ~j:n ~dir:Engine.Plan.Fwd in
+        Engine.run_forward engine c.Engine.chosen o
       | _ -> []))
 
 let cmp_holds c a b =
@@ -245,40 +159,38 @@ let cmp_holds c a b =
   | Ast.Gt -> r > 0
   | Ast.Ge -> r >= 0
 
-let rec pred_holds ?stats ?indexes ~env ~bindings = function
+let rec pred_holds ~engine ~bindings = function
   | T.TTrue -> true
   | T.TCmp (c, a, b) ->
-    let va = values_of_expr ?stats ?indexes ~env ~bindings a in
-    let vb = values_of_expr ?stats ?indexes ~env ~bindings b in
+    let va = values_of_expr ~engine ~bindings a in
+    let vb = values_of_expr ~engine ~bindings b in
     List.exists (fun x -> List.exists (fun y -> cmp_holds c x y) vb) va
   | T.TIn (e, p) ->
-    let ve = values_of_expr ?stats ?indexes ~env ~bindings e in
-    let vp = values_of_expr ?stats ?indexes ~env ~bindings (T.TPath p) in
+    let ve = values_of_expr ~engine ~bindings e in
+    let vp = values_of_expr ~engine ~bindings (T.TPath p) in
     List.exists (fun x -> List.exists (Gom.Value.equal x) vp) ve
   | T.TAnd (a, b) ->
-    pred_holds ?stats ?indexes ~env ~bindings a
-    && pred_holds ?stats ?indexes ~env ~bindings b
+    pred_holds ~engine ~bindings a && pred_holds ~engine ~bindings b
   | T.TOr (a, b) ->
-    pred_holds ?stats ?indexes ~env ~bindings a
-    || pred_holds ?stats ?indexes ~env ~bindings b
-  | T.TNot p -> not (pred_holds ?stats ?indexes ~env ~bindings p)
+    pred_holds ~engine ~bindings a || pred_holds ~engine ~bindings b
+  | T.TNot p -> not (pred_holds ~engine ~bindings p)
 
-let source_values ?stats ~env ~bindings = function
+let source_values ~engine ~bindings = function
   | T.Extent ty ->
-    (match stats with
-    | Some st -> Storage.Heap.scan_extent ~deep:true env.Core.Exec.heap st ty
-    | None -> ());
+    let env = Engine.env engine in
+    Storage.Heap.scan_extent ~deep:true env.Core.Exec.heap env.Core.Exec.stats ty;
     Gom.Store.extent ~deep:true env.Core.Exec.store ty
     |> List.map (fun o -> Gom.Value.Ref o)
   | T.Named_set (oid, _) ->
-    (match stats with
-    | Some st -> Storage.Heap.read_object env.Core.Exec.heap st oid
-    | None -> ());
+    let env = Engine.env engine in
+    Storage.Heap.read_object env.Core.Exec.heap env.Core.Exec.stats oid;
     Gom.Store.elements env.Core.Exec.store oid
   | T.Via { base; path } -> (
     match List.assoc base bindings with
     | Gom.Value.Ref o ->
-      Core.Exec.forward_scan ?stats env path ~i:0 ~j:(Gom.Path.length path) o
+      let n = Gom.Path.length path in
+      let c = Engine.choose engine path ~i:0 ~j:n ~dir:Engine.Plan.Fwd in
+      Engine.run_forward engine c.Engine.chosen o
     | _ -> [])
 
 let rec rows_product = function
@@ -287,26 +199,26 @@ let rec rows_product = function
     let tails = rows_product rest in
     List.concat_map (fun v -> List.map (fun tail -> v :: tail) tails) vs
 
-let select_rows ?stats ?indexes ~env ~bindings select =
-  rows_product (List.map (values_of_expr ?stats ?indexes ~env ~bindings) select)
+let select_rows ~engine ~bindings select =
+  rows_product (List.map (values_of_expr ~engine ~bindings) select)
 
-let nested_loop ?stats ?indexes ~env (q : T.t) =
+let nested_loop ~engine (q : T.t) =
   let out = ref [] in
   let rec loop bindings = function
     | [] ->
-      if pred_holds ?stats ?indexes ~env ~bindings q.T.where then
-        out := select_rows ?stats ?indexes ~env ~bindings q.T.select @ !out
+      if pred_holds ~engine ~bindings q.T.where then
+        out := select_rows ~engine ~bindings q.T.select @ !out
     | (v, src, _) :: rest ->
       List.iter
         (fun value -> loop ((v, value) :: bindings) rest)
-        (source_values ?stats ~env ~bindings src)
+        (source_values ~engine ~bindings src)
   in
   loop [] q.T.bindings;
   !out
 
-let merged_backward ?stats ?indexes ~env ~index ~path ~qi ~qj ~target ~residual (q : T.t)
-    =
-  let sources = Core.Exec.backward ?stats ?index env path ~i:qi ~j:qj ~target in
+let merged_backward ~engine ~choice ~target ~residual (q : T.t) =
+  let env = Engine.env engine in
+  let sources = Engine.run_backward engine choice.Engine.chosen ~target in
   let v0, keep =
     match q.T.bindings with
     | (v0, T.Named_set (set_oid, _), _) :: _ ->
@@ -318,8 +230,8 @@ let merged_backward ?stats ?indexes ~env ~index ~path ~qi ~qj ~target ~residual 
   List.concat_map
     (fun o ->
       let bindings = [ (v0, Gom.Value.Ref o) ] in
-      if keep o && pred_holds ?stats ?indexes ~env ~bindings residual then
-        select_rows ?stats ?indexes ~env ~bindings q.T.select
+      if keep o && pred_holds ~engine ~bindings residual then
+        select_rows ~engine ~bindings q.T.select
       else [])
     sources
 
@@ -342,15 +254,15 @@ let order_and_limit (q : T.t) rows =
   | None -> rows
   | Some n -> List.filteri (fun i _ -> i < n) rows
 
-let run ?stats ?profile ~env ?(indexes = []) (q : T.t) =
-  let stats = match stats with Some s -> s | None -> Storage.Stats.create () in
+let run ~engine (q : T.t) =
+  let stats = (Engine.env engine).Core.Exec.stats in
+  let p = plan ~engine q in
   Storage.Stats.begin_op stats;
-  let p = plan ?profile ~env ~indexes q in
   let rows =
     match p with
-    | Nested_loop -> nested_loop ~stats ~indexes ~env q
-    | Merged_backward { index; path; qi; qj; target; residual } ->
-      merged_backward ~stats ~indexes ~env ~index ~path ~qi ~qj ~target ~residual q
+    | Nested_loop -> nested_loop ~engine q
+    | Merged_backward { choice; target; residual; _ } ->
+      merged_backward ~engine ~choice ~target ~residual q
   in
   {
     rows = order_and_limit q (dedup_rows rows);
@@ -358,7 +270,7 @@ let run ?stats ?profile ~env ?(indexes = []) (q : T.t) =
     pages = Storage.Stats.op_accesses stats;
   }
 
-let query ?stats ?profile ~env ?indexes text =
+let query ~engine text =
   let ast = Parser.parse text in
-  let q = Typecheck.check env.Core.Exec.store ast in
-  run ?stats ?profile ~env ?indexes q
+  let q = Typecheck.check (Engine.env engine).Core.Exec.store ast in
+  run ~engine q

@@ -1,22 +1,22 @@
-(** Query evaluation with access-support-aware planning.
+(** Query evaluation through the cost-based engine.
 
     The planner recognises the paper's {e backward} query shape — a
     chain of range variables rooted in one collection, filtered by an
     equality (or membership) conjunct on a path from the last variable —
-    merges the chain into a single path expression, and evaluates it
-    through a registered access support relation when one applies
-    (equation 35).  Remaining conjuncts that mention only the anchor
-    variable become a residual filter over the index results; everything
-    else runs as a nested-loop navigation over the object graph.
+    merges the chain into a single path expression, and hands the
+    resulting [Q^(0,n)] query to {!Engine.choose}: the engine enumerates
+    graph navigation plus every registered access support relation that
+    embeds the path and supports the range, prices them with the
+    analytical cost model under live profiles (equations 31-35), and the
+    cheapest physical plan wins.  Remaining conjuncts that mention only
+    the anchor variable become a residual filter over the index results;
+    everything else runs as a nested-loop navigation over the object
+    graph.
 
-    When several registered relations cover the merged path, the
-    smallest one is used.  Supplying [?profile] (e.g. from
-    {!Workload.Profiler.profile_of_base}) additionally lets the
-    analytical cost model veto an index that the model expects to lose
-    against the exhaustive scan — the paper's Figure 8 situation.
-
-    Both strategies charge their page traffic to the optional [stats],
-    so plans can be compared empirically.
+    Repeated queries of the same shape hit the engine's plan cache;
+    store mutations invalidate it transparently.  Page traffic is
+    charged to the engine environment's accounting context
+    ([env.stats]).
 
     Path-valued expressions have existential comparison semantics: a
     predicate [p = lit] holds if {e some} value reachable over [p]
@@ -26,13 +26,10 @@
 type plan =
   | Nested_loop
   | Merged_backward of {
-      index : Core.Asr.t option;  (** [None]: exhaustive backward scan. *)
-      path : Gom.Path.t;
-          (** The index's path expression when [index] is set (the query
-              chain may embed as a strict sub-range of it), otherwise
-              the merged anchor-to-filter path. *)
-      qi : int;
-      qj : int;  (** The query's object positions within [path]. *)
+      choice : Engine.choice;
+          (** The engine's priced decision: a stitch through an ASR or
+              an extent scan, with every considered alternative. *)
+      path : Gom.Path.t;  (** The merged anchor-to-filter query path. *)
       target : Gom.Value.t;
       residual : Typecheck.tpred;
           (** Anchor-only conjuncts applied to the index results. *)
@@ -46,30 +43,14 @@ type result = {
   pages : int;  (** Page accesses charged while evaluating. *)
 }
 
-val plan :
-  ?profile:Costmodel.Profile.t ->
-  env:Core.Exec.env ->
-  indexes:Core.Asr.t list ->
-  Typecheck.t ->
-  plan
-(** Choose a strategy; pure (no page traffic). *)
+val plan : engine:Engine.t -> Typecheck.t -> plan
+(** Choose a strategy (through the engine's plan cache); no page
+    traffic. *)
 
-val run :
-  ?stats:Storage.Stats.t ->
-  ?profile:Costmodel.Profile.t ->
-  env:Core.Exec.env ->
-  ?indexes:Core.Asr.t list ->
-  Typecheck.t ->
-  result
-(** Evaluate.  If [stats] is omitted an internal one is used; either
-    way [result.pages] reports the operation's page accesses. *)
+val run : engine:Engine.t -> Typecheck.t -> result
+(** Evaluate as one accounting operation on the engine environment's
+    stats; [result.pages] reports the operation's page accesses. *)
 
-val query :
-  ?stats:Storage.Stats.t ->
-  ?profile:Costmodel.Profile.t ->
-  env:Core.Exec.env ->
-  ?indexes:Core.Asr.t list ->
-  string ->
-  result
+val query : engine:Engine.t -> string -> result
 (** Parse, check and run in one step.
     @raise Parser.Parse_error or Typecheck.Check_error accordingly. *)

@@ -362,6 +362,61 @@ let lookup ?stats t key =
   walk leaf ~charged:true;
   List.rev !acc
 
+(* Serve many point lookups at once, in ascending key order, sharing
+   tree descents between adjacent keys: when the next key falls strictly
+   inside the key range of the leaf the previous lookup ended on, the
+   walk continues from that leaf instead of re-descending from the root.
+   Combined with per-operation distinct-page accounting this is the
+   batched executor's page-locality win: probes whose runs share leaves
+   charge those leaves once. *)
+let lookup_many ?stats t keys =
+  let keys = List.sort_uniq Gom.Value.compare keys in
+  let cursor = ref None in
+  List.map
+    (fun key ->
+      let resume =
+        match !cursor with
+        | Some node -> (
+          match node.body with
+          | Leaf { entries = first :: _ as es; _ } -> (
+            match List.rev es with
+            | last :: _
+              when Gom.Value.compare (t.key_of first.tup) key < 0
+                   && Gom.Value.compare (t.key_of last.tup) key >= 0 ->
+              (* The run for [key], if any, starts in this leaf. *)
+              Some node
+            | _ -> None)
+          | Leaf _ | Inner _ -> None)
+        | None -> None
+      in
+      let leaf =
+        match resume with
+        | Some node -> node
+        | None -> descend_for_key ?stats t key t.root
+      in
+      let acc = ref [] in
+      let rec walk node =
+        match node.body with
+        | Inner _ -> ()
+        | Leaf l ->
+          read stats node.page;
+          cursor := Some node;
+          List.iter
+            (fun e ->
+              if Gom.Value.compare (t.key_of e.tup) key = 0 then acc := e.tup :: !acc)
+            l.entries;
+          let continue_right =
+            match List.rev l.entries with
+            | [] -> true
+            | last :: _ -> Gom.Value.compare (t.key_of last.tup) key <= 0
+          in
+          if continue_right then
+            match l.next with Some nx -> walk nx | None -> ()
+      in
+      walk leaf;
+      (key, List.rev !acc))
+    keys
+
 let find_entry t tup =
   let key = t.key_of tup in
   let rec walk node =

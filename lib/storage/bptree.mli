@@ -54,6 +54,14 @@ val lookup : ?stats:Stats.t -> t -> Gom.Value.t -> tuple list
     descent reads the inner pages, then every leaf page holding a
     matching entry. *)
 
+val lookup_many :
+  ?stats:Stats.t -> t -> Gom.Value.t list -> (Gom.Value.t * tuple list) list
+(** Batched {!lookup}: serves the (deduplicated) keys in ascending
+    order, re-using the leaf the previous key's run ended on whenever
+    the next key falls inside its key range, so adjacent keys share
+    descents and leaf pages.  Returns one [(key, tuples)] pair per
+    distinct key, in key order ([tuples] may be empty). *)
+
 val mem : t -> tuple -> bool
 
 val refcount : t -> tuple -> int

@@ -68,10 +68,12 @@ let create ?(config = Config.default) ?(pager = Pager.create ()) ~size_of store 
   in
   Gom.Store.fold_objects store ~init:() ~f:(fun () inst ->
       place t (Gom.Instance.oid inst));
-  Gom.Store.subscribe store (function
+  let (_ : Gom.Store.subscription) =
+    Gom.Store.subscribe store (function
     | Gom.Store.Created oid -> place t oid
     | Gom.Store.Deleted { obj = oid; _ } -> Hashtbl.remove t.placements oid
-    | Gom.Store.Attr_set _ | Gom.Store.Set_inserted _ | Gom.Store.Set_removed _ -> ());
+    | Gom.Store.Attr_set _ | Gom.Store.Set_inserted _ | Gom.Store.Set_removed _ -> ())
+  in
   t
 
 let config t = t.config

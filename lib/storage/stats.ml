@@ -91,6 +91,48 @@ let total_accesses t = t.total_reads + t.total_writes
 let buffer_hits t = t.hits
 let buffer_capacity t = match t.buffer with Some b -> b.capacity | None -> 0
 
+type summary = {
+  s_op_reads : int;
+  s_op_writes : int;
+  s_total_reads : int;
+  s_total_writes : int;
+  s_buffer_hits : int;
+  s_buffer_capacity : int;
+}
+
+let snapshot t =
+  {
+    s_op_reads = t.op_reads;
+    s_op_writes = t.op_writes;
+    s_total_reads = t.total_reads;
+    s_total_writes = t.total_writes;
+    s_buffer_hits = t.hits;
+    s_buffer_capacity = buffer_capacity t;
+  }
+
+let summary_to_json ?(extra = []) s =
+  let fields =
+    [
+      ("op_reads", string_of_int s.s_op_reads);
+      ("op_writes", string_of_int s.s_op_writes);
+      ("total_reads", string_of_int s.s_total_reads);
+      ("total_writes", string_of_int s.s_total_writes);
+      ("total_accesses", string_of_int (s.s_total_reads + s.s_total_writes));
+      ("buffer_hits", string_of_int s.s_buffer_hits);
+      ("buffer_capacity", string_of_int s.s_buffer_capacity);
+    ]
+    @ extra
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "%S: %s" k v))
+    fields;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
 let reset t =
   begin_op t;
   t.total_reads <- 0;

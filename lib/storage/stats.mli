@@ -56,3 +56,22 @@ val buffer_capacity : t -> int
 
 val reset : t -> unit
 (** Clears everything, including totals and the buffer pool. *)
+
+type summary = {
+  s_op_reads : int;
+  s_op_writes : int;
+  s_total_reads : int;
+  s_total_writes : int;
+  s_buffer_hits : int;
+  s_buffer_capacity : int;
+}
+(** A point-in-time copy of every counter, decoupled from the live
+    [t] (which keeps mutating). *)
+
+val snapshot : t -> summary
+
+val summary_to_json : ?extra:(string * string) list -> summary -> string
+(** One-line JSON object over the summary's counters.  [extra] fields
+    are appended verbatim — each value must already be a JSON fragment
+    (e.g. [("mode", {|"batched"|})]).  Used by the benchmark harness
+    and the CLI so every [BENCH_*.json] has the same shape. *)

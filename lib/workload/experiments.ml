@@ -355,13 +355,12 @@ let val_setup () =
   in
   let store, path = Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Generator.size_of spec) store in
-  (store, path, { Core.Exec.store; Core.Exec.heap })
+  (store, path, (Core.Exec.make store heap))
 
-let measure f =
-  let stats = Storage.Stats.create () in
-  Storage.Stats.begin_op stats;
-  f stats;
-  float_of_int (Storage.Stats.op_accesses stats)
+let measure env f =
+  Storage.Stats.begin_op env.Core.Exec.stats;
+  f ();
+  float_of_int (Storage.Stats.op_accesses env.Core.Exec.stats)
 
 let val1 () =
   let store, path, env = val_setup () in
@@ -378,18 +377,18 @@ let val1 () =
   in
   let rows =
     ( "no support bw(0,3)",
-      [ measure (fun st -> ignore (Core.Exec.backward_scan ~stats:st env path ~i:0 ~j:n ~target));
+      [ measure env (fun () -> ignore (Core.Exec.backward_scan env path ~i:0 ~j:n ~target));
         QC.qnas val_profile QC.Bw 0 n ] )
     :: ( "no support fw(0,3)",
-         [ measure (fun st ->
-               ignore (Core.Exec.forward_scan ~stats:st env path ~i:0 ~j:n source));
+         [ measure env (fun () ->
+               ignore (Core.Exec.forward_scan env path ~i:0 ~j:n source));
            QC.qnas val_profile QC.Fw 0 n ] )
     :: List.map
          (fun (label, k, dec) ->
            let a = Core.Asr.create store path k dec in
            ( Printf.sprintf "%s bw(0,3)" label,
-             [ measure (fun st ->
-                   ignore (Core.Exec.backward_supported ~stats:st a ~i:0 ~j:n ~target));
+             [ measure env (fun () ->
+                   ignore (Core.Exec.backward_supported env a ~i:0 ~j:n ~target));
                QC.qsup val_profile k dec QC.Bw 0 n ] ))
          designs
   in
@@ -454,7 +453,7 @@ let val3 () =
         (* A fresh, identical base per design isolates the accounting. *)
         let store, path = Generator.build spec in
         let heap = Storage.Heap.create ~size_of:(Generator.size_of spec) store in
-        let mgr = Core.Maintenance.create { Core.Exec.store; Core.Exec.heap = heap } in
+        let mgr = Core.Maintenance.create (Core.Exec.make store heap) in
         Core.Maintenance.register mgr (Core.Asr.create store path k dec);
         (* ins_2: rotate memberships of T2 objects' A3 sets. *)
         let srcs = Array.of_list (Gom.Store.extent store "T2") in
@@ -487,10 +486,10 @@ let val4 () =
   let spec = sim_spec () in
   let store, path = Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap = heap } in
+  let env = Core.Exec.make store heap in
+  let stats = env.Core.Exec.stats in
   let m = Gom.Path.arity path - 1 in
   let n = Gom.Path.length path in
-  let stats = Storage.Stats.create () in
   let targets =
     Gom.Store.extent store "T3"
     |> List.filteri (fun i _ -> i mod 200 = 0)
@@ -512,15 +511,62 @@ let val4 () =
         let a = Core.Asr.create store path k dec in
         ( label,
           [ measure (fun target ->
-                ignore (Core.Exec.backward_supported ~stats a ~i:0 ~j:n ~target)) ] ))
+                ignore (Core.Exec.backward_supported env a ~i:0 ~j:n ~target)) ] ))
       (sim_designs m)
     @ [ ( "no support",
           [ measure (fun target ->
-                ignore (Core.Exec.backward_scan ~stats env path ~i:0 ~j:n ~target)) ] ) ]
+                ignore (Core.Exec.backward_scan env path ~i:0 ~j:n ~target)) ] ) ]
   in
   [ Table.make ~id:"val4" ~title:"Simulated backward query Q(0,3)(bw) (page accesses)"
       ~x_label:"design" ~columns:[ "avg pages/query" ]
       ~notes:[ "empirical counterpart of fig6: every supported design beats the scan" ]
+      rows ]
+
+(* val5: the engine's batched executor.  K backward probes against the
+   same access support relation, naively (one accounting operation per
+   probe, through {!Engine.backward}) vs as one batch
+   ({!Engine.backward_batch}): the batch sorts the probes, shares
+   B+-tree descents and leaf pages, and scans interior partitions once
+   instead of once per probe. *)
+let val5 () =
+  let spec = sim_spec () in
+  let store, path = Generator.build spec in
+  let heap = Storage.Heap.create ~size_of:(Generator.size_of spec) store in
+  let env = Core.Exec.make store heap in
+  let stats = env.Core.Exec.stats in
+  let m = Gom.Path.arity path - 1 in
+  let n = Gom.Path.length path in
+  let engine = Engine.create env in
+  Engine.register engine (Core.Asr.create store path X.Full (bi m));
+  let last_extent = Gom.Store.extent store (Printf.sprintf "T%d" n) in
+  let probes k =
+    let stride = max 1 (List.length last_extent / k) in
+    last_extent
+    |> List.filteri (fun i _ -> i mod stride = 0)
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map (fun o -> Gom.Value.Ref o)
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let ts = probes k in
+        let naive =
+          List.fold_left
+            (fun acc target ->
+              ignore (Engine.backward engine path ~i:0 ~j:n ~target);
+              acc + Storage.Stats.op_accesses stats)
+            0 ts
+        in
+        ignore (Engine.backward_batch engine path ~i:0 ~j:n ~targets:ts);
+        let batched = Storage.Stats.op_accesses stats in
+        (string_of_int (List.length ts), [ float_of_int naive; float_of_int batched ]))
+      [ 4; 16; 64 ]
+  in
+  [ Table.make ~id:"val5" ~title:"Batched vs per-probe backward Q(0,3)(bw) (total pages)"
+      ~x_label:"batch size" ~columns:[ "per-probe"; "batched" ]
+      ~notes:
+        [ "one accounting operation per batch: shared descents and single \
+           partition scans make total pages grow sub-linearly in the batch size" ]
       rows ]
 
 (* Ablations over the executable engine: the design choices DESIGN.md
@@ -618,12 +664,12 @@ let abl2 () =
   in
   let store, path = Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap = heap } in
+  let env = (Core.Exec.make store heap) in
   let n = Gom.Path.length path in
   let orion = Core.Baselines.orion_nested_index store path in
   let gemstone = Core.Baselines.gemstone_path_index store path in
   let full = Core.Asr.create store path X.Full (bi (Gom.Path.arity path - 1)) in
-  let stats = Storage.Stats.create () in
+  let stats = env.Core.Exec.stats in
   let targets j =
     Gom.Store.extent store (Printf.sprintf "T%d" j)
     |> List.filteri (fun i _ -> i mod 300 = 0)
@@ -635,7 +681,7 @@ let abl2 () =
     List.iter
       (fun target ->
         Storage.Stats.begin_op stats;
-        ignore (Core.Exec.backward ~stats ?index env path ~i ~j ~target);
+        ignore (Core.Exec.backward ?index env path ~i ~j ~target);
         total := !total + Storage.Stats.op_accesses stats)
       ts;
     float_of_int !total /. float_of_int (max 1 (List.length ts))
@@ -674,11 +720,11 @@ let abl3 () =
       (fun (label, dec) ->
         let store, path = Generator.build spec in
         let heap = Storage.Heap.create ~size_of:(Generator.size_of spec) store in
-        let env = { Core.Exec.store; Core.Exec.heap = heap } in
+        let env = (Core.Exec.make store heap) in
         let mgr = Core.Maintenance.create env in
         let a = Core.Asr.create store path X.Full dec in
         Core.Maintenance.register mgr a;
-        let stats = Storage.Stats.create () in
+        let stats = env.Core.Exec.stats in
         (* Query cost. *)
         let targets =
           Gom.Store.extent store (Printf.sprintf "T%d" n)
@@ -689,7 +735,7 @@ let abl3 () =
         List.iter
           (fun target ->
             Storage.Stats.begin_op stats;
-            ignore (Core.Exec.backward_supported ~stats a ~i:0 ~j:n ~target);
+            ignore (Core.Exec.backward_supported env a ~i:0 ~j:n ~target);
             qtotal := !qtotal + Storage.Stats.op_accesses stats)
           targets;
         let qavg = float_of_int !qtotal /. float_of_int (max 1 (List.length targets)) in
@@ -731,11 +777,11 @@ let abl4 () =
   let run_with capacity =
     let store, path = Generator.build spec in
     let heap = Storage.Heap.create ~size_of:(Generator.size_of spec) store in
-    let env = { Core.Exec.store; Core.Exec.heap = heap } in
+    let stats = Storage.Stats.create ~buffer_capacity:capacity () in
+    let env = Core.Exec.make ~stats store heap in
     let n = Gom.Path.length path in
     let m = Gom.Path.arity path - 1 in
     let a = Core.Asr.create store path X.Full (bi m) in
-    let stats = Storage.Stats.create ~buffer_capacity:capacity () in
     let targets =
       Gom.Store.extent store (Printf.sprintf "T%d" n)
       |> List.filteri (fun i _ -> i mod 640 = 0)
@@ -755,11 +801,11 @@ let abl4 () =
     in
     let scan =
       measure (fun target ->
-          ignore (Core.Exec.backward_scan ~stats env path ~i:0 ~j:n ~target))
+          ignore (Core.Exec.backward_scan env path ~i:0 ~j:n ~target))
     in
     let sup =
       measure (fun target ->
-          ignore (Core.Exec.backward_supported ~stats a ~i:0 ~j:n ~target))
+          ignore (Core.Exec.backward_supported env a ~i:0 ~j:n ~target))
     in
     (scan, sup)
   in
@@ -799,6 +845,7 @@ let all =
     { id = "val2"; title = "Model vs simulation: sizes"; section = "extension"; run = val2 };
     { id = "val3"; title = "Simulated update costs (fig11 counterpart)"; section = "extension"; run = val3 };
     { id = "val4"; title = "Simulated query costs (fig6 counterpart)"; section = "extension"; run = val4 };
+    { id = "val5"; title = "Batched vs per-probe execution"; section = "extension"; run = val5 };
     { id = "abl1"; title = "Ablation: partition sharing (5.4)"; section = "ablation"; run = abl1 };
     { id = "abl2"; title = "Ablation: subsumed baselines"; section = "ablation"; run = abl2 };
     { id = "abl3"; title = "Ablation: decomposition granularity"; section = "ablation"; run = abl3 };

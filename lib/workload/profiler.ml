@@ -1,74 +1,6 @@
-module P = Costmodel.Profile
-
-let profile_of_base ?(sizes = fun _ -> 100) store path =
-  let n = Gom.Path.length path in
-  let type_count i =
-    let ty = Gom.Path.type_at path i in
-    if Gom.Schema.is_atomic (Gom.Store.schema store) ty then begin
-      (* Elementary terminal type: its "extent" is the set of distinct
-         values actually referenced (their value is their identity). *)
-      let step = Gom.Path.step path n in
-      let values = Hashtbl.create 64 in
-      List.iter
-        (fun o ->
-          match Gom.Store.get_attr store o step.Gom.Path.attr with
-          | Gom.Value.Null -> ()
-          | v -> (
-            match step.Gom.Path.set_type with
-            | None -> Hashtbl.replace values v ()
-            | Some _ ->
-              List.iter
-                (fun e -> Hashtbl.replace values e ())
-                (Gom.Store.elements store (Gom.Value.oid_exn v))))
-        (Gom.Store.extent ~deep:true store step.Gom.Path.domain);
-      max 1 (Hashtbl.length values)
-    end
-    else max 1 (Gom.Store.count ~deep:true store ty)
-  in
-  let level i =
-    (* d_i, total references, distinct referenced targets of A(i+1). *)
-    let step = Gom.Path.step path (i + 1) in
-    let defined = ref 0 in
-    let refs = ref 0 in
-    let distinct = Hashtbl.create 64 in
-    List.iter
-      (fun o ->
-        match Gom.Store.get_attr store o step.Gom.Path.attr with
-        | Gom.Value.Null -> ()
-        | v -> (
-          incr defined;
-          match step.Gom.Path.set_type with
-          | None ->
-            incr refs;
-            Hashtbl.replace distinct v ()
-          | Some _ ->
-            List.iter
-              (fun e ->
-                incr refs;
-                Hashtbl.replace distinct e ())
-              (Gom.Store.elements store (Gom.Value.oid_exn v))))
-      (Gom.Store.extent ~deep:true store step.Gom.Path.domain);
-    (!defined, !refs, Hashtbl.length distinct)
-  in
-  let stats = List.init n level in
-  let c = List.init (n + 1) (fun i -> float_of_int (type_count i)) in
-  let d = List.map (fun (defined, _, _) -> float_of_int defined) stats in
-  let fan =
-    List.map
-      (fun (defined, refs, _) ->
-        if defined = 0 then 0. else float_of_int refs /. float_of_int defined)
-      stats
-  in
-  let shar =
-    List.map
-      (fun (_, refs, distinct) ->
-        if distinct = 0 then 0. else float_of_int refs /. float_of_int distinct)
-      stats
-  in
-  let size_list =
-    List.init (n + 1) (fun i -> float_of_int (max 1 (sizes (Gom.Path.type_at path i))))
-  in
-  P.make ~sizes:size_list ~shar ~c ~d ~fan ()
+(* Profile measurement moved into the engine (the planner's live feed);
+   kept here as the workload-facing name. *)
+let profile_of_base ?sizes store path = Engine.measure_profile ?sizes store path
 
 module Monitor = struct
   type t = {
@@ -113,7 +45,8 @@ module Monitor = struct
       }
     in
     let schema = Gom.Store.schema store in
-    Gom.Store.subscribe store (fun ev ->
+    let (_ : Gom.Store.subscription) =
+      Gom.Store.subscribe store (fun ev ->
         let hit positions =
           match positions with
           | [] -> ()
@@ -129,7 +62,8 @@ module Monitor = struct
           hit (set_positions_of schema path ~set_ty:(Gom.Store.type_of store set))
         | Gom.Store.Created _ | Gom.Store.Deleted _ | Gom.Store.Attr_set _
         | Gom.Store.Set_inserted _ | Gom.Store.Set_removed _ ->
-          ());
+          ())
+    in
     t
 
   let record_query t kind ~i ~j =

@@ -44,7 +44,7 @@ let test_auto_end_to_end () =
   in
   let store, path = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   let mix =
     Mix.make ~queries:[ Mix.query 0 3 1.0 ] ~updates:[ Mix.ins 2 1.0 ]
   in
@@ -58,12 +58,12 @@ let test_auto_end_to_end () =
     let target =
       match Gom.Store.extent store "T3" with o :: _ -> V.Ref o | [] -> assert false
     in
-    let stats = Storage.Stats.create () in
+    let stats = env.Core.Exec.stats in
     Storage.Stats.begin_op stats;
-    let via_index = Core.Exec.backward ~stats ~index:a env path ~i:0 ~j:3 ~target in
+    let via_index = Core.Exec.backward ~index:a env path ~i:0 ~j:3 ~target in
     let index_cost = Storage.Stats.op_accesses stats in
     Storage.Stats.begin_op stats;
-    let via_scan = Core.Exec.backward_scan ~stats env path ~i:0 ~j:3 ~target in
+    let via_scan = Core.Exec.backward_scan env path ~i:0 ~j:3 ~target in
     let scan_cost = Storage.Stats.op_accesses stats in
     check "same answers" true (via_index = via_scan);
     check "applied design pays off" true (index_cost * 5 < scan_cost)

@@ -58,6 +58,8 @@ let test_gemstone_on_robot_path () =
 let test_orion_full_span_only () =
   let rb = R.base () in
   let path = R.location_path rb.R.store in
+  let heap = Storage.Heap.create ~size_of:(fun _ -> 100) rb.R.store in
+  let env = Core.Exec.make rb.R.store heap in
   let idx = B.orion_nested_index rb.R.store path in
   check "canonical" true (Core.Asr.kind idx = Core.Extension.Canonical);
   check_int "single partition" 1 (Core.Asr.partition_count idx);
@@ -66,7 +68,7 @@ let test_orion_full_span_only () =
   check "cannot answer (1,4)" false (Core.Asr.supports idx ~i:1 ~j:4);
   (* The (0,n) backward query works like the paper's Query 1. *)
   let robots =
-    Core.Exec.backward_supported idx ~i:0 ~j:4 ~target:(V.Str "Utopia")
+    Core.Exec.backward_supported env idx ~i:0 ~j:4 ~target:(V.Str "Utopia")
   in
   check_int "query 1 through orion index" 3 (List.length robots)
 
@@ -82,7 +84,7 @@ let test_ablation_subpath_queries () =
   in
   let store, path = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   let orion = B.orion_nested_index store path in
   let full =
     Core.Asr.create store path Core.Extension.Full
@@ -91,10 +93,10 @@ let test_ablation_subpath_queries () =
   let target =
     match Gom.Store.extent store "T2" with o :: _ -> V.Ref o | [] -> assert false
   in
-  let stats = Storage.Stats.create () in
+  let stats = env.Core.Exec.stats in
   let measure index =
     Storage.Stats.begin_op stats;
-    let r = Core.Exec.backward ~stats ?index env path ~i:0 ~j:2 ~target in
+    let r = Core.Exec.backward ?index env path ~i:0 ~j:2 ~target in
     (r, Storage.Stats.op_accesses stats)
   in
   let r_orion, cost_orion = measure (Some orion) in

@@ -83,7 +83,7 @@ let test_supported_accounting_structure () =
   let store, path = Workload.Generator.build spec in
   let n = Gom.Path.length path in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   (* A target guaranteed to be reachable, so every partition hop has a
      non-empty frontier. *)
   let target =
@@ -94,10 +94,10 @@ let test_supported_accounting_structure () =
            | [] -> None)
     |> Option.get
   in
-  let stats = Storage.Stats.create () in
+  let stats = env.Core.Exec.stats in
   let cost a =
     Storage.Stats.begin_op stats;
-    ignore (Core.Exec.backward_supported ~stats a ~i:0 ~j:n ~target);
+    ignore (Core.Exec.backward_supported env a ~i:0 ~j:n ~target);
     Storage.Stats.op_accesses stats
   in
   (* Binary partitions: a lookup chain paying at least one page per
@@ -113,14 +113,14 @@ let test_supported_accounting_structure () =
      partitioned left-complete relation enters at an interior column. *)
   let coarse = Core.Asr.create store path Core.Extension.Full (D.trivial ~m:n) in
   Storage.Stats.begin_op stats;
-  ignore (Core.Exec.backward_supported ~stats coarse ~i:1 ~j:n ~target);
+  ignore (Core.Exec.backward_supported env coarse ~i:1 ~j:n ~target);
   let c_interior_end = Storage.Stats.op_accesses stats in
   (* Ends at the clustering boundary: still a lookup. *)
   check "suffix query stays cheap" true (c_interior_end <= c_no + 2);
   (* But a forward query entering mid-partition scans every page. *)
   let source = List.hd (Gom.Store.extent store "T1") in
   Storage.Stats.begin_op stats;
-  ignore (Core.Exec.forward_supported ~stats coarse ~i:1 ~j:n source);
+  ignore (Core.Exec.forward_supported env coarse ~i:1 ~j:n source);
   let c_scan = Storage.Stats.op_accesses stats in
   let leafs =
     List.fold_left

@@ -26,17 +26,18 @@ let test_single_step_atomic_path () =
   let can = X.compute store path X.Canonical in
   check_int "one complete tuple" 1 (Relation.cardinal can);
   let a = Core.Asr.create store path X.Canonical (D.trivial ~m:1) in
-  check "backward by value" true
-    (Core.Exec.backward_supported a ~i:0 ~j:1 ~target:(V.Str "Moby") = [ d1 ]);
-  (* This is exactly a conventional attribute index. *)
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let mgr = Core.Maintenance.create { Core.Exec.store; Core.Exec.heap = heap } in
+  let env = Core.Exec.make store heap in
+  check "backward by value" true
+    (Core.Exec.backward_supported env a ~i:0 ~j:1 ~target:(V.Str "Moby") = [ d1 ]);
+  (* This is exactly a conventional attribute index. *)
+  let mgr = Core.Maintenance.create env in
   Core.Maintenance.register mgr a;
   Gom.Store.set_attr store d1 "Title" (V.Str "Dick");
   check "maintained" true
     (Relation.equal (X.compute store path X.Canonical) (Core.Asr.extension_relation a));
   check "old key gone" true
-    (Core.Exec.backward_supported a ~i:0 ~j:1 ~target:(V.Str "Moby") = [])
+    (Core.Exec.backward_supported env a ~i:0 ~j:1 ~target:(V.Str "Moby") = [])
 
 let test_decomposition_m1 () =
   check_int "only the trivial decomposition" 1 (List.length (D.all ~m:1));
@@ -52,10 +53,10 @@ let test_empty_base () =
     (fun k -> check_int (X.name k ^ " empty") 0 (Relation.cardinal (X.compute store path k)))
     X.all;
   let a = Core.Asr.create store path X.Full (D.binary ~m:5) in
-  check "lookup on empty" true
-    (Core.Exec.backward_supported a ~i:0 ~j:3 ~target:(V.Str "Door") = []);
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = Core.Exec.make store heap in
+  check "lookup on empty" true
+    (Core.Exec.backward_supported env a ~i:0 ~j:3 ~target:(V.Str "Door") = []);
   check "scan on empty" true
     (Core.Exec.backward_scan env path ~i:0 ~j:3 ~target:(V.Str "Door") = [])
 
@@ -92,38 +93,38 @@ let test_costmodel_single_object () =
 let company_env () =
   let b = Workload.Schemas.Company.base () in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.Workload.Schemas.Company.store in
-  (b, { Core.Exec.store = b.Workload.Schemas.Company.store; Core.Exec.heap })
+  (b, Engine.create (Core.Exec.make b.Workload.Schemas.Company.store heap))
 
 let test_gql_no_where () =
-  let _, env = company_env () in
-  let r = Gql.Eval.query ~env {|select d.Name from d in Division|} in
+  let _, engine = company_env () in
+  let r = Gql.Eval.query ~engine {|select d.Name from d in Division|} in
   check_int "all divisions" 3 (List.length r.Gql.Eval.rows)
 
 let test_gql_or_not () =
-  let _, env = company_env () in
+  let _, engine = company_env () in
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select d.Name from d in Division
         where d.Name = "Auto" or d.Name = "Space"|}
   in
   check_int "disjunction" 2 (List.length r.Gql.Eval.rows);
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select d.Name from d in Division where not d.Name = "Auto"|}
   in
   check_int "negation" 2 (List.length r.Gql.Eval.rows)
 
 let test_gql_literal_select () =
-  let _, env = company_env () in
-  let r = Gql.Eval.query ~env {|select 1, d.Name from d in Division where d.Name = "Auto"|} in
+  let _, engine = company_env () in
+  let r = Gql.Eval.query ~engine {|select 1, d.Name from d in Division where d.Name = "Auto"|} in
   check "literal column" true (r.Gql.Eval.rows = [ [ V.Int 1; V.Str "Auto" ] ])
 
 let test_gql_empty_path_result () =
-  let _, env = company_env () in
+  let _, engine = company_env () in
   (* Space has NULL Manufactures: the path set is empty, equality is
      existentially false. *)
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select d.Name from d in Division
         where d.Name = "Space" and d.Manufactures.Composition.Name = "Door"|}
   in

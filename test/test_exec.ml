@@ -12,7 +12,7 @@ let check_int = Alcotest.(check int)
 
 let env_of store =
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  { E.store; E.heap }
+  (E.make store heap)
 
 let robot_env () =
   let b = R.base () in
@@ -98,7 +98,7 @@ let test_supported_agrees_company () =
                 List.iter
                   (fun src ->
                     let nav = E.forward_scan env path ~i ~j src in
-                    let sup = E.forward_supported a ~i ~j src in
+                    let sup = E.forward_supported env a ~i ~j src in
                     if nav <> sup then
                       Alcotest.failf "fw mismatch %s %s (%d,%d)"
                         (Core.Extension.name kind) (D.to_string dec) i j)
@@ -113,7 +113,7 @@ let test_supported_agrees_company () =
                 List.iter
                   (fun target ->
                     let nav = E.backward_scan env path ~i ~j ~target in
-                    let sup = E.backward_supported a ~i ~j ~target in
+                    let sup = E.backward_supported env a ~i ~j ~target in
                     if nav <> sup then
                       Alcotest.failf "bw mismatch %s %s (%d,%d)"
                         (Core.Extension.name kind) (D.to_string dec) i j)
@@ -154,7 +154,7 @@ let prop_supported_agrees =
           (not (Core.Asr.supports a ~i ~j))
           || (List.for_all
                 (fun src ->
-                  E.forward_scan env path ~i ~j src = E.forward_supported a ~i ~j src)
+                  E.forward_scan env path ~i ~j src = E.forward_supported env a ~i ~j src)
                 (Gom.Store.extent ~deep:true store (Gom.Path.type_at path i))
              &&
              let targets =
@@ -164,7 +164,7 @@ let prop_supported_agrees =
              List.for_all
                (fun target ->
                  E.backward_scan env path ~i ~j ~target
-                 = E.backward_supported a ~i ~j ~target)
+                 = E.backward_supported env a ~i ~j ~target)
                targets))
         (all_ranges n))
 
@@ -205,7 +205,7 @@ let test_supported_cheaper () =
   in
   let store, path = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { E.store; E.heap } in
+  let env = (E.make store heap) in
   let a =
     Core.Asr.create store path Core.Extension.Canonical
       (D.trivial ~m:(Gom.Path.arity path - 1))
@@ -213,12 +213,12 @@ let test_supported_cheaper () =
   let target =
     match Gom.Store.extent store "T3" with o :: _ -> V.Ref o | [] -> assert false
   in
-  let stats = Storage.Stats.create () in
+  let stats = env.E.stats in
   Storage.Stats.begin_op stats;
-  let nav = E.backward_scan ~stats env path ~i:0 ~j:3 ~target in
+  let nav = E.backward_scan env path ~i:0 ~j:3 ~target in
   let scan_cost = Storage.Stats.op_accesses stats in
   Storage.Stats.begin_op stats;
-  let sup = E.backward_supported ~stats a ~i:0 ~j:3 ~target in
+  let sup = E.backward_supported env a ~i:0 ~j:3 ~target in
   let sup_cost = Storage.Stats.op_accesses stats in
   check "same answers" true (nav = sup);
   check "exhaustive search touches many pages" true (scan_cost > 20);

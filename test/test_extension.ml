@@ -198,7 +198,7 @@ let test_subtype_instances_participate () =
        [| r wr; r arm; r tool; r manu; V.Str "Utopia" |]);
   (* Queries and maintenance see it too. *)
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   check "backward query finds subtype instance" true
     (Core.Exec.backward_scan env path ~i:0 ~j:4 ~target:(V.Str "Utopia") = [ wr ]);
   let mgr = Core.Maintenance.create env in

@@ -98,12 +98,40 @@ let test_parse_errors () =
 let robot_env () =
   let b = R.base () in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.R.store in
-  (b, { Core.Exec.store = b.R.store; Core.Exec.heap })
+  (b, (Core.Exec.make b.R.store heap))
 
 let company_env () =
   let b = C.base () in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.C.store in
-  (b, { Core.Exec.store = b.C.store; Core.Exec.heap })
+  (b, (Core.Exec.make b.C.store heap))
+
+let engine_of ?(indexes = []) env =
+  let e = Engine.create env in
+  List.iter (Engine.register e) indexes;
+  e
+
+let stitch_index (c : Engine.choice) =
+  match c.Engine.chosen with
+  | Engine.Plan.Stitch { index; _ } -> Some index
+  | _ -> None
+
+(* Physical comparison: [Asr.t] holds closures, so structural [=] on the
+   index would raise. *)
+let stitched_through c a =
+  match stitch_index c with Some x -> x == a | None -> false
+
+(* A pinned profile big enough that the analytical model always prefers
+   a supported plan — the demo bases are so small that the planner may
+   (correctly) judge an exhaustive scan cheaper, so tests that must see
+   the stitch machinery pin the decision. *)
+let favour_index engine path =
+  let n = Gom.Path.length path in
+  Engine.set_profile engine path
+    (Costmodel.Profile.make
+       ~c:(List.init (n + 1) (fun _ -> 10_000.))
+       ~d:(List.init n (fun _ -> 10_000.))
+       ~fan:(List.init n (fun _ -> 1.))
+       ())
 
 let test_check_ok () =
   let b, _ = robot_env () in
@@ -147,12 +175,12 @@ let test_check_errors () =
 
 let test_query1_eval () =
   let b, env = robot_env () in
+  let engine = engine_of env in
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select r.Name from r in OurRobots
         where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"|}
   in
-  check "nested loop w/o index" true (r.Gql.Eval.plan <> Gql.Eval.Nested_loop || true);
   check_int "three robots" 3 (List.length r.Gql.Eval.rows);
   check "row content" true (List.mem [ V.Str "R2D2" ] r.Gql.Eval.rows);
   ignore b
@@ -161,20 +189,23 @@ let test_query1_with_index () =
   let b, env = robot_env () in
   let path = R.location_path b.R.store in
   let a = Core.Asr.create b.R.store path Core.Extension.Canonical (Core.Decomposition.trivial ~m:4) in
+  let engine = engine_of ~indexes:[ a ] env in
+  favour_index engine path;
   let r =
-    Gql.Eval.query ~env ~indexes:[ a ]
+    Gql.Eval.query ~engine
       {|select r.Name from r in OurRobots
         where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"|}
   in
   (match r.Gql.Eval.plan with
-  | Gql.Eval.Merged_backward { index = Some _; _ } -> ()
+  | Gql.Eval.Merged_backward { choice; _ } when stitched_through choice a -> ()
   | _ -> Alcotest.failf "expected indexed plan, got %s" (Gql.Eval.plan_to_string r.Gql.Eval.plan));
   check_int "same three robots" 3 (List.length r.Gql.Eval.rows)
 
 let test_query2_eval () =
   let _, env = company_env () in
+  let engine = engine_of env in
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select d.Name from d in Mercedes, b in d.Manufactures.Composition
         where b.Name = "Door"|}
   in
@@ -185,15 +216,23 @@ let test_query2_merged_with_index () =
   let b, env = company_env () in
   let path = C.name_path b.C.store in
   let a = Core.Asr.create b.C.store path Core.Extension.Full (Core.Decomposition.binary ~m:5) in
+  let engine = engine_of ~indexes:[ a ] env in
+  (* The query path is the index path seen from the Division anchor. *)
+  let query_path =
+    Gom.Path.make (Gom.Store.schema b.C.store) "Division"
+      [ "Manufactures"; "Composition"; "Name" ]
+  in
+  favour_index engine query_path;
   let r =
-    Gql.Eval.query ~env ~indexes:[ a ]
+    Gql.Eval.query ~engine
       {|select d.Name from d in Mercedes, b in d.Manufactures.Composition
         where b.Name = "Door"|}
   in
   (match r.Gql.Eval.plan with
-  | Gql.Eval.Merged_backward { index = Some _; path = p; _ } ->
+  | Gql.Eval.Merged_backward { choice; path = p; _ } ->
     check "merged full path" true
-      (Gom.Path.to_string p = "Division.Manufactures.Composition.Name")
+      (Gom.Path.to_string p = "Division.Manufactures.Composition.Name");
+    check "stitched through the full ASR" true (stitched_through choice a)
   | other -> Alcotest.failf "expected merged plan, got %s" (Gql.Eval.plan_to_string other));
   check "same answer as navigation" true
     (r.Gql.Eval.rows = [ [ V.Str "Auto" ]; [ V.Str "Truck" ] ])
@@ -215,25 +254,37 @@ let test_subrange_embedding () =
   let text =
     {|select p.Name from p in Product, bp in p.Composition where bp.Name = "Pepper"|}
   in
-  let with_full = Gql.Eval.query ~env ~indexes:[ full ] text in
+  let query_path =
+    Gom.Path.make (Gom.Store.schema b.C.store) "Product" [ "Composition"; "Name" ]
+  in
+  let full_engine = engine_of ~indexes:[ full ] env in
+  favour_index full_engine query_path;
+  let with_full = Gql.Eval.query ~engine:full_engine text in
   (match with_full.Gql.Eval.plan with
-  | Gql.Eval.Merged_backward { index = Some _; qi = 1; qj = 3; _ } -> ()
+  | Gql.Eval.Merged_backward
+      { choice = { Engine.chosen = Engine.Plan.Stitch { i = 1; j = 3; _ }; _ }; _ } ->
+    ()
   | other ->
     Alcotest.failf "expected (1,3) embedding, got %s" (Gql.Eval.plan_to_string other));
   (* The sausage is not reachable from any division; only the full
      extension knows it. *)
   check "sausage found via full" true (with_full.Gql.Eval.rows = [ [ V.Str "Sausage" ] ]);
-  let with_left = Gql.Eval.query ~env ~indexes:[ left ] text in
+  let left_engine = engine_of ~indexes:[ left ] env in
+  favour_index left_engine query_path;
+  let with_left = Gql.Eval.query ~engine:left_engine text in
   (match with_left.Gql.Eval.plan with
-  | Gql.Eval.Merged_backward { index = None; _ } -> ()
+  | Gql.Eval.Merged_backward
+      { choice = { Engine.chosen = Engine.Plan.Extent_scan _; _ }; _ } ->
+    ()
   | other ->
     Alcotest.failf "left cannot serve (1,3): got %s" (Gql.Eval.plan_to_string other));
   check "scan agrees" true (with_left.Gql.Eval.rows = with_full.Gql.Eval.rows)
 
 let test_query3_eval () =
   let _, env = company_env () in
+  let engine = engine_of env in
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select d.Manufactures.Composition.Name from d in Mercedes where d.Name = "Auto"|}
   in
   check "base part names of Auto" true (r.Gql.Eval.rows = [ [ V.Str "Door" ] ])
@@ -250,8 +301,8 @@ let test_query3_forward_through_index () =
   let text =
     {|select d.Manufactures.Composition.Name from d in Mercedes where d.Name = "Auto"|}
   in
-  let plain = Gql.Eval.query ~env text in
-  let indexed = Gql.Eval.query ~env ~indexes:[ a ] text in
+  let plain = Gql.Eval.query ~engine:(engine_of env) text in
+  let indexed = Gql.Eval.query ~engine:(engine_of ~indexes:[ a ] env) text in
   check "same rows through the index" true (plain.Gql.Eval.rows = indexed.Gql.Eval.rows);
   (* On a larger base the index saves pages for the select-path too. *)
   let spec =
@@ -261,22 +312,23 @@ let test_query3_forward_through_index () =
   in
   let store, gpath = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let genv = { Core.Exec.store; Core.Exec.heap } in
+  let genv = (Core.Exec.make store heap) in
   let ga =
     Core.Asr.create store gpath Core.Extension.Left_complete
       (Core.Decomposition.trivial ~m:(Gom.Path.arity gpath - 1))
   in
   let gtext = {|select t.A1.A2.A3 from t in T0 where t.Tag = "t0_0"|} in
-  let plain = Gql.Eval.query ~env:genv gtext in
-  let indexed = Gql.Eval.query ~env:genv ~indexes:[ ga ] gtext in
+  let plain = Gql.Eval.query ~engine:(engine_of genv) gtext in
+  let indexed = Gql.Eval.query ~engine:(engine_of ~indexes:[ ga ] genv) gtext in
   check "same rows on generated base" true (plain.Gql.Eval.rows = indexed.Gql.Eval.rows);
   check "index saves forward pages" true
     (indexed.Gql.Eval.pages < plain.Gql.Eval.pages)
 
 let test_in_predicate_eval () =
   let b, env = company_env () in
+  let engine = engine_of env in
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select d.Name from d in Mercedes, p in d.Manufactures
         where p.Name = "MB Trak"|}
   in
@@ -285,22 +337,23 @@ let test_in_predicate_eval () =
 
 let test_order_by_and_limit () =
   let _, env = company_env () in
+  let engine = engine_of env in
   let r =
-    Gql.Eval.query ~env {|select b.Price, b.Name from b in BasePart order by b.Price desc|}
+    Gql.Eval.query ~engine {|select b.Price, b.Name from b in BasePart order by b.Price desc|}
   in
   check "descending by price" true
     (r.Gql.Eval.rows
     = [ [ V.Dec 1205.50; V.Str "Door" ]; [ V.Dec 0.12; V.Str "Pepper" ] ]);
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select b.Name from b in BasePart order by 1 asc limit 1|}
   in
   check "column reference + limit" true (r.Gql.Eval.rows = [ [ V.Str "Door" ] ]);
-  let r = Gql.Eval.query ~env {|select b.Name from b in BasePart limit 0|} in
+  let r = Gql.Eval.query ~engine {|select b.Name from b in BasePart limit 0|} in
   check "limit 0" true (r.Gql.Eval.rows = []);
   (* Errors. *)
   let bad s =
-    try ignore (Gql.Eval.query ~env s); false with
+    try ignore (Gql.Eval.query ~engine s); false with
     | Gql.Typecheck.Check_error _ | Gql.Parser.Parse_error _ -> true
   in
   check "order by non-column" true
@@ -314,7 +367,7 @@ let test_order_by_with_indexed_plan () =
   let path = C.name_path b.C.store in
   let a = Core.Asr.create b.C.store path Core.Extension.Full (Core.Decomposition.binary ~m:5) in
   let r =
-    Gql.Eval.query ~env ~indexes:[ a ]
+    Gql.Eval.query ~engine:(engine_of ~indexes:[ a ] env)
       {|select d.Name from d in Mercedes, bp in d.Manufactures.Composition
         where bp.Name = "Door" order by d.Name desc|}
   in
@@ -323,21 +376,23 @@ let test_order_by_with_indexed_plan () =
 
 let test_multi_select () =
   let _, env = company_env () in
+  let engine = engine_of env in
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select d.Name, p.Name from d in Mercedes, p in d.Manufactures|}
   in
   check_int "division x product pairs" 3 (List.length r.Gql.Eval.rows)
 
 let test_comparison_operators () =
   let _, env = company_env () in
+  let engine = engine_of env in
   let r =
-    Gql.Eval.query ~env
+    Gql.Eval.query ~engine
       {|select b.Name from b in BasePart where b.Price > 1.0|}
   in
   check "expensive parts" true (r.Gql.Eval.rows = [ [ V.Str "Door" ] ]);
   let r =
-    Gql.Eval.query ~env {|select b.Name from b in BasePart where b.Price <= 1.0|}
+    Gql.Eval.query ~engine {|select b.Name from b in BasePart where b.Price <= 1.0|}
   in
   check "cheap parts" true (r.Gql.Eval.rows = [ [ V.Str "Pepper" ] ])
 
@@ -349,7 +404,7 @@ let test_indexed_plan_saves_pages () =
   in
   let store, _chain = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   let target =
     match Gom.Store.extent store "T3" with o :: _ -> Gom.Oid.to_int o | [] -> assert false
   in
@@ -363,12 +418,12 @@ let test_indexed_plan_saves_pages () =
       (Core.Decomposition.binary ~m:(Gom.Path.arity full_path - 1))
   in
   let text = {|select t from t in T0 where t.A1.A2.A3.Tag = "t3_7"|} in
-  let without = Gql.Eval.query ~env text in
-  let with_index = Gql.Eval.query ~env ~indexes:[ a ] text in
+  let without = Gql.Eval.query ~engine:(engine_of env) text in
+  let with_index = Gql.Eval.query ~engine:(engine_of ~indexes:[ a ] env) text in
   check "same rows" true (without.Gql.Eval.rows = with_index.Gql.Eval.rows);
   check "indexed plan chosen" true
     (match with_index.Gql.Eval.plan with
-    | Gql.Eval.Merged_backward { index = Some _; _ } -> true
+    | Gql.Eval.Merged_backward { choice; _ } -> stitched_through choice a
     | _ -> false);
   check "pages saved" true (with_index.Gql.Eval.pages * 3 < without.Gql.Eval.pages)
 
@@ -382,7 +437,7 @@ let gen_env () =
   in
   let store, _ = Workload.Generator.build spec in
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   let tag_path = Gom.Path.make (Gom.Store.schema store) "T0" [ "A1"; "A2"; "A3"; "Tag" ] in
   (store, env, tag_path)
 
@@ -395,12 +450,13 @@ let test_residual_conjunct () =
   let text =
     {|select t from t in T0 where t.A1.A2.A3.Tag = "t3_7" and t.Tag != "t0_0"|}
   in
-  let with_index = Gql.Eval.query ~env ~indexes:[ a ] text in
+  let with_index = Gql.Eval.query ~engine:(engine_of ~indexes:[ a ] env) text in
   (match with_index.Gql.Eval.plan with
-  | Gql.Eval.Merged_backward { index = Some _; residual; _ } ->
+  | Gql.Eval.Merged_backward { choice; residual; _ } ->
+    check "stitched through the ASR" true (stitched_through choice a);
     check "residual retained" true (residual <> Gql.Typecheck.TTrue)
   | other -> Alcotest.failf "expected merged plan, got %s" (Gql.Eval.plan_to_string other));
-  let without = Gql.Eval.query ~env text in
+  let without = Gql.Eval.query ~engine:(engine_of env) text in
   check "residual answers agree" true (without.Gql.Eval.rows = with_index.Gql.Eval.rows)
 
 let test_residual_on_other_var_blocks_merge () =
@@ -414,8 +470,9 @@ let test_residual_on_other_var_blocks_merge () =
   let text =
     {|select t from t in T0, x in t.A1 where x.A2.A3.Tag = "t3_7" and x.Tag != "t1_0"|}
   in
-  let r = Gql.Eval.query ~env ~indexes:[ a ] text in
-  check "nested loop" true (r.Gql.Eval.plan = Gql.Eval.Nested_loop)
+  let r = Gql.Eval.query ~engine:(engine_of ~indexes:[ a ] env) text in
+  check "nested loop" true
+    (match r.Gql.Eval.plan with Gql.Eval.Nested_loop -> true | _ -> false)
 
 let test_planner_picks_smaller_index () =
   let store, env, tag_path = gen_env () in
@@ -429,9 +486,13 @@ let test_planner_picks_smaller_index () =
     Gql.Typecheck.check store
       (Gql.Parser.parse {|select t from t in T0 where t.A1.A2.A3.Tag = "t3_7"|})
   in
-  match Gql.Eval.plan ~env ~indexes:[ big; small ] q with
-  | Gql.Eval.Merged_backward { index = Some chosen; _ } ->
-    check "smallest index chosen" true (chosen == small)
+  match Gql.Eval.plan ~engine:(engine_of ~indexes:[ big; small ] env) q with
+  | Gql.Eval.Merged_backward { choice; _ } -> (
+    match stitch_index choice with
+    | Some chosen -> check "cheapest index chosen" true (chosen == small)
+    | None ->
+      Alcotest.failf "expected a stitch, got %s"
+        (Engine.Plan.to_string choice.Engine.chosen))
   | other -> Alcotest.failf "expected merged plan, got %s" (Gql.Eval.plan_to_string other)
 
 let test_cost_based_veto () =
@@ -457,20 +518,23 @@ let test_cost_based_veto () =
       ~sizes:[ 4000.; 4000.; 4000.; 4000.; 4000. ]
       ()
   in
-  (match Gql.Eval.plan ~profile:losing_profile ~env ~indexes:[ index ] q with
-  | Gql.Eval.Merged_backward { index = veto; _ } ->
+  let engine = engine_of ~indexes:[ index ] env in
+  Engine.set_profile engine tag_path losing_profile;
+  (match Gql.Eval.plan ~engine q with
+  | Gql.Eval.Merged_backward { choice; _ } ->
     check "index vetoed when model says scan wins" true
-      (veto = None
+      (Option.is_none (stitch_index choice)
       || Costmodel.Query_cost.q losing_profile Core.Extension.Full
            (Core.Decomposition.trivial ~m:4) Costmodel.Query_cost.Bw 0 4
          <= Costmodel.Query_cost.qnas losing_profile Costmodel.Query_cost.Bw 0 4)
   | _ -> Alcotest.fail "expected merged plan");
-  (* And with a profile that favours the index, it is kept. *)
-  let winning_profile =
-    Workload.Profiler.profile_of_base store tag_path
-  in
-  match Gql.Eval.plan ~profile:winning_profile ~env ~indexes:[ index ] q with
-  | Gql.Eval.Merged_backward { index = Some _; _ } -> ()
+  (* And with a profile that favours the index, it is kept: pinning a
+     new profile bumps the engine generation, so the cached losing plan
+     is invalidated and the query replans. *)
+  let winning_profile = Workload.Profiler.profile_of_base store tag_path in
+  Engine.set_profile engine tag_path winning_profile;
+  match Gql.Eval.plan ~engine q with
+  | Gql.Eval.Merged_backward { choice; _ } when stitched_through choice index -> ()
   | _ -> Alcotest.fail "index should survive a favourable profile"
 
 let suite =

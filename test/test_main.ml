@@ -15,6 +15,7 @@ let () =
       ("decomposition", Test_decomposition.suite);
       ("asr", Test_asr.suite);
       ("exec", Test_exec.suite);
+      ("engine", Test_engine.suite);
       ("maintenance", Test_maintenance.suite);
       ("share", Test_share.suite);
       ("baselines", Test_baselines.suite);

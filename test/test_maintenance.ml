@@ -12,12 +12,12 @@ let check_int = Alcotest.(check int)
 
 let env_of spec store =
   let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-  { E.store; E.heap }
+  (E.make store heap)
 
 let company_setup kind dec =
   let b = C.base () in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.C.store in
-  let env = { E.store = b.C.store; E.heap } in
+  let env = (E.make b.C.store heap) in
   let mgr = M.create env in
   let a = Core.Asr.create b.C.store (C.name_path b.C.store) kind dec in
   M.register mgr a;
@@ -90,7 +90,7 @@ let test_delete_object () =
 let test_multiple_asrs_one_store () =
   let b = C.base () in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.C.store in
-  let env = { E.store = b.C.store; E.heap } in
+  let env = (E.make b.C.store heap) in
   let mgr = M.create env in
   let path = C.name_path b.C.store in
   let asrs =
@@ -114,7 +114,7 @@ let test_distinct_paths_one_store () =
   let b = C.base () in
   let store = b.C.store in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let mgr = M.create { E.store; E.heap } in
+  let mgr = M.create (E.make store heap) in
   let long = C.name_path store in
   let short = Gom.Path.make (Gom.Store.schema store) "Product" [ "Composition"; "Price" ] in
   let a_long = Core.Asr.create store long Core.Extension.Full (D.binary ~m:5) in

@@ -106,7 +106,7 @@ let test_list_occurrence () =
   check_int "both list elements indexed" 2 (Relation.cardinal can);
   (* And incremental maintenance follows list mutations. *)
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let mgr = Core.Maintenance.create { Core.Exec.store; Core.Exec.heap = heap } in
+  let mgr = Core.Maintenance.create (Core.Exec.make store heap) in
   let a = Core.Asr.create store p Core.Extension.Full (Core.Decomposition.binary ~m:3) in
   Core.Maintenance.register mgr a;
   Gom.Store.insert_elem store tl (Gom.Value.Ref (track "Bridge"));

@@ -108,12 +108,12 @@ let test_shared_lookup_correct () =
   let a1 = A.create ~pool store div_path X.Full dec in
   let a2 = A.create ~pool store fac_path X.Full dec in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let env = { Core.Exec.store; Core.Exec.heap } in
+  let env = (Core.Exec.make store heap) in
   (* Backward query through each relation agrees with navigation. *)
   List.iter
     (fun (a, path, expect) ->
       let nav = Core.Exec.backward_scan env path ~i:0 ~j:3 ~target:(V.Str "Wheel") in
-      let sup = Core.Exec.backward_supported a ~i:0 ~j:3 ~target:(V.Str "Wheel") in
+      let sup = Core.Exec.backward_supported env a ~i:0 ~j:3 ~target:(V.Str "Wheel") in
       check "nav = sup over shared partition" true (nav = sup);
       check "expected anchor found" true (List.mem expect nav))
     [ (a1, div_path, division); (a2, fac_path, factory) ];
@@ -145,7 +145,7 @@ let test_shared_maintenance () =
   let a1 = A.create ~pool store div_path X.Full dec in
   let a2 = A.create ~pool store fac_path X.Full dec in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-  let mgr = Core.Maintenance.create { Core.Exec.store; Core.Exec.heap } in
+  let mgr = Core.Maintenance.create (Core.Exec.make store heap) in
   Core.Maintenance.register mgr a1;
   Core.Maintenance.register mgr a2;
   (* Mutations in the shared tail affect both relations. *)
@@ -167,10 +167,10 @@ let test_shared_maintenance () =
   check "a2 consistent after losing its head" true (agree a2);
   (* The shared partition still carries a1's tuples. *)
   let nav =
-    Core.Exec.backward_scan { Core.Exec.store; Core.Exec.heap } div_path ~i:0 ~j:3
+    Core.Exec.backward_scan (Core.Exec.make store heap) div_path ~i:0 ~j:3
       ~target:(V.Str "Door")
   in
-  let sup = Core.Exec.backward_supported a1 ~i:0 ~j:3 ~target:(V.Str "Door") in
+  let sup = Core.Exec.backward_supported (Core.Exec.make store heap) a1 ~i:0 ~j:3 ~target:(V.Str "Door") in
   check "a1 lookups survive" true (nav = sup)
 
 let test_refresh_preserves_sharers () =
@@ -219,7 +219,7 @@ let prop_pooled_maintenance =
     (fun (spec, (pick, ops_seed)) ->
       let store, path = Workload.Generator.build spec in
       let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
-      let env = { Core.Exec.store; Core.Exec.heap = heap } in
+      let env = (Core.Exec.make store heap) in
       let mgr = Core.Maintenance.create env in
       let m = Gom.Path.arity path - 1 in
       let decs = D.all ~m in

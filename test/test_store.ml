@@ -90,7 +90,7 @@ let test_extent () =
 let test_events () =
   let st = store () in
   let log = ref [] in
-  St.subscribe st (fun ev -> log := ev :: !log);
+  let (_ : St.subscription) = St.subscribe st (fun ev -> log := ev :: !log) in
   let node = St.new_object st "Node" in
   let leaf = St.new_object st "Leaf" in
   St.set_attr st node "leaf" (V.Ref leaf);

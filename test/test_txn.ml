@@ -73,7 +73,7 @@ let test_rollback_keeps_asr_consistent () =
       let b = C.base () in
       let path = C.name_path b.C.store in
       let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.C.store in
-      let mgr = Core.Maintenance.create { Core.Exec.store = b.C.store; Core.Exec.heap = heap } in
+      let mgr = Core.Maintenance.create (Core.Exec.make b.C.store heap) in
       let a = Core.Asr.create b.C.store path kind (Core.Decomposition.binary ~m:5) in
       Core.Maintenance.register mgr a;
       let before = Core.Asr.extension_relation a in
@@ -101,7 +101,7 @@ let test_rollback_asr_byte_identical () =
   let b = C.base () in
   let path = C.name_path b.C.store in
   let heap = Storage.Heap.create ~size_of:(fun _ -> 100) b.C.store in
-  let mgr = Core.Maintenance.create { Core.Exec.store = b.C.store; Core.Exec.heap = heap } in
+  let mgr = Core.Maintenance.create (Core.Exec.make b.C.store heap) in
   let a = Core.Asr.create b.C.store path Core.Extension.Full (Core.Decomposition.binary ~m:5) in
   Core.Maintenance.register mgr a;
   let render () = Format.asprintf "%a" Relation.pp (Core.Asr.extension_relation a) in
@@ -139,7 +139,7 @@ let test_failing_listener_mid_undo_releases_store () =
   (* A listener (e.g. a broken maintenance client) that blows up on the
      first compensation event of the rollback. *)
   let sub =
-    Gom.Store.subscribe_cancellable b.C.store (fun _ -> failwith "listener boom")
+    Gom.Store.subscribe b.C.store (fun _ -> failwith "listener boom")
   in
   check "rollback propagates listener failure" true
     (try Gom.Txn.rollback t; false with Failure _ -> true);

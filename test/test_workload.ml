@@ -110,7 +110,7 @@ let test_table_column () =
 (* ---- experiments ---- *)
 
 let test_catalogue () =
-  check_int "21 experiments" 21 (List.length Workload.Experiments.all);
+  check_int "22 experiments" 22 (List.length Workload.Experiments.all);
   check "find works" true (Workload.Experiments.find "fig8" <> None);
   check "unknown id" true (Workload.Experiments.find "fig99" = None);
   (* Ids unique. *)
