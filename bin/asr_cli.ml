@@ -10,6 +10,13 @@ let exit_usage msg =
   prerr_endline msg;
   exit 2
 
+(* Runtime/data failures (corrupt images, failed recovery, divergent
+   indexes) exit 1; usage errors exit 2; unexpected exceptions exit 125
+   via the top-level net.  Success is always 0. *)
+let exit_data msg =
+  prerr_endline msg;
+  exit 1
+
 (* ---------------- experiment commands ---------------- *)
 
 let list_cmd () =
@@ -152,7 +159,7 @@ let make_engine base file path_spec index_spec =
     | None -> make_env base
     | Some f -> (
       match Gom.Serial.load f with
-      | exception Gom.Serial.Corrupt m -> exit_usage ("corrupt base file: " ^ m)
+      | exception Gom.Serial.Corrupt m -> exit_data ("corrupt base file: " ^ m)
       | exception Sys_error m -> exit_usage m
       | store ->
         let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
@@ -263,7 +270,7 @@ let auto_cmd base file path_spec p_up queries updates =
     | None -> make_env base
     | Some f -> (
       match Gom.Serial.load f with
-      | exception Gom.Serial.Corrupt m -> exit_usage ("corrupt base file: " ^ m)
+      | exception Gom.Serial.Corrupt m -> exit_data ("corrupt base file: " ^ m)
       | exception Sys_error m -> exit_usage m
       | store ->
         let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
@@ -314,7 +321,7 @@ let repl_cmd base file path_spec index_spec =
     | None -> make_env base
     | Some f -> (
       match Gom.Serial.load f with
-      | exception Gom.Serial.Corrupt m -> exit_usage ("corrupt base file: " ^ m)
+      | exception Gom.Serial.Corrupt m -> exit_data ("corrupt base file: " ^ m)
       | exception Sys_error m -> exit_usage m
       | store ->
         let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
@@ -394,7 +401,9 @@ let db_status db =
 
 let with_db dir f =
   match Durability.Db.open_ ~dir () with
-  | exception Durability.Db.Recovery_error m -> exit_usage ("recovery failed: " ^ m)
+  | exception Durability.Db.Recovery_error m -> exit_data ("recovery failed: " ^ m)
+  | exception Durability.Db.Db_error m -> exit_data m
+  | exception Gom.Serial.Corrupt m -> exit_data ("corrupt image: " ^ m)
   | db ->
     Fun.protect ~finally:(fun () -> Durability.Db.close db) (fun () -> f db)
 
@@ -408,13 +417,15 @@ let db_open_cmd dir base =
         0)
   else begin
     let store, _, _ = make_env base in
-    let db = Durability.Db.create ~dir store in
-    Fun.protect
-      ~finally:(fun () -> Durability.Db.close db)
-      (fun () ->
-        Format.printf "initialised durable base from demo base %S@." base;
-        db_status db;
-        0)
+    match Durability.Db.create ~dir store with
+    | exception Durability.Db.Db_error m -> exit_data m
+    | db ->
+      Fun.protect
+        ~finally:(fun () -> Durability.Db.close db)
+        (fun () ->
+          Format.printf "initialised durable base from demo base %S@." base;
+          db_status db;
+          0)
   end
 
 (* One mutation per argument, applied inside a single transaction:
@@ -462,8 +473,8 @@ let db_append_cmd dir ops =
       let compiled = List.map compile ops in
       (match Gom.Txn.with_txn store (fun () -> List.iter (fun f -> f ()) compiled) with
       | Ok () -> Format.printf "committed %d operation(s)@." (List.length ops)
-      | Error (Gom.Store.Type_error m) -> exit_usage ("type error (rolled back): " ^ m)
-      | Error e -> raise e);
+      | Error (Gom.Store.Type_error m) -> exit_data ("type error (rolled back): " ^ m)
+      | Error e -> exit_data ("operation failed (rolled back): " ^ Printexc.to_string e));
       0)
 
 let db_checkpoint_cmd dir =
@@ -477,10 +488,8 @@ let db_recover_cmd dir =
       (match Durability.Db.last_recovery db with
       | Some r ->
         print_recovery r;
-        if not (Durability.Db.verified r) then begin
-          Format.printf "RECOVERY VERIFICATION FAILED@.";
-          exit 1
-        end
+        if not (Durability.Db.verified r) then
+          exit_data "RECOVERY VERIFICATION FAILED"
       | None -> ());
       db_status db;
       0)
@@ -498,6 +507,88 @@ let db_index_cmd dir kind_s path dec =
         Format.printf "materialised %d tuples over %d partitions@."
           (Core.Asr.cardinal a) (Core.Asr.partition_count a);
         0)
+
+(* ---------------- integrity commands ---------------- *)
+
+let scrub_artifact db reports =
+  let stats = Core.Maintenance.stats (Durability.Db.maintenance db) in
+  Printf.sprintf
+    "{\"dir\": %S, \"generation\": %d, \"clean\": %b, \"reports\": [%s], \"stats\": %s}"
+    (Durability.Db.dir db)
+    (Durability.Db.generation db)
+    (List.for_all Integrity.Scrub.clean reports)
+    (String.concat ", " (List.map Integrity.Scrub.report_to_json reports))
+    (Storage.Stats.summary_to_json (Storage.Stats.snapshot stats))
+
+let write_file file contents =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+let db_doctor_cmd dir sample json =
+  (match sample with
+  | Some k when k < 1 -> exit_usage "--sample must be >= 1"
+  | _ -> ());
+  with_db dir (fun db ->
+      let stats = Core.Maintenance.stats (Durability.Db.maintenance db) in
+      let reports =
+        List.map
+          (fun a -> Integrity.Scrub.run ?sample ~stats a)
+          (Durability.Db.asrs db)
+      in
+      if reports = [] then Format.printf "no access support relations registered@.";
+      List.iter (fun r -> print_string (Integrity.Scrub.report_to_string r)) reports;
+      (match json with
+      | Some file ->
+        write_file file (scrub_artifact db reports);
+        Format.printf "wrote %s@." file
+      | None -> ());
+      if List.for_all Integrity.Scrub.clean reports then 0
+      else exit_data "SCRUB FOUND DIVERGENCE - try `asr_cli db repair'")
+
+let db_repair_cmd dir slice rounds json =
+  with_db dir (fun db ->
+      let maintenance = Durability.Db.maintenance db in
+      let stats = Core.Maintenance.stats maintenance in
+      let registry = Integrity.Quarantine.create () in
+      let failed = ref [] in
+      List.iter
+        (fun a ->
+          let name = Gom.Path.to_string (Core.Asr.path a) in
+          let report = Integrity.Scrub.run ~stats a in
+          if Integrity.Scrub.clean report then
+            Format.printf "%-40s clean, nothing to repair@." name
+          else begin
+            let parts = Integrity.Quarantine.apply_report registry a report in
+            Format.printf "%-40s quarantined partition(s) %s@." name
+              (String.concat "," (List.map string_of_int parts));
+            let outcome =
+              Integrity.Repair.run ~slice ~max_rounds:rounds ~registry ~maintenance
+                ~stats a
+            in
+            Format.printf "%-40s %s@." name
+              (Integrity.Repair.outcome_to_string outcome);
+            match outcome with
+            | Integrity.Repair.Repaired _ -> ()
+            | Integrity.Repair.Failed _ -> failed := name :: !failed
+          end)
+        (Durability.Db.asrs db);
+      (match json with
+      | Some file ->
+        let reports =
+          List.map (fun a -> Integrity.Scrub.run ~stats a) (Durability.Db.asrs db)
+        in
+        write_file file (scrub_artifact db reports);
+        Format.printf "wrote %s@." file
+      | None -> ());
+      if !failed = [] then 0
+      else
+        exit_data
+          (Printf.sprintf "REPAIR FAILED for: %s (still quarantined)"
+             (String.concat ", " (List.rev !failed))))
 
 (* ---------------- cmdliner wiring ---------------- *)
 
@@ -679,6 +770,33 @@ let db_index_t =
   in
   Term.(const db_index_cmd $ db_dir $ kind $ path $ dec)
 
+let db_doctor_t =
+  let sample =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"K"
+           ~doc:"Audit a deterministic 1-in-$(docv) sample of source objects \
+                 instead of the full extension.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable scrub report (reports + counters).")
+  in
+  Term.(const db_doctor_cmd $ db_dir $ sample $ json)
+
+let db_repair_t =
+  let slice =
+    Arg.(value & opt int 32 & info [ "slice" ] ~docv:"N"
+           ~doc:"Tuples fixed per incremental repair step.")
+  in
+  let rounds =
+    Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Maximum rebuild-and-verify rounds before giving up.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable post-repair scrub report.")
+  in
+  Term.(const db_repair_cmd $ db_dir $ slice $ rounds $ json)
+
 let db_cmd =
   Cmd.group
     (Cmd.info "db"
@@ -706,6 +824,16 @@ let db_cmd =
         (Cmd.info "index"
            ~doc:"Register a maintained, recovery-verified access support relation.")
         db_index_t;
+      Cmd.v
+        (Cmd.info "doctor"
+           ~doc:"Scrub every registered access support relation against the object \
+                 graph; exit 1 on any divergence.")
+        db_doctor_t;
+      Cmd.v
+        (Cmd.info "repair"
+           ~doc:"Scrub, quarantine diverged partitions, rebuild them incrementally, \
+                 re-verify and lift the quarantine.")
+        db_repair_t;
     ]
 
 let cmds =
@@ -730,4 +858,18 @@ let cmds =
 
 let () =
   let doc = "Access support relations for object bases (Kemper & Moerkotte, SIGMOD 1990)" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "asr_cli" ~doc) cmds))
+  (* Last-resort exception net, for data failures that surface outside a
+     [with_db] scope: known data errors exit 1 like everywhere else,
+     anything truly unexpected exits 125 so scripts can tell a crash
+     from a diagnosis. *)
+  let code =
+    try Cmd.eval' (Cmd.group (Cmd.info "asr_cli" ~doc) cmds) with
+    | Durability.Db.Db_error m -> prerr_endline m; 1
+    | Durability.Db.Recovery_error m ->
+      prerr_endline ("recovery failed: " ^ m); 1
+    | Gom.Serial.Corrupt m -> prerr_endline ("corrupt image: " ^ m); 1
+    | Durability.Fault.Retryable m ->
+      prerr_endline ("transient failure persisted: " ^ m); 1
+    | e -> prerr_endline ("unexpected error: " ^ Printexc.to_string e); 125
+  in
+  exit code

@@ -268,6 +268,93 @@ let find_by_column ?stats t ~col v =
 let supports t ~i ~j =
   Extension.supports t.kind ~n:(Gom.Path.length t.path) ~i ~j
 
+(* ------------------------------------------------------------------ *)
+(* Integrity hooks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let partition_shared t i = t.parts.(i).trees.skey <> None
+
+let partition_refcount t i proj = Storage.Bptree.refcount t.parts.(i).trees.fwd proj
+
+type damage =
+  | Drop of Relation.Tuple.t
+  | Phantom of Relation.Tuple.t
+
+let damage_partition t i ds =
+  let p = t.parts.(i) in
+  let width = p.hi - p.lo + 1 in
+  List.iter
+    (fun d ->
+      let proj = match d with Drop proj | Phantom proj -> proj in
+      if Array.length proj <> width then
+        invalid_arg "Asr.damage_partition: projection width mismatch";
+      match d with
+      | Drop proj ->
+        Storage.Bptree.remove p.trees.fwd proj;
+        Storage.Bptree.remove p.trees.bwd proj
+      | Phantom proj ->
+        Storage.Bptree.insert p.trees.fwd proj;
+        Storage.Bptree.insert p.trees.bwd proj)
+    ds
+
+let patch_partition ?stats t i =
+  let p = t.parts.(i) in
+  let span = (p.lo, p.hi) in
+  let shared = p.trees.skey <> None in
+  (* Target multiset: this relation's projections with multiplicities
+     (the reference counts the trees should carry for them). *)
+  let want : (string, int * Relation.Tuple.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun tup ->
+      let proj = project_tuple tup span in
+      let k = Relation.Tuple.to_string proj in
+      let n = match Hashtbl.find_opt want k with Some (n, _) -> n | None -> 0 in
+      Hashtbl.replace want k (n + 1, proj))
+    (Relation.to_list t.extension);
+  (* Distinct tuples physically present right now. *)
+  let present = Hashtbl.create 64 in
+  List.iter
+    (fun proj -> Hashtbl.replace present (Relation.Tuple.to_string proj) proj)
+    (Storage.Bptree.scan p.trees.fwd);
+  let fixes = ref 0 in
+  let adjust proj delta =
+    if delta <> 0 then begin
+      incr fixes;
+      if delta > 0 then
+        for _ = 1 to delta do
+          Storage.Bptree.insert ?stats p.trees.fwd proj;
+          Storage.Bptree.insert ?stats p.trees.bwd proj
+        done
+      else
+        for _ = 1 to -delta do
+          Storage.Bptree.remove ?stats p.trees.fwd proj;
+          Storage.Bptree.remove ?stats p.trees.bwd proj
+        done
+    end
+  in
+  Hashtbl.iter
+    (fun k (n, proj) ->
+      Hashtbl.remove present k;
+      let have = Storage.Bptree.refcount p.trees.fwd proj in
+      if shared then begin
+        (* Co-sharers contribute unknown multiplicity on top of ours:
+           restore missing presence, never retract. *)
+        if have < n then adjust proj (n - have)
+      end
+      else adjust proj (n - have))
+    want;
+  (* Whatever remains is wanted by nobody we can vouch for: phantoms in
+     an exclusive tree; in a shared tree it may be a co-sharer's, so it
+     is left alone. *)
+  Hashtbl.iter
+    (fun _k proj ->
+      if not shared then begin
+        let have = Storage.Bptree.refcount p.trees.fwd proj in
+        if have > 0 then adjust proj (-have)
+      end)
+    present;
+  !fixes
+
 type part_geometry = {
   lo : int;
   hi : int;

@@ -2,6 +2,7 @@ type t = {
   env : Exec.env;
   stats : Storage.Stats.t;
   mutable asrs : Asr.t list;
+  mutable suspended : Asr.t list;
 }
 
 let asrs t = List.rev t.asrs
@@ -262,11 +263,14 @@ let handle_event t index ev =
              List.iter (fun o -> handle_change t index ~i ~obj:o ~targets) os)
 
 let create env =
-  let t = { env; stats = env.Exec.stats; asrs = [] } in
+  let t = { env; stats = env.Exec.stats; asrs = []; suspended = [] } in
   let (_ : Gom.Store.subscription) =
     Gom.Store.subscribe env.Exec.store (fun ev ->
       Storage.Stats.begin_op t.stats;
-      List.iter (fun index -> handle_event t index ev) (List.rev t.asrs))
+      List.iter
+        (fun index ->
+          if not (List.memq index t.suspended) then handle_event t index ev)
+        (List.rev t.asrs))
   in
   t
 
@@ -274,3 +278,13 @@ let register t index =
   if not (Asr.store index == t.env.Exec.store) then
     invalid_arg "Maintenance.register: ASR built over a different store";
   t.asrs <- index :: t.asrs
+
+let suspend t index =
+  if not (List.memq index t.suspended) then t.suspended <- index :: t.suspended
+
+let resume t index =
+  t.suspended <- List.filter (fun i -> not (i == index)) t.suspended
+
+let is_suspended t index = List.memq index t.suspended
+
+let apply_event t index ev = handle_event t index ev

@@ -42,3 +42,26 @@ val stats : t -> Storage.Stats.t
 
 val last_event_cost : t -> int
 (** Pages read plus written while processing the most recent event. *)
+
+(** {2 Repair interleaving}
+
+    During a background rebuild the repairer takes over one ASR's
+    maintenance: live store events must not race the slice-wise
+    reconstruction, so the manager is told to {e skip} that ASR while
+    the repairer buffers the events itself and replays them — through
+    {!apply_event} — once the rebuild pass is done. *)
+
+val suspend : t -> Asr.t -> unit
+(** Stop processing store events against this ASR (idempotent).  Other
+    registered ASRs are unaffected. *)
+
+val resume : t -> Asr.t -> unit
+(** Resume normal event processing for the ASR. *)
+
+val is_suspended : t -> Asr.t -> bool
+
+val apply_event : t -> Asr.t -> Gom.Store.event -> unit
+(** Process one store event against one ASR, exactly as the manager's
+    own subscription would.  Used to replay events buffered while the
+    ASR was suspended; the caller is responsible for operation
+    boundaries ({!Storage.Stats.begin_op}). *)

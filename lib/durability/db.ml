@@ -123,6 +123,7 @@ type t = {
 
 let store t = t.t_store
 let env t = (Core.Exec.make t.t_store t.heap)
+let maintenance t = t.mgr
 let generation t = t.gen
 let dir t = t.t_dir
 let asrs t = List.rev t.handles
@@ -203,8 +204,20 @@ let open_ ?fault ?(policy = Wal.Sync_on_commit) ~dir () =
   let fault = match fault with Some f -> f | None -> default_fault () in
   let gen, specs = read_manifest dir in
   let store =
-    try Gom.Serial.load (snapshot_file dir gen)
-    with Gom.Serial.Corrupt m -> recovery_error "snapshot %d: %s" gen m
+    let file = snapshot_file dir gen in
+    if not (Sys.file_exists file) then
+      recovery_error "snapshot %d: missing file %s" gen file;
+    (* The load goes through the fault environment: bit flips and
+       truncation surface as byte-located [Serial.Corrupt], transient
+       failures are absorbed by bounded retry with deterministic
+       backoff, and a persistent transient becomes a recovery error. *)
+    try
+      Fault.with_retry fault (fun () ->
+          Gom.Serial.load_via ~reader:(Fault.read_through fault) file)
+    with
+    | Gom.Serial.Corrupt m -> recovery_error "snapshot %d: %s" gen m
+    | Fault.Retryable m ->
+      recovery_error "snapshot %d: transient read failure persisted: %s" gen m
   in
   let scanned = Wal.scan (wal_file dir gen) in
   (* Chop the log back to its committed prefix: both the torn tail and

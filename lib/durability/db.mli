@@ -76,6 +76,12 @@ val dir : t -> string
 val asrs : t -> Core.Asr.t list
 (** The registered, maintained access support relations. *)
 
+val maintenance : t -> Core.Maintenance.t
+(** The handle's maintenance manager — the integrity subsystem's repair
+    jobs suspend/resume individual relations on it, and its
+    {!Core.Maintenance.stats} accumulates page traffic and the
+    scrub/fallback/retry counters. *)
+
 val register_asr :
   t ->
   path:string ->

@@ -1,4 +1,5 @@
 exception Crash
+exception Retryable of string
 
 type plan = {
   crash_at_write : int;
@@ -6,11 +7,42 @@ type plan = {
   corrupt_bytes : int;
 }
 
-type t = { mutable writes : int; plan : plan option }
+type read_fault =
+  | Flip_tail of int
+  | Drop_tail of int
+  | Transient of int
+  | Crash_read
 
-let real () = { writes = 0; plan = None }
-let faulty plan = { writes = 0; plan = Some plan }
+type read_plan = { fail_at_read : int; fault : read_fault }
+
+type t = {
+  mutable writes : int;
+  plan : plan option;
+  mutable reads : int;
+  read_plan : read_plan option;
+  mutable transient_left : int;
+  mutable retries : int;
+  mutable backoff_ticks : int;
+}
+
+let make ~plan ~read_plan =
+  {
+    writes = 0;
+    plan;
+    reads = 0;
+    read_plan;
+    transient_left = 0;
+    retries = 0;
+    backoff_ticks = 0;
+  }
+
+let real () = make ~plan:None ~read_plan:None
+let faulty plan = make ~plan:(Some plan) ~read_plan:None
+let faulty_reads ?writes read_plan = make ~plan:writes ~read_plan:(Some read_plan)
 let writes t = t.writes
+let reads t = t.reads
+let retries t = t.retries
+let backoff_ticks t = t.backoff_ticks
 
 type sim = {
   path : string;
@@ -97,3 +129,56 @@ let close = function
     overwrite s.path (s.durable ^ Buffer.contents s.pending);
     s.durable <- s.durable ^ Buffer.contents s.pending;
     Buffer.clear s.pending
+
+(* ------------------------------------------------------------------ *)
+(* Read-side injection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Count one logical read against the plan; returns the transformation
+   to apply to any data this read produced.  Transient faults arm a
+   failure budget at the fault point and keep raising [Retryable] until
+   it is spent, so a bounded-retry loop eventually succeeds. *)
+let tick t =
+  t.reads <- t.reads + 1;
+  match t.read_plan with
+  | None -> Fun.id
+  | Some { fail_at_read; fault } ->
+    let firing = t.reads = fail_at_read in
+    (match fault with
+    | Transient n when firing -> t.transient_left <- max t.transient_left n
+    | _ -> ());
+    if t.transient_left > 0 then begin
+      t.transient_left <- t.transient_left - 1;
+      raise
+        (Retryable
+           (Printf.sprintf "transient read failure (%d more)" t.transient_left))
+    end;
+    if not firing then Fun.id
+    else
+      match fault with
+      | Crash_read -> raise Crash
+      | Flip_tail k -> fun s -> corrupt_tail s k
+      | Drop_tail k ->
+        fun s -> if String.length s <= k then "" else String.sub s 0 (String.length s - k)
+      | Transient _ -> Fun.id
+
+let observe_read t =
+  let (_ : string -> string) = tick t in
+  ()
+
+let read_through t path =
+  let transform = tick t in
+  transform (read_all path)
+
+let with_retry ?(attempts = 3) ?stats t f =
+  let rec go k =
+    try f ()
+    with Retryable _ when k < attempts ->
+      t.retries <- t.retries + 1;
+      (match stats with Some st -> Storage.Stats.note_retry st | None -> ());
+      (* Deterministic exponential backoff, recorded rather than slept:
+         tests stay instant and the schedule is reproducible. *)
+      t.backoff_ticks <- t.backoff_ticks + (1 lsl (k - 1));
+      go (k + 1)
+  in
+  go 1

@@ -18,6 +18,12 @@ exception Crash
 (** The simulated power failure.  After it is raised the in-memory
     store must be considered gone; recovery starts from the files. *)
 
+exception Retryable of string
+(** A transient read failure (the storage analogue of a checksum
+    mismatch that succeeds on re-read).  Raised by the read path when a
+    {!read_fault.Transient} plan fires; {!with_retry} absorbs it with
+    bounded retries and deterministic backoff. *)
+
 type plan = {
   crash_at_write : int;
       (** 1-based index of the append (counted across the environment's
@@ -32,6 +38,26 @@ type plan = {
           data, modelling a torn sector. *)
 }
 
+type read_fault =
+  | Flip_tail of int
+      (** Bitwise-not the last [k] bytes of the data returned by the
+          fault-point read — a torn or bit-rotted sector. *)
+  | Drop_tail of int
+      (** Truncate the last [k] bytes — a short read / truncated file. *)
+  | Transient of int
+      (** Fail this read and the next [k - 1] with {!Retryable}; a
+          bounded-retry loop of at least [k + 1] attempts succeeds. *)
+  | Crash_read
+      (** Raise {!Crash} at the fault point, for sweeping crash points
+          across read-heavy cycles (scrub, repair verification). *)
+
+type read_plan = {
+  fail_at_read : int;
+      (** 1-based index of the read (counted across the environment's
+          whole lifetime) at which the fault fires. *)
+  fault : read_fault;
+}
+
 type t
 (** A file-operations environment. *)
 
@@ -40,9 +66,26 @@ val real : unit -> t
 
 val faulty : plan -> t
 
+val faulty_reads : ?writes:plan -> read_plan -> t
+(** An environment injecting the given read-side fault, optionally with
+    a write-side crash plan as well. *)
+
 val writes : t -> int
 (** Appends performed through this environment so far (both modes);
     used to size crash-point sweeps. *)
+
+val reads : t -> int
+(** Logical reads observed through this environment so far; used to
+    size read-side fault sweeps (count a crash-free reference run,
+    then sweep [fail_at_read] over [1 .. reads]). *)
+
+val retries : t -> int
+(** Retries absorbed by {!with_retry} so far. *)
+
+val backoff_ticks : t -> int
+(** Total deterministic backoff accumulated by {!with_retry}: the
+    [k]'th retry adds [2^(k-1)] ticks.  Recorded, never slept, so
+    sweeps stay instant and reproducible. *)
 
 type file
 
@@ -59,3 +102,30 @@ val sync : file -> unit
 
 val close : file -> unit
 (** Flush and close (an orderly shutdown, not a crash). *)
+
+(** {2 Read-side injection}
+
+    Snapshot loads and integrity-scrub passes are read paths: the
+    hazards are corrupted or truncated data coming {e back}, and
+    transient failures that succeed on retry.  Each call below counts
+    one logical read against the environment's [read_plan]. *)
+
+val observe_read : t -> unit
+(** Count one logical read that does not materialise bytes through this
+    module (e.g. a scrub batch served from the page layer).  Raises
+    {!Retryable} or {!Crash} when the plan says so; [Flip_tail] /
+    [Drop_tail] plans are inert here (there is no data to damage). *)
+
+val read_through : t -> string -> string
+(** Read a whole file, damaged per the plan: the fault-point read
+    returns flipped or truncated bytes, raises {!Retryable}, or raises
+    {!Crash}.  A missing file reads as [""], as with recovery's own
+    reader. *)
+
+val with_retry :
+  ?attempts:int -> ?stats:Storage.Stats.t -> t -> (unit -> 'a) -> 'a
+(** [with_retry t f] runs [f], absorbing up to [attempts - 1]
+    {!Retryable} failures (default 3 attempts total).  Each retry is
+    counted on [t] (and on [stats] when given) and adds exponential
+    deterministic backoff to {!backoff_ticks}.  The final attempt's
+    {!Retryable} propagates. *)

@@ -93,11 +93,28 @@ type t = {
   mutable misses : int;
   mutable invalidations : int;
   sizes : Gom.Schema.type_name -> int;
+  mutable health : (Core.Asr.t -> part:int -> bool) option;
+      (* Consulted by the planner and the execution guards: [None] means
+         every registered index is trusted; the integrity registry
+         installs a callback so quarantined indexes/partitions are
+         priced out and stale plans refuse to run. *)
 }
 
 let env t = t.env
 let indexes t = t.indexes
 let generation t = t.generation
+
+let healthy t a ~part = match t.health with None -> true | Some f -> f a ~part
+
+let invalidate_plans t = t.generation <- t.generation + 1
+
+let set_health t f =
+  t.health <- Some f;
+  invalidate_plans t
+
+let clear_health t =
+  t.health <- None;
+  invalidate_plans t
 
 let create ?(sizes = fun _ -> 100) env =
   let t =
@@ -112,6 +129,7 @@ let create ?(sizes = fun _ -> 100) env =
       misses = 0;
       invalidations = 0;
       sizes;
+      health = None;
     }
   in
   let (_ : Gom.Store.subscription) =
@@ -128,6 +146,45 @@ let register t a =
     t.indexes <- t.indexes @ [ a ];
     t.generation <- t.generation + 1
   end
+
+let rec plan_uses a (p : Plan.t) =
+  match p with
+  | Plan.Stitch { index; _ } -> index == a
+  | Plan.Union ps -> List.exists (plan_uses a) ps
+  | Plan.Distinct p -> plan_uses a p
+  | Plan.Nav _ | Plan.Extent_scan _ -> false
+
+let unregister t a =
+  if List.memq a t.indexes then begin
+    t.indexes <- List.filter (fun x -> not (x == a)) t.indexes;
+    t.generation <- t.generation + 1;
+    (* Generation alone would re-plan lazily; evicting eagerly also
+       frees the entries and guarantees no path — not even an explicit
+       [run_forward] of a cached choice — can reach the dropped index. *)
+    let victims =
+      Hashtbl.fold
+        (fun k e acc -> if plan_uses a e.e_choice.chosen then k :: acc else acc)
+        t.cache []
+    in
+    List.iter (Hashtbl.remove t.cache) victims;
+    t.invalidations <- t.invalidations + List.length victims
+  end
+
+let step_part (s : Plan.step) =
+  match s with Plan.Lookup { part; _ } | Plan.Scan { part; _ } -> part
+
+let stitch_usable t index steps =
+  List.memq index t.indexes
+  && List.for_all (fun s -> healthy t index ~part:(step_part s)) steps
+
+(* A plan is live when every index it stitches through is still
+   registered and fully healthy over the partitions it visits. *)
+let rec plan_live t (p : Plan.t) =
+  match p with
+  | Plan.Nav _ | Plan.Extent_scan _ -> true
+  | Plan.Stitch { index; steps; _ } -> stitch_usable t index steps
+  | Plan.Union ps -> List.for_all (plan_live t) ps
+  | Plan.Distinct p -> plan_live t p
 
 let cache_info t =
   {
@@ -331,6 +388,7 @@ let candidates t path ~i ~j ~dir =
   in
   let nav = { plan = nav_plan; est_cost = QC.qnas prof_q (qkind dir) i j } in
   let whole ipath off = off = 0 && Gom.Path.length ipath = Gom.Path.length path in
+  let degraded = ref false in
   let supported =
     List.filter_map
       (fun a ->
@@ -338,19 +396,25 @@ let candidates t path ~i ~j ~dir =
         match embedding_offset ~index_path:ipath ~query_path:path with
         | Some off when Core.Asr.supports a ~i:(off + i) ~j:(off + j) ->
           let pi = off + i and pj = off + j in
-          let prof_i = if whole ipath off then prof_q else profile t ipath in
-          let dec = analytic_decomposition ipath (Core.Asr.decomposition a) in
-          let est = QC.qsup prof_i (Core.Asr.kind a) dec (qkind dir) pi pj in
-          Some
-            {
-              plan =
-                Plan.Stitch
-                  { index = a; dir; i = pi; j = pj; steps = steps_for a dir ~i:pi ~j:pj };
-              est_cost = est;
-            }
+          let steps = steps_for a dir ~i:pi ~j:pj in
+          if not (stitch_usable t a steps) then begin
+            (* The index embeds the path and supports the range, but is
+               quarantined over a partition this walk would visit: plan
+               around it. *)
+            degraded := true;
+            None
+          end
+          else begin
+            let prof_i = if whole ipath off then prof_q else profile t ipath in
+            let dec = analytic_decomposition ipath (Core.Asr.decomposition a) in
+            let est = QC.qsup prof_i (Core.Asr.kind a) dec (qkind dir) pi pj in
+            Some
+              { plan = Plan.Stitch { index = a; dir; i = pi; j = pj; steps }; est_cost = est }
+          end
         | _ -> None)
       t.indexes
   in
+  if !degraded then Storage.Stats.note_fallback t.env.Core.Exec.stats;
   (* Cheapest first; on a cost tie a supported plan beats navigation
      (matching equation 35's dispatch when the model cannot separate
      them). *)
@@ -365,7 +429,7 @@ let candidates t path ~i ~j ~dir =
 let choose_aux t path ~i ~j ~dir =
   let key = { k_path = Gom.Path.to_string path; k_i = i; k_j = j; k_dir = dir } in
   match Hashtbl.find_opt t.cache key with
-  | Some e when e.e_generation = t.generation ->
+  | Some e when e.e_generation = t.generation && plan_live t e.e_choice.chosen ->
     t.hits <- t.hits + 1;
     (e.e_choice, true)
   | stale ->
@@ -386,7 +450,10 @@ let choose t path ~i ~j ~dir = fst (choose_aux t path ~i ~j ~dir)
 let rec run_forward t plan oid =
   match (plan : Plan.t) with
   | Nav { path; i; j } -> Core.Exec.forward_scan t.env path ~i ~j oid
-  | Stitch { index; i; j; _ } -> Core.Exec.forward_supported t.env index ~i ~j oid
+  | Stitch { index; i; j; steps; _ } ->
+    if not (stitch_usable t index steps) then
+      invalid_arg "Engine.run_forward: plan uses an unregistered or quarantined index";
+    Core.Exec.forward_supported t.env index ~i ~j oid
   | Extent_scan _ -> invalid_arg "Engine.run_forward: backward plan"
   | Union ps ->
     List.concat_map (fun p -> run_forward t p oid) ps
@@ -396,7 +463,10 @@ let rec run_forward t plan oid =
 let rec run_backward t plan ~target =
   match (plan : Plan.t) with
   | Extent_scan { path; i; j } -> Core.Exec.backward_scan t.env path ~i ~j ~target
-  | Stitch { index; i; j; _ } -> Core.Exec.backward_supported t.env index ~i ~j ~target
+  | Stitch { index; i; j; steps; _ } ->
+    if not (stitch_usable t index steps) then
+      invalid_arg "Engine.run_backward: plan uses an unregistered or quarantined index";
+    Core.Exec.backward_supported t.env index ~i ~j ~target
   | Nav _ -> invalid_arg "Engine.run_backward: forward plan"
   | Union ps ->
     List.concat_map (fun p -> run_backward t p ~target) ps

@@ -86,9 +86,35 @@ val register : t -> Core.Asr.t -> unit
     (idempotent).  Bumps the generation: cached plans are re-planned.
     @raise Invalid_argument if the index was built over another store. *)
 
+val unregister : t -> Core.Asr.t -> unit
+(** Drop an index from the planner (idempotent).  Bumps the generation
+    {e and} eagerly evicts every cached plan stitching through the index
+    (counted as invalidations), so no execution path — not even an
+    explicit {!run_forward} of a previously returned plan — can reach
+    it. *)
+
 val generation : t -> int
 
 val cache_info : t -> cache_info
+
+(* {2 Health} *)
+
+val set_health : t -> (Core.Asr.t -> part:int -> bool) -> unit
+(** Install a health oracle, typically the integrity subsystem's
+    quarantine registry: the planner only prices a stitch whose every
+    visited partition the oracle calls healthy, cached plans through
+    now-unhealthy indexes are re-planned, and the execution guards
+    refuse stale stitches.  When a usable index is priced out this way
+    the degradation is recorded via {!Storage.Stats.note_fallback} on
+    the environment's stats.  Bumps the generation. *)
+
+val clear_health : t -> unit
+(** Trust every registered index again.  Bumps the generation. *)
+
+val invalidate_plans : t -> unit
+(** Force re-planning of every cached plan (a generation bump) without
+    touching registrations — called by the quarantine registry whenever
+    an index's health changes. *)
 
 (* {2 Profiles} *)
 

@@ -300,17 +300,20 @@ let save store filename =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
-let load filename =
+let load_via ~reader filename =
+  let text = try reader filename with Sys_error m -> corrupt "cannot read %s: %s" filename m in
+  store_of_string text
+
+let read_file filename =
   let ic =
     try open_in_bin filename
     with Sys_error m -> corrupt "cannot open %s: %s" filename m
   in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        try really_input_string ic (in_channel_length ic)
-        with Sys_error m | Failure m -> corrupt "cannot read %s: %s" filename m
-           | End_of_file -> corrupt "cannot read %s: unexpected end of file" filename)
-  in
-  store_of_string text
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try really_input_string ic (in_channel_length ic)
+      with Sys_error m | Failure m -> corrupt "cannot read %s: %s" filename m
+         | End_of_file -> corrupt "cannot read %s: unexpected end of file" filename)
+
+let load filename = load_via ~reader:read_file filename

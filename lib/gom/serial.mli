@@ -56,3 +56,11 @@ val save : Store.t -> string -> unit
 val load : string -> Store.t
 (** Read a file written by {!save}.  @raise Corrupt on damage,
     truncation, or an unreadable file (no bare [Sys_error] escapes). *)
+
+val load_via : reader:(string -> string) -> string -> Store.t
+(** {!load} with the file reading delegated to [reader] — the
+    durability layer routes snapshot loads through its fault-injection
+    environment this way.  A [Sys_error] from the reader becomes
+    {!Corrupt}; other exceptions (e.g. a transient-fault signal meant
+    for a retry loop) propagate untouched, and damage in the returned
+    bytes raises {!Corrupt} with byte-located messages as usual. *)

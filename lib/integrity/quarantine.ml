@@ -1,0 +1,77 @@
+(* Quarantine registry: the record of which access support relations
+   (or single partitions) are currently distrusted, and the bridge that
+   makes the engine's planner respect it.
+
+   The registry is the single writer of the engine's health oracle:
+   [attach] installs a callback closing over this registry, and every
+   quarantine state change bumps each attached engine's plan-cache
+   generation so no cached plan survives a health transition. *)
+
+type entry = { q_asr : Core.Asr.t; q_part : int option; q_reason : string }
+
+type t = {
+  mutable entries : entry list;
+  mutable engines : Engine.t list;
+}
+
+let create () = { entries = []; engines = [] }
+
+let is_quarantined t index ~part =
+  List.exists
+    (fun e -> e.q_asr == index && (e.q_part = None || e.q_part = Some part))
+    t.entries
+
+let healthy t index ~part = not (is_quarantined t index ~part)
+
+let asr_quarantined t index = List.exists (fun e -> e.q_asr == index) t.entries
+
+let entries t =
+  List.rev_map (fun e -> (e.q_asr, e.q_part, e.q_reason)) t.entries
+
+let bump t = List.iter Engine.invalidate_plans t.engines
+
+let attach t engine =
+  if not (List.memq engine t.engines) then begin
+    t.engines <- engine :: t.engines;
+    Engine.set_health engine (fun index ~part -> healthy t index ~part)
+  end
+
+let quarantine ?(reason = "manual") ?part t index =
+  let covered =
+    List.exists
+      (fun e -> e.q_asr == index && (e.q_part = None || e.q_part = part))
+      t.entries
+  in
+  if not covered then begin
+    (* A whole-relation quarantine subsumes its partition entries. *)
+    let entries =
+      if part = None then
+        List.filter (fun e -> not (e.q_asr == index)) t.entries
+      else t.entries
+    in
+    t.entries <- { q_asr = index; q_part = part; q_reason = reason } :: entries;
+    bump t
+  end
+
+let lift ?part t index =
+  let keep e =
+    if not (e.q_asr == index) then true
+    else match part with None -> false | Some p -> e.q_part <> Some p
+  in
+  let entries = List.filter keep t.entries in
+  if List.length entries <> List.length t.entries then begin
+    t.entries <- entries;
+    bump t
+  end
+
+let apply_report t index (report : Scrub.report) =
+  let parts =
+    List.sort_uniq Int.compare
+      (List.map Scrub.divergence_part report.Scrub.r_divergences)
+  in
+  List.iter
+    (fun p ->
+      quarantine ~reason:(Printf.sprintf "scrub: divergence in partition %d" p)
+        ~part:p t index)
+    parts;
+  parts

@@ -1,0 +1,182 @@
+(* Background incremental repair of a quarantined access support
+   relation.
+
+   A repair job takes over the relation's maintenance: the manager is
+   told to skip it ([Maintenance.suspend]) while the job buffers the
+   store events arriving mid-rebuild through its own subscription.  The
+   rebuild itself converges the logical extension onto a freshly
+   computed target in bounded slices ([step]), then reconciles each
+   partition's trees with the extension ([Asr.patch_partition], fixing
+   physical-only damage), replays the buffered events through
+   [Maintenance.apply_event], and re-verifies with an exhaustive scrub.
+   Only a clean verification lifts the quarantine — so a crash at any
+   point of the cycle leaves the relation quarantined and queries
+   degraded, never a half-rebuilt partition answering queries. *)
+
+type op =
+  | Retract of Relation.Tuple.t
+  | Restore of Relation.Tuple.t
+
+type outcome =
+  | Repaired of { rounds : int; slices : int; fixes : int; replayed : int }
+  | Failed of { rounds : int; remaining : int }
+
+type job = {
+  index : Core.Asr.t;
+  registry : Quarantine.t;
+  maint : Core.Maintenance.t;
+  slice : int;
+  max_rounds : int;
+  fault : Durability.Fault.t option;
+  stats : Storage.Stats.t option;
+  sub : Gom.Store.subscription;
+  buffer : Gom.Store.event Queue.t;
+  mutable pending : op list;
+  mutable rounds : int;
+  mutable slices : int;
+  mutable fixes : int;
+  mutable replayed : int;
+  mutable closed : bool;
+}
+
+let outcome_to_string = function
+  | Repaired { rounds; slices; fixes; replayed } ->
+    Printf.sprintf "repaired (%d round(s), %d slice(s), %d fix(es), %d replayed)"
+      rounds slices fixes replayed
+  | Failed { rounds; remaining } ->
+    Printf.sprintf "failed after %d round(s): %d divergence(s) remain" rounds remaining
+
+(* Diff the relation's logical extension against a fresh ground-truth
+   computation; retractions first so multiplicity fixes cannot clash. *)
+let diff index =
+  let target =
+    Core.Extension.compute (Core.Asr.store index) (Core.Asr.path index)
+      (Core.Asr.kind index)
+  in
+  let current = Core.Asr.extension_relation index in
+  let stale =
+    List.filter_map
+      (fun tup -> if Relation.mem target tup then None else Some (Retract tup))
+      (Relation.to_list current)
+  in
+  let missing =
+    List.filter_map
+      (fun tup -> if Relation.mem current tup then None else Some (Restore tup))
+      (Relation.to_list target)
+  in
+  stale @ missing
+
+let start ?(slice = 32) ?(max_rounds = 4) ?fault ?stats ~registry ~maintenance index =
+  if slice < 1 then invalid_arg "Repair.start: slice must be >= 1";
+  Core.Maintenance.suspend maintenance index;
+  let buffer = Queue.create () in
+  let sub =
+    Gom.Store.subscribe (Core.Asr.store index) (fun ev -> Queue.add ev buffer)
+  in
+  {
+    index;
+    registry;
+    maint = maintenance;
+    slice;
+    max_rounds;
+    fault;
+    stats;
+    sub;
+    buffer;
+    pending = diff index;
+    rounds = 1;
+    slices = 0;
+    fixes = 0;
+    replayed = 0;
+    closed = false;
+  }
+
+let close job =
+  if not job.closed then begin
+    job.closed <- true;
+    Gom.Store.unsubscribe (Core.Asr.store job.index) job.sub;
+    Core.Maintenance.resume job.maint job.index
+  end
+
+let abort job = close job
+
+let apply_op job op =
+  match op with
+  | Retract tup -> ignore (Core.Asr.remove_tuple ?stats:job.stats job.index tup : bool)
+  | Restore tup -> ignore (Core.Asr.insert_tuple ?stats:job.stats job.index tup : bool)
+
+let replay job =
+  while not (Queue.is_empty job.buffer) do
+    let ev = Queue.pop job.buffer in
+    (match job.stats with Some st -> Storage.Stats.begin_op st | None -> ());
+    Core.Maintenance.apply_event job.maint job.index ev;
+    job.replayed <- job.replayed + 1
+  done
+
+let finish_round job =
+  (* Logical extension converged: reconcile every partition's trees
+     with it (repairing damage injected below the logical level), then
+     catch up on the events buffered while we were rebuilding. *)
+  let parts = Core.Asr.partition_count job.index in
+  for p = 0 to parts - 1 do
+    job.fixes <- job.fixes + Core.Asr.patch_partition ?stats:job.stats job.index p
+  done;
+  replay job;
+  let report = Scrub.run ?fault:job.fault ?stats:job.stats job.index in
+  if Scrub.clean report then begin
+    Quarantine.lift job.registry job.index;
+    close job;
+    `Done
+      (Repaired
+         {
+           rounds = job.rounds;
+           slices = job.slices;
+           fixes = job.fixes;
+           replayed = job.replayed;
+         })
+  end
+  else if job.rounds >= job.max_rounds then begin
+    (* Leave the quarantine in place: a relation we cannot verify must
+       not serve queries. *)
+    close job;
+    `Done
+      (Failed
+         { rounds = job.rounds; remaining = List.length report.Scrub.r_divergences })
+  end
+  else begin
+    job.rounds <- job.rounds + 1;
+    job.pending <- diff job.index;
+    `More
+  end
+
+let step job =
+  if job.closed then invalid_arg "Repair.step: job already finished";
+  (match job.fault with
+  | Some f ->
+    (* One logical read per slice: crash/transient sweeps can target any
+       point of the rebuild. *)
+    Durability.Fault.with_retry ?stats:job.stats f (fun () ->
+        Durability.Fault.observe_read f)
+  | None -> ());
+  job.slices <- job.slices + 1;
+  let rec apply n =
+    if n = 0 then ()
+    else
+      match job.pending with
+      | [] -> ()
+      | op :: rest ->
+        job.pending <- rest;
+        apply_op job op;
+        apply (n - 1)
+  in
+  apply job.slice;
+  if job.pending = [] then finish_round job else `More
+
+let run ?slice ?max_rounds ?fault ?stats ~registry ~maintenance index =
+  let job = start ?slice ?max_rounds ?fault ?stats ~registry ~maintenance index in
+  let rec go () = match step job with `More -> go () | `Done outcome -> outcome in
+  try go ()
+  with e ->
+    (* A crash mid-repair: the job is dead, the quarantine stays. *)
+    close job;
+    raise e

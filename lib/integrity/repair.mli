@@ -1,0 +1,67 @@
+(** Background incremental repair of a quarantined access support
+    relation.
+
+    A repair job suspends the relation's normal maintenance, converges
+    its logical extension onto a freshly computed ground truth in
+    bounded slices, reconciles every partition's B+ trees with the
+    extension, replays the store events buffered while rebuilding, and
+    re-verifies with an exhaustive scrub.  The quarantine is lifted
+    {e only} after a clean verification: interrupt or crash the cycle
+    anywhere and the relation stays quarantined (queries keep degrading
+    to healthy strategies), never half-repaired and serving. *)
+
+type outcome =
+  | Repaired of { rounds : int; slices : int; fixes : int; replayed : int }
+      (** [fixes] counts distinct projections reconciled in partition
+          trees; [replayed] the buffered live events applied. *)
+  | Failed of { rounds : int; remaining : int }
+      (** Verification still found divergences after [rounds] rounds;
+          the quarantine is left in place. *)
+
+val outcome_to_string : outcome -> string
+
+type job
+(** An in-flight repair.  Between {!step} calls the object base may be
+    mutated freely: the suspended maintenance manager skips this
+    relation and the job buffers the events for replay. *)
+
+val start :
+  ?slice:int ->
+  ?max_rounds:int ->
+  ?fault:Durability.Fault.t ->
+  ?stats:Storage.Stats.t ->
+  registry:Quarantine.t ->
+  maintenance:Core.Maintenance.t ->
+  Core.Asr.t ->
+  job
+(** Begin a repair: suspends maintenance for the relation, subscribes a
+    buffering listener, and computes the initial rebuild work list.
+    [slice] bounds extension operations per {!step} (default 32);
+    [max_rounds] bounds re-verification rounds (default 4).
+    @raise Invalid_argument if [slice < 1]. *)
+
+val step : job -> [ `More | `Done of outcome ]
+(** Apply one bounded slice of rebuild work.  The slice that exhausts
+    the work list also patches the partition trees, replays buffered
+    events, and verifies; each slice counts one logical read against
+    the job's fault plan (so crash sweeps can target any point).
+    After [`Done] the job is closed (maintenance resumed, listener
+    unsubscribed); further calls raise.
+    @raise Durability.Fault.Crash per the fault plan — the job is then
+    dead and the relation remains quarantined. *)
+
+val abort : job -> unit
+(** Abandon the repair: maintenance resumes, buffered events are
+    dropped, the quarantine stays. *)
+
+val run :
+  ?slice:int ->
+  ?max_rounds:int ->
+  ?fault:Durability.Fault.t ->
+  ?stats:Storage.Stats.t ->
+  registry:Quarantine.t ->
+  maintenance:Core.Maintenance.t ->
+  Core.Asr.t ->
+  outcome
+(** {!start} then {!step} to completion in one call (the CLI's
+    [repair]). *)

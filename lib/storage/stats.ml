@@ -12,6 +12,9 @@ type t = {
   mutable total_reads : int;
   mutable total_writes : int;
   mutable hits : int;
+  mutable scrubs : int;
+  mutable fallbacks : int;
+  mutable retries : int;
   touched_r : (int, unit) Hashtbl.t;
   touched_w : (int, unit) Hashtbl.t;
   buffer : buffer option;
@@ -24,6 +27,9 @@ let create ?(buffer_capacity = 0) () =
     total_reads = 0;
     total_writes = 0;
     hits = 0;
+    scrubs = 0;
+    fallbacks = 0;
+    retries = 0;
     touched_r = Hashtbl.create 256;
     touched_w = Hashtbl.create 64;
     buffer =
@@ -91,6 +97,13 @@ let total_accesses t = t.total_reads + t.total_writes
 let buffer_hits t = t.hits
 let buffer_capacity t = match t.buffer with Some b -> b.capacity | None -> 0
 
+let note_scrub t = t.scrubs <- t.scrubs + 1
+let note_fallback t = t.fallbacks <- t.fallbacks + 1
+let note_retry t = t.retries <- t.retries + 1
+let scrubs t = t.scrubs
+let fallbacks t = t.fallbacks
+let retries t = t.retries
+
 type summary = {
   s_op_reads : int;
   s_op_writes : int;
@@ -98,6 +111,9 @@ type summary = {
   s_total_writes : int;
   s_buffer_hits : int;
   s_buffer_capacity : int;
+  s_scrubs : int;
+  s_fallbacks : int;
+  s_retries : int;
 }
 
 let snapshot t =
@@ -108,6 +124,9 @@ let snapshot t =
     s_total_writes = t.total_writes;
     s_buffer_hits = t.hits;
     s_buffer_capacity = buffer_capacity t;
+    s_scrubs = t.scrubs;
+    s_fallbacks = t.fallbacks;
+    s_retries = t.retries;
   }
 
 let summary_to_json ?(extra = []) s =
@@ -120,6 +139,9 @@ let summary_to_json ?(extra = []) s =
       ("total_accesses", string_of_int (s.s_total_reads + s.s_total_writes));
       ("buffer_hits", string_of_int s.s_buffer_hits);
       ("buffer_capacity", string_of_int s.s_buffer_capacity);
+      ("scrubs", string_of_int s.s_scrubs);
+      ("fallbacks", string_of_int s.s_fallbacks);
+      ("retries", string_of_int s.s_retries);
     ]
     @ extra
   in
@@ -138,6 +160,9 @@ let reset t =
   t.total_reads <- 0;
   t.total_writes <- 0;
   t.hits <- 0;
+  t.scrubs <- 0;
+  t.fallbacks <- 0;
+  t.retries <- 0;
   match t.buffer with
   | Some b ->
     Hashtbl.reset b.pages;

@@ -54,6 +54,28 @@ val buffer_hits : t -> int
 
 val buffer_capacity : t -> int
 
+(** {2 Integrity counters}
+
+    Cumulative robustness counters, recorded alongside page traffic so
+    benchmark trajectories show how often the degraded paths fire:
+    partition scrub audits performed, planner degradations forced by a
+    quarantined access support relation, and transient-fault retries. *)
+
+val note_scrub : t -> unit
+(** Record one partition audit by the integrity scrubber. *)
+
+val note_fallback : t -> unit
+(** Record one degraded planning decision: a quarantined index was
+    excluded and the planner fell back to navigation, an extent scan or
+    an alternate index. *)
+
+val note_retry : t -> unit
+(** Record one bounded retry of a transiently failing read. *)
+
+val scrubs : t -> int
+val fallbacks : t -> int
+val retries : t -> int
+
 val reset : t -> unit
 (** Clears everything, including totals and the buffer pool. *)
 
@@ -64,6 +86,9 @@ type summary = {
   s_total_writes : int;
   s_buffer_hits : int;
   s_buffer_capacity : int;
+  s_scrubs : int;
+  s_fallbacks : int;
+  s_retries : int;
 }
 (** A point-in-time copy of every counter, decoupled from the live
     [t] (which keeps mutating). *)

@@ -7,6 +7,7 @@ let () =
       ("txn", Test_txn.suite);
       ("serial", Test_serial.suite);
       ("durability", Test_durability.suite);
+      ("integrity", Test_integrity.suite);
       ("path", Test_path.suite);
       ("relation", Test_relation.suite);
       ("extension", Test_extension.suite);
