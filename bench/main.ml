@@ -305,6 +305,131 @@ let bench_batched ~quick () =
   if batched >= naive then
     Format.printf "  WARNING: batching did not reduce page accesses@."
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: parallel snapshot serving scaling (BENCH_parallel_scaling)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock throughput of one mixed probe-batch workload served by
+   [Parallel.Server] at 1/2/4/8 domains, same snapshot, same queries.
+   The answers must be byte-identical across job counts (deterministic
+   merge) — that is asserted, not just reported.  Speedup is honest
+   wall clock: on a single-core container every job count degenerates
+   to ~1x, so CI gates its scaling assertion on the visible core count
+   (recorded in the JSON as [cores]). *)
+let bench_parallel ~quick () =
+  let spec =
+    if quick then
+      Workload.Generator.spec ~seed:11
+        ~counts:[ 100; 200; 400; 800 ]
+        ~defined:[ 90; 180; 360 ] ~fan:[ 2; 2; 2 ] ()
+    else
+      Workload.Generator.spec ~seed:11
+        ~counts:[ 400; 800; 1600; 3200 ]
+        ~defined:[ 370; 730; 1450 ] ~fan:[ 2; 2; 2 ] ()
+  in
+  let store, path = Workload.Generator.build spec in
+  let sizes = Workload.Generator.size_of spec in
+  let n = Gom.Path.length path in
+  let m = Gom.Path.arity path - 1 in
+  let specs =
+    [
+      {
+        Parallel.Snapshot.sp_path = path;
+        sp_kind = Core.Extension.Full;
+        sp_decomposition = Core.Decomposition.binary ~m;
+      };
+    ]
+  in
+  (* Mixed workload: forward batches over T0 slices, backward batches
+     over T[n] slices, interleaved. *)
+  let slice k xs =
+    let rec go acc cur cnt = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+        if cnt = k then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (cnt + 1) rest
+    in
+    go [] [] 0 xs
+  in
+  let probe_sz = if quick then 16 else 64 in
+  let fw_batches = slice probe_sz (Gom.Store.extent store "T0") in
+  let bw_batches =
+    slice probe_sz
+      (List.map (fun o -> Gom.Value.Ref o)
+         (Gom.Store.extent store (Printf.sprintf "T%d" n)))
+  in
+  let rec interleave a b =
+    match (a, b) with
+    | [], rest | rest, [] ->
+      List.map
+        (fun q ->
+          match q with
+          | `F srcs -> Parallel.Server.Forward { q_path = path; q_i = 0; q_j = n; q_sources = srcs }
+          | `B tgts -> Parallel.Server.Backward { q_path = path; q_i = 0; q_j = n; q_targets = tgts })
+        rest
+    | f :: fs, b :: bs ->
+      Parallel.Server.Forward { q_path = path; q_i = 0; q_j = n; q_sources = (match f with `F s -> s | _ -> assert false) }
+      :: Parallel.Server.Backward { q_path = path; q_i = 0; q_j = n; q_targets = (match b with `B t -> t | _ -> assert false) }
+      :: interleave fs bs
+  in
+  let queries =
+    interleave (List.map (fun s -> `F s) fw_batches) (List.map (fun t -> `B t) bw_batches)
+  in
+  let rounds = if quick then 3 else 10 in
+  let run jobs =
+    let server = Parallel.Server.create ~jobs ~sizes ~specs store in
+    let answers = Parallel.Server.serve server queries in
+    (* warm serve above also primes the snapshot's plan cache *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      ignore (Parallel.Server.serve server queries)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Parallel.Server.shutdown server;
+    (dt, answers)
+  in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let results = List.map (fun j -> (j, run j)) job_counts in
+  let _, (dt1, reference) = List.hd results in
+  List.iter
+    (fun (j, (_, answers)) ->
+      if answers <> reference then begin
+        Format.printf "  FAIL: answers at %d job(s) differ from 1 job@." j;
+        exit 1
+      end)
+    results;
+  let cores = Domain.recommended_domain_count () in
+  let served = List.length queries * rounds in
+  Format.printf "parallel snapshot serving: %d quer(ies)/round x %d round(s), %d core(s) visible@."
+    (List.length queries) rounds cores;
+  Format.printf "  %-6s %10s %12s %9s@." "jobs" "elapsed" "queries/s" "speedup";
+  let rows =
+    List.map
+      (fun (j, (dt, _)) ->
+        let qps = float_of_int served /. Float.max dt 1e-9 in
+        let speedup = dt1 /. Float.max dt 1e-9 in
+        Format.printf "  %-6d %9.3fs %12.1f %8.2fx@." j dt qps speedup;
+        Printf.sprintf
+          {|{"jobs": %d, "elapsed_s": %.6f, "queries_per_s": %.1f, "speedup_vs_1": %.3f}|}
+          j dt qps speedup)
+      results
+  in
+  Format.printf "  deterministic : answers identical across all job counts@.";
+  let json =
+    Printf.sprintf
+      {|{"bench": "parallel-snapshot-serving", "quick": %b, "cores": %d, "queries_per_round": %d, "rounds": %d, "series": [%s]}|}
+      quick cores (List.length queries) rounds
+      (String.concat ", " rows)
+  in
+  let file = "BENCH_parallel_scaling.json" in
+  try
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (json ^ "\n"));
+    Format.printf "  written       : %s@." file
+  with Sys_error e -> Format.printf "  (could not write %s: %s)@." file e
+
 let run_benchmarks tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
@@ -335,7 +460,12 @@ let run_benchmarks tests =
 
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
-  if quick then begin
+  let parallel = Array.exists (String.equal "--parallel") Sys.argv in
+  if parallel then begin
+    Format.printf "=== parallel mode: snapshot-serving scaling benchmark ===@.@.";
+    bench_parallel ~quick ()
+  end
+  else if quick then begin
     Format.printf "=== quick mode: batched-vs-naive smoke benchmark ===@.@.";
     bench_batched ~quick:true ()
   end
@@ -345,6 +475,10 @@ let () =
     Format.printf " Batched execution trajectory@.";
     Format.printf "===============================================================@.@.";
     bench_batched ~quick:false ();
+    Format.printf "@.===============================================================@.";
+    Format.printf " Parallel snapshot serving@.";
+    Format.printf "===============================================================@.@.";
+    bench_parallel ~quick:false ();
     Format.printf "@.===============================================================@.";
     Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
     Format.printf "===============================================================@.@.";

@@ -199,13 +199,50 @@ let stats_json engine =
       ]
     (Storage.Stats.snapshot env.Core.Exec.stats)
 
-let query_cmd base file path_spec index_spec batch texts =
-  let _store, engine = make_engine base file path_spec index_spec in
-  let run_one text =
-    match Gql.Eval.query ~engine text with
-    | exception Gql.Parser.Parse_error m -> exit_usage ("parse error: " ^ m)
-    | exception Gql.Typecheck.Check_error m -> exit_usage ("type error: " ^ m)
-    | r ->
+let query_cmd base file path_spec index_spec batch jobs texts =
+  let store, engine = make_engine base file path_spec index_spec in
+  let jobs = max 1 jobs in
+  (* Parse/type errors are usage errors: surface them before any worker
+     domain starts, so a typo exits 2 cleanly instead of mid-fan-out. *)
+  let compiled =
+    List.map
+      (fun text ->
+        match Gql.Parser.parse text with
+        | exception Gql.Parser.Parse_error m -> exit_usage ("parse error: " ^ m)
+        | ast -> (
+          match Gql.Typecheck.check store ast with
+          | exception Gql.Typecheck.Check_error m -> exit_usage ("type error: " ^ m)
+          | q -> q))
+      texts
+  in
+  let results =
+    if jobs = 1 then List.map (fun q -> Gql.Eval.run ~engine q) compiled
+    else begin
+      (* One shared engine (lock-guarded plan cache: repeated shapes hit
+         across domains), one private accounting sheaf per query; the
+         sheaves are folded back into the engine's accountant so the
+         --batch summary equals a sequential run's. *)
+      let pool = Parallel.Pool.create ~jobs in
+      let env0 = Engine.env engine in
+      let out =
+        Parallel.Pool.run_all pool
+          (List.map
+             (fun q () ->
+               let env = Core.Exec.make env0.Core.Exec.store env0.Core.Exec.heap in
+               let r = Gql.Eval.run ~env ~engine q in
+               (r, Storage.Stats.snapshot env.Core.Exec.stats))
+             compiled)
+      in
+      Parallel.Pool.shutdown pool;
+      Storage.Stats.absorb env0.Core.Exec.stats
+        (List.fold_left
+           (fun acc (_, s) -> Storage.Stats.merge acc s)
+           Storage.Stats.zero out);
+      List.map fst out
+    end
+  in
+  List.iter
+    (fun (r : Gql.Eval.result) ->
       if batch then
         Format.printf "%4d pages  %4d row(s)  %s@." r.Gql.Eval.pages
           (List.length r.Gql.Eval.rows)
@@ -219,13 +256,152 @@ let query_cmd base file path_spec index_spec batch texts =
             Format.printf "  %s@."
               (String.concat ", " (List.map Gom.Value.to_string row)))
           r.Gql.Eval.rows
-      end
-  in
-  List.iter run_one texts;
+      end)
+    results;
   if batch then begin
     print_cache_line engine;
     print_endline (stats_json engine)
   end;
+  0
+
+(* ---------------- serve command ---------------- *)
+
+(* Workload file: one probe batch per line, `fw I J K` or `bw I J K` —
+   evaluate Q^(I,J) in the given direction over the first K objects of
+   the relevant extent (K capped at the extent size; blank lines and
+   #-comments skipped).  The whole file is served as one mixed batch
+   fanned across the server's domain pool. *)
+let parse_workload store env path file =
+  let ic = try open_in file with Sys_error m -> exit_usage m in
+  let lines = ref [] in
+  (try
+     let lineno = ref 0 in
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+       | [] -> ()
+       | [ dir; i; j; k ] -> (
+         match (dir, int_of_string_opt i, int_of_string_opt j, int_of_string_opt k) with
+         | ("fw" | "bw"), Some i, Some j, Some k when 0 <= i && i < j && k >= 0 ->
+           lines := (dir, i, j, k) :: !lines
+         | _ ->
+           exit_usage
+             (Printf.sprintf "%s:%d: bad workload line (want `fw|bw I J K')" file !lineno)
+         )
+       | _ ->
+         exit_usage
+           (Printf.sprintf "%s:%d: bad workload line (want `fw|bw I J K')" file !lineno)
+     done
+   with End_of_file -> close_in ic);
+  let n = Gom.Path.length path in
+  List.rev_map
+    (fun (dir, i, j, k) ->
+      if j > n then
+        exit_usage (Printf.sprintf "workload range (%d,%d) exceeds path length %d" i j n);
+      let take k xs = List.filteri (fun idx _ -> idx < k) xs in
+      match dir with
+      | "fw" ->
+        let sources = take k (Gom.Store.extent ~deep:true store (Gom.Path.type_at path i)) in
+        Parallel.Server.Forward { q_path = path; q_i = i; q_j = j; q_sources = sources }
+      | _ ->
+        (* Position j of a path is usually an atomic value type with no
+           extent of its own; fall back to the distinct values actually
+           reachable over the path, so `bw` lines probe real targets. *)
+        let targets =
+          match Gom.Store.extent ~deep:true store (Gom.Path.type_at path j) with
+          | _ :: _ as objs -> take k (List.map (fun o -> Gom.Value.Ref o) objs)
+          | [] ->
+            Gom.Store.extent ~deep:true store (Gom.Path.type_at path i)
+            |> List.concat_map (fun o -> Core.Exec.forward_scan env path ~i ~j o)
+            |> List.sort_uniq Gom.Value.compare
+            |> take k
+        in
+        Parallel.Server.Backward { q_path = path; q_i = i; q_j = j; q_targets = targets })
+    !lines
+
+let serve_cmd base file path_spec index_spec jobs workload repeat =
+  let jobs = max 1 jobs in
+  let store, env, index_path =
+    match file with
+    | None -> make_env base
+    | Some f -> (
+      match Gom.Serial.load f with
+      | exception Gom.Serial.Corrupt m -> exit_data ("corrupt base file: " ^ m)
+      | exception Sys_error m -> exit_usage m
+      | store ->
+        let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
+        (store, Core.Exec.make store heap, None))
+  in
+  let path =
+    match path_spec with
+    | Some s -> (
+      try Gom.Path.parse (Gom.Store.schema store) s
+      with Gom.Path.Path_error m -> exit_usage m)
+    | None -> (
+      match index_path with
+      | Some p -> p
+      | None -> exit_usage "--path is required for a file base")
+  in
+  let specs =
+    match index_spec with
+    | None -> []
+    | Some spec ->
+      let a = parse_index store path spec in
+      [
+        {
+          Parallel.Snapshot.sp_path = Core.Asr.path a;
+          sp_kind = Core.Asr.kind a;
+          sp_decomposition = Core.Asr.decomposition a;
+        };
+      ]
+  in
+  let queries = parse_workload store env path workload in
+  if queries = [] then exit_usage (Printf.sprintf "workload %s is empty" workload);
+  let server = Parallel.Server.create ~jobs ~specs store in
+  let t0 = Unix.gettimeofday () in
+  let answers = ref [] in
+  for _ = 1 to max 1 repeat do
+    answers := Parallel.Server.serve server queries
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let served = List.length queries * max 1 repeat in
+  List.iteri
+    (fun k (q, a) ->
+      let dir, i, j, probes, rows =
+        match (q, a) with
+        | Parallel.Server.Forward { q_i; q_j; q_sources; _ }, Parallel.Server.Forward_answer ans
+          ->
+          ( "fw", q_i, q_j, List.length q_sources,
+            List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 ans )
+        | ( Parallel.Server.Backward { q_i; q_j; q_targets; _ },
+            Parallel.Server.Backward_answer ans ) ->
+          ( "bw", q_i, q_j, List.length q_targets,
+            List.fold_left (fun acc (_, os) -> acc + List.length os) 0 ans )
+        | _ -> assert false
+      in
+      Format.printf "%3d  %s Q^(%d,%d)  %4d probe(s)  %5d result row(s)@." k dir i j
+        probes rows)
+    (List.combine queries !answers);
+  let summary = Parallel.Server.stats server in
+  Format.printf "served %d quer(ies) over epoch %d with %d job(s) in %.3fs (%.1f q/s)@."
+    served (Parallel.Server.epoch server) jobs dt
+    (float_of_int served /. Float.max dt 1e-9);
+  print_endline
+    (Storage.Stats.summary_to_json
+       ~extra:
+         [
+           ("jobs", string_of_int jobs);
+           ("queries", string_of_int served);
+           ("elapsed_s", Printf.sprintf "%.6f" dt);
+         ]
+       summary);
+  Parallel.Server.shutdown server;
   0
 
 (* ---------------- explain command ---------------- *)
@@ -648,11 +824,53 @@ let query_t =
                  query plus the plan-cache and page-access summary as JSON \
                  (repeated query shapes hit the plan cache).")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Evaluate the queries on $(docv) domains through the shared \
+                 engine (one private accounting sheaf per query, merged into \
+                 the $(b,--batch) summary).  Results print in input order \
+                 regardless of $(docv).")
+  in
   let texts =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
            ~doc:"GOM-SQL text; repeatable.")
   in
-  Term.(const query_cmd $ base $ file $ path $ index $ batch $ texts)
+  Term.(const query_cmd $ base $ file $ path $ index $ batch $ jobs $ texts)
+
+let serve_t =
+  let base =
+    Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
+           ~doc:"Demo base: $(b,robots) or $(b,company).")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Load the object base from a file written by $(b,dump) instead.")
+  in
+  let path =
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"T0.A1...."
+           ~doc:"Path expression the workload ranges over (defaults to the \
+                 demo base's path).")
+  in
+  let index =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"EXT[:DEC]"
+           ~doc:"Rebuild this access support relation on every published \
+                 snapshot, e.g. $(b,full:0,3,5) or $(b,can).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Executor domains in the server's pool.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"K"
+           ~doc:"Serve the whole workload $(docv) times (throughput timing).")
+  in
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload file: one probe batch per line, $(b,fw I J K) or \
+                 $(b,bw I J K) — evaluate Q^(I,J) over the first K extent \
+                 members.  $(b,#) comments and blank lines are skipped.")
+  in
+  Term.(const serve_cmd $ base $ file $ path $ index $ jobs $ workload $ repeat)
 
 let explain_t =
   let base =
@@ -843,6 +1061,11 @@ let cmds =
     Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a figure's data series.") experiment_t;
     Cmd.v (Cmd.info "advise" ~doc:"Rank physical designs for an operation mix.") advise_t;
     Cmd.v (Cmd.info "query" ~doc:"Run a GOM-SQL query against a demo or saved base.") query_t;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Serve a probe-batch workload from snapshot-isolated domains \
+               and report throughput.")
+      serve_t;
     Cmd.v
       (Cmd.info "explain"
          ~doc:"Show the engine's chosen physical plan, its cost estimate, every \

@@ -81,6 +81,12 @@ type entry = { e_choice : choice; e_generation : int }
 
 type t = {
   env : Core.Exec.env;
+  lock : Mutex.t;
+      (* Guards every mutable field below.  The engine is shared by the
+         parallel server's worker domains: plan-cache lookups, counter
+         updates, generation bumps and profile memoisation all happen
+         under this lock; the expensive parts (candidate pricing,
+         profile measurement, plan execution) run outside it. *)
   mutable indexes : Core.Asr.t list;
   mutable generation : int;
       (* Bumped on every store mutation and on index (un)registration;
@@ -100,26 +106,49 @@ type t = {
          priced out and stale plans refuse to run. *)
 }
 
+let with_lock t f = Mutex.protect t.lock f
+
+exception Stale_plan
+(* Internal: an execution guard met a plan stitching through an index
+   that is no longer registered (or no longer healthy).  The high-level
+   entry points catch it and degrade to the always-live navigational
+   plan; the explicit [run_forward]/[run_backward] API surfaces it as
+   Invalid_argument, as before. *)
+
 let env t = t.env
-let indexes t = t.indexes
-let generation t = t.generation
+let indexes t = with_lock t (fun () -> t.indexes)
+let generation t = with_lock t (fun () -> t.generation)
 
-let healthy t a ~part = match t.health with None -> true | Some f -> f a ~part
+(* Per-domain execution environments: workers pass their own [env]
+   (same store and heap, private stats sheaf) so page accounting never
+   races; [None] means the engine's own environment. *)
+let resolve_env t = function
+  | None -> t.env
+  | Some (e : Core.Exec.env) ->
+    if not (e.Core.Exec.store == t.env.Core.Exec.store) then
+      invalid_arg "Engine: execution environment over a different store";
+    e
 
-let invalidate_plans t = t.generation <- t.generation + 1
+let healthy_with health a ~part =
+  match health with None -> true | Some f -> f a ~part
+
+let invalidate_plans t = with_lock t (fun () -> t.generation <- t.generation + 1)
 
 let set_health t f =
-  t.health <- Some f;
-  invalidate_plans t
+  with_lock t (fun () ->
+      t.health <- Some f;
+      t.generation <- t.generation + 1)
 
 let clear_health t =
-  t.health <- None;
-  invalidate_plans t
+  with_lock t (fun () ->
+      t.health <- None;
+      t.generation <- t.generation + 1)
 
 let create ?(sizes = fun _ -> 100) env =
   let t =
     {
       env;
+      lock = Mutex.create ();
       indexes = [];
       generation = 0;
       cache = Hashtbl.create 64;
@@ -134,18 +163,20 @@ let create ?(sizes = fun _ -> 100) env =
   in
   let (_ : Gom.Store.subscription) =
     Gom.Store.subscribe env.Core.Exec.store (fun _event ->
-        t.generation <- t.generation + 1;
-        Hashtbl.reset t.measured)
+        with_lock t (fun () ->
+            t.generation <- t.generation + 1;
+            Hashtbl.reset t.measured))
   in
   t
 
 let register t a =
-  if not (List.memq a t.indexes) then begin
-    if not (Core.Asr.store a == t.env.Core.Exec.store) then
-      invalid_arg "Engine.register: index built over a different store";
-    t.indexes <- t.indexes @ [ a ];
-    t.generation <- t.generation + 1
-  end
+  if not (Core.Asr.store a == t.env.Core.Exec.store) then
+    invalid_arg "Engine.register: index built over a different store";
+  with_lock t (fun () ->
+      if not (List.memq a t.indexes) then begin
+        t.indexes <- t.indexes @ [ a ];
+        t.generation <- t.generation + 1
+      end)
 
 let rec plan_uses a (p : Plan.t) =
   match p with
@@ -155,44 +186,52 @@ let rec plan_uses a (p : Plan.t) =
   | Plan.Nav _ | Plan.Extent_scan _ -> false
 
 let unregister t a =
-  if List.memq a t.indexes then begin
-    t.indexes <- List.filter (fun x -> not (x == a)) t.indexes;
-    t.generation <- t.generation + 1;
-    (* Generation alone would re-plan lazily; evicting eagerly also
-       frees the entries and guarantees no path — not even an explicit
-       [run_forward] of a cached choice — can reach the dropped index. *)
-    let victims =
-      Hashtbl.fold
-        (fun k e acc -> if plan_uses a e.e_choice.chosen then k :: acc else acc)
-        t.cache []
-    in
-    List.iter (Hashtbl.remove t.cache) victims;
-    t.invalidations <- t.invalidations + List.length victims
-  end
+  with_lock t (fun () ->
+      if List.memq a t.indexes then begin
+        t.indexes <- List.filter (fun x -> not (x == a)) t.indexes;
+        t.generation <- t.generation + 1;
+        (* Generation alone would re-plan lazily; evicting eagerly also
+           frees the entries and guarantees no path — not even an explicit
+           [run_forward] of a cached choice — can reach the dropped index. *)
+        let victims =
+          Hashtbl.fold
+            (fun k e acc -> if plan_uses a e.e_choice.chosen then k :: acc else acc)
+            t.cache []
+        in
+        List.iter (Hashtbl.remove t.cache) victims;
+        t.invalidations <- t.invalidations + List.length victims
+      end)
 
 let step_part (s : Plan.step) =
   match s with Plan.Lookup { part; _ } | Plan.Scan { part; _ } -> part
 
+let stitch_usable_with indexes health index steps =
+  List.memq index indexes
+  && List.for_all (fun s -> healthy_with health index ~part:(step_part s)) steps
+
+(* Execution-time guard: re-reads the registration and health state
+   under the lock (callers hold no lock). *)
 let stitch_usable t index steps =
-  List.memq index t.indexes
-  && List.for_all (fun s -> healthy t index ~part:(step_part s)) steps
+  let indexes, health = with_lock t (fun () -> (t.indexes, t.health)) in
+  stitch_usable_with indexes health index steps
 
 (* A plan is live when every index it stitches through is still
    registered and fully healthy over the partitions it visits. *)
-let rec plan_live t (p : Plan.t) =
+let rec plan_live_with indexes health (p : Plan.t) =
   match p with
   | Plan.Nav _ | Plan.Extent_scan _ -> true
-  | Plan.Stitch { index; steps; _ } -> stitch_usable t index steps
-  | Plan.Union ps -> List.for_all (plan_live t) ps
-  | Plan.Distinct p -> plan_live t p
+  | Plan.Stitch { index; steps; _ } -> stitch_usable_with indexes health index steps
+  | Plan.Union ps -> List.for_all (plan_live_with indexes health) ps
+  | Plan.Distinct p -> plan_live_with indexes health p
 
 let cache_info t =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    invalidations = t.invalidations;
-    entries = Hashtbl.length t.cache;
-  }
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        invalidations = t.invalidations;
+        entries = Hashtbl.length t.cache;
+      })
 
 (* ------------------------------------------------------------------ *)
 (* Profiles                                                            *)
@@ -269,20 +308,34 @@ let measure_profile ?(sizes = fun _ -> 100) store path =
   Costmodel.Profile.make ~sizes:size_list ~shar ~c ~d ~fan ()
 
 let set_profile t path prof =
-  Hashtbl.replace t.pinned (Gom.Path.to_string path) prof;
-  t.generation <- t.generation + 1
+  with_lock t (fun () ->
+      Hashtbl.replace t.pinned (Gom.Path.to_string path) prof;
+      t.generation <- t.generation + 1)
 
 let profile t path =
   let key = Gom.Path.to_string path in
-  match Hashtbl.find_opt t.pinned key with
+  let memoised =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.pinned key with
+        | Some p -> Some p
+        | None -> Hashtbl.find_opt t.measured key)
+  in
+  match memoised with
   | Some p -> p
-  | None -> (
-    match Hashtbl.find_opt t.measured key with
-    | Some p -> p
-    | None ->
-      let p = measure_profile ~sizes:t.sizes t.env.Core.Exec.store path in
-      Hashtbl.replace t.measured key p;
-      p)
+  | None ->
+    (* Measure outside the lock — it walks the store.  Two domains
+       missing simultaneously both measure the same (unchanged-since)
+       base and publish equal profiles; the first insert wins. *)
+    let p = measure_profile ~sizes:t.sizes t.env.Core.Exec.store path in
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.pinned key with
+        | Some pinned -> pinned
+        | None -> (
+          match Hashtbl.find_opt t.measured key with
+          | Some first -> first
+          | None ->
+            Hashtbl.replace t.measured key p;
+            p))
 
 (* ------------------------------------------------------------------ *)
 (* Planning                                                            *)
@@ -378,8 +431,12 @@ let check_range path ~i ~j =
   if not (0 <= i && i < j && j <= n) then
     invalid_arg (Printf.sprintf "Engine: invalid query range (%d,%d) for n=%d" i j n)
 
-let candidates t path ~i ~j ~dir =
+let candidates ?env t path ~i ~j ~dir =
+  let env = resolve_env t env in
   check_range path ~i ~j;
+  (* One consistent view of the registrations and health for the whole
+     enumeration; pricing happens outside the lock. *)
+  let indexes, health = with_lock t (fun () -> (t.indexes, t.health)) in
   let prof_q = profile t path in
   let nav_plan =
     match (dir : Plan.dir) with
@@ -397,7 +454,7 @@ let candidates t path ~i ~j ~dir =
         | Some off when Core.Asr.supports a ~i:(off + i) ~j:(off + j) ->
           let pi = off + i and pj = off + j in
           let steps = steps_for a dir ~i:pi ~j:pj in
-          if not (stitch_usable t a steps) then begin
+          if not (stitch_usable_with indexes health a steps) then begin
             (* The index embeds the path and supports the range, but is
                quarantined over a partition this walk would visit: plan
                around it. *)
@@ -412,9 +469,9 @@ let candidates t path ~i ~j ~dir =
               { plan = Plan.Stitch { index = a; dir; i = pi; j = pj; steps }; est_cost = est }
           end
         | _ -> None)
-      t.indexes
+      indexes
   in
-  if !degraded then Storage.Stats.note_fallback t.env.Core.Exec.stats;
+  if !degraded then Storage.Stats.note_fallback env.Core.Exec.stats;
   (* Cheapest first; on a cost tie a supported plan beats navigation
      (matching equation 35's dispatch when the model cannot separate
      them). *)
@@ -426,62 +483,112 @@ let candidates t path ~i ~j ~dir =
       | c -> c)
     (nav :: supported)
 
-let choose_aux t path ~i ~j ~dir =
+let choose_aux ?env t path ~i ~j ~dir =
+  check_range path ~i ~j;
   let key = { k_path = Gom.Path.to_string path; k_i = i; k_j = j; k_dir = dir } in
-  match Hashtbl.find_opt t.cache key with
-  | Some e when e.e_generation = t.generation && plan_live t e.e_choice.chosen ->
-    t.hits <- t.hits + 1;
-    (e.e_choice, true)
-  | stale ->
-    if Option.is_some stale then t.invalidations <- t.invalidations + 1;
-    t.misses <- t.misses + 1;
-    let cands = candidates t path ~i ~j ~dir in
+  let hit =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.cache key with
+        | Some e
+          when e.e_generation = t.generation
+               && plan_live_with t.indexes t.health e.e_choice.chosen ->
+          t.hits <- t.hits + 1;
+          Some (e.e_choice, true)
+        | stale ->
+          if Option.is_some stale then begin
+            Hashtbl.remove t.cache key;
+            t.invalidations <- t.invalidations + 1
+          end;
+          t.misses <- t.misses + 1;
+          None)
+  in
+  match hit with
+  | Some r -> r
+  | None ->
+    (* Plan outside the lock, then re-check the generation before
+       publishing: a plan priced against state that has since moved
+       (concurrent register/unregister/quarantine/mutation) is returned
+       to this caller but never cached, so no other domain can hit it. *)
+    let gen0 = with_lock t (fun () -> t.generation) in
+    let cands = candidates ?env t path ~i ~j ~dir in
     let best = List.hd cands in
     let choice = { chosen = best.plan; est_cost = best.est_cost; candidates = cands } in
-    Hashtbl.replace t.cache key { e_choice = choice; e_generation = t.generation };
+    with_lock t (fun () ->
+        if t.generation = gen0 then
+          Hashtbl.replace t.cache key { e_choice = choice; e_generation = gen0 });
     (choice, false)
 
-let choose t path ~i ~j ~dir = fst (choose_aux t path ~i ~j ~dir)
+let choose ?env t path ~i ~j ~dir = fst (choose_aux ?env t path ~i ~j ~dir)
 
 (* ------------------------------------------------------------------ *)
 (* Execution: one probe                                                *)
 (* ------------------------------------------------------------------ *)
 
-let rec run_forward t plan oid =
+let rec run_forward_exn ~env t plan oid =
   match (plan : Plan.t) with
-  | Nav { path; i; j } -> Core.Exec.forward_scan t.env path ~i ~j oid
+  | Nav { path; i; j } -> Core.Exec.forward_scan env path ~i ~j oid
   | Stitch { index; i; j; steps; _ } ->
-    if not (stitch_usable t index steps) then
-      invalid_arg "Engine.run_forward: plan uses an unregistered or quarantined index";
-    Core.Exec.forward_supported t.env index ~i ~j oid
+    if not (stitch_usable t index steps) then raise Stale_plan;
+    Core.Exec.forward_supported env index ~i ~j oid
   | Extent_scan _ -> invalid_arg "Engine.run_forward: backward plan"
   | Union ps ->
-    List.concat_map (fun p -> run_forward t p oid) ps
+    List.concat_map (fun p -> run_forward_exn ~env t p oid) ps
     |> List.sort_uniq Gom.Value.compare
-  | Distinct p -> List.sort_uniq Gom.Value.compare (run_forward t p oid)
+  | Distinct p -> List.sort_uniq Gom.Value.compare (run_forward_exn ~env t p oid)
 
-let rec run_backward t plan ~target =
+let run_forward ?env t plan oid =
+  let env = resolve_env t env in
+  try run_forward_exn ~env t plan oid
+  with Stale_plan ->
+    invalid_arg "Engine.run_forward: plan uses an unregistered or quarantined index"
+
+let rec run_backward_exn ~env t plan ~target =
   match (plan : Plan.t) with
-  | Extent_scan { path; i; j } -> Core.Exec.backward_scan t.env path ~i ~j ~target
+  | Extent_scan { path; i; j } -> Core.Exec.backward_scan env path ~i ~j ~target
   | Stitch { index; i; j; steps; _ } ->
-    if not (stitch_usable t index steps) then
-      invalid_arg "Engine.run_backward: plan uses an unregistered or quarantined index";
-    Core.Exec.backward_supported t.env index ~i ~j ~target
+    if not (stitch_usable t index steps) then raise Stale_plan;
+    Core.Exec.backward_supported env index ~i ~j ~target
   | Nav _ -> invalid_arg "Engine.run_backward: forward plan"
   | Union ps ->
-    List.concat_map (fun p -> run_backward t p ~target) ps
+    List.concat_map (fun p -> run_backward_exn ~env t p ~target) ps
     |> List.sort_uniq Gom.Oid.compare
-  | Distinct p -> List.sort_uniq Gom.Oid.compare (run_backward t p ~target)
+  | Distinct p -> List.sort_uniq Gom.Oid.compare (run_backward_exn ~env t p ~target)
 
-let forward t path ~i ~j oid =
-  let c = choose t path ~i ~j ~dir:Plan.Fwd in
-  Storage.Stats.begin_op t.env.Core.Exec.stats;
-  run_forward t c.chosen oid
+let run_backward ?env t plan ~target =
+  let env = resolve_env t env in
+  try run_backward_exn ~env t plan ~target
+  with Stale_plan ->
+    invalid_arg "Engine.run_backward: plan uses an unregistered or quarantined index"
 
-let backward t path ~i ~j ~target =
-  let c = choose t path ~i ~j ~dir:Plan.Bwd in
-  Storage.Stats.begin_op t.env.Core.Exec.stats;
-  run_backward t c.chosen ~target
+(* A chosen plan can go stale between planning and execution when
+   another domain races an unregister or a quarantine.  Readers then
+   degrade to the always-live navigational strategy (recorded as a
+   fallback, plans invalidated) — never a wrong answer, never a
+   crashed query. *)
+
+let nav_fallback ~env t path ~i ~j oid =
+  Storage.Stats.note_fallback env.Core.Exec.stats;
+  invalidate_plans t;
+  run_forward_exn ~env t (Plan.Nav { path; i; j }) oid
+
+let scan_fallback ~env t path ~i ~j ~target =
+  Storage.Stats.note_fallback env.Core.Exec.stats;
+  invalidate_plans t;
+  run_backward_exn ~env t (Plan.Extent_scan { path; i; j }) ~target
+
+let forward ?env t path ~i ~j oid =
+  let env = resolve_env t env in
+  let c = choose ~env t path ~i ~j ~dir:Plan.Fwd in
+  Storage.Stats.begin_op env.Core.Exec.stats;
+  try run_forward_exn ~env t c.chosen oid
+  with Stale_plan -> nav_fallback ~env t path ~i ~j oid
+
+let backward ?env t path ~i ~j ~target =
+  let env = resolve_env t env in
+  let c = choose ~env t path ~i ~j ~dir:Plan.Bwd in
+  Storage.Stats.begin_op env.Core.Exec.stats;
+  try run_backward_exn ~env t c.chosen ~target
+  with Stale_plan -> scan_fallback ~env t path ~i ~j ~target
 
 (* ------------------------------------------------------------------ *)
 (* Execution: batched probes                                           *)
@@ -528,8 +635,8 @@ let advance frontiers select ~col_in_part =
     (fun f -> if is_empty f then [] else distinct_at (select f) col_in_part)
     frontiers
 
-let batch_stitch_fwd t index ~i ~j frontiers =
-  let stats = t.env.Core.Exec.stats in
+let batch_stitch_fwd ~env index ~i ~j frontiers =
+  let stats = env.Core.Exec.stats in
   let path = Core.Asr.path index in
   let ci = Gom.Path.column_of_object_position path i in
   let cj = Gom.Path.column_of_object_position path j in
@@ -551,8 +658,8 @@ let batch_stitch_fwd t index ~i ~j frontiers =
   in
   go (Core.Asr.partition_index_of_column index ci) ci frontiers
 
-let batch_stitch_bwd t index ~i ~j frontiers =
-  let stats = t.env.Core.Exec.stats in
+let batch_stitch_bwd ~env index ~i ~j frontiers =
+  let stats = env.Core.Exec.stats in
   let path = Core.Asr.path index in
   let ci = Gom.Path.column_of_object_position path i in
   let cj = Gom.Path.column_of_object_position path j in
@@ -574,30 +681,52 @@ let batch_stitch_bwd t index ~i ~j frontiers =
   in
   go (part_ending index cj) cj frontiers
 
-let forward_batch t path ~i ~j oids =
-  let c = choose t path ~i ~j ~dir:Plan.Fwd in
-  Storage.Stats.begin_op t.env.Core.Exec.stats;
+let forward_batch ?env t path ~i ~j oids =
+  let env = resolve_env t env in
+  let c = choose ~env t path ~i ~j ~dir:Plan.Fwd in
+  Storage.Stats.begin_op env.Core.Exec.stats;
   let probes = List.sort_uniq Gom.Oid.compare oids in
   match c.chosen with
-  | Plan.Stitch { index; i = pi; j = pj; _ } ->
-    let frontiers = Array.of_list (List.map (fun o -> [ Gom.Value.Ref o ]) probes) in
-    let finals = batch_stitch_fwd t index ~i:pi ~j:pj frontiers in
-    List.mapi (fun k o -> (o, finals.(k))) probes
-  | plan -> List.map (fun o -> (o, run_forward t plan o)) probes
+  | Plan.Stitch { index; i = pi; j = pj; steps; _ } -> (
+    try
+      if not (stitch_usable t index steps) then raise Stale_plan;
+      let frontiers = Array.of_list (List.map (fun o -> [ Gom.Value.Ref o ]) probes) in
+      let finals = batch_stitch_fwd ~env index ~i:pi ~j:pj frontiers in
+      List.mapi (fun k o -> (o, finals.(k))) probes
+    with Stale_plan ->
+      List.map (fun o -> (o, nav_fallback ~env t path ~i ~j o)) probes)
+  | plan ->
+    List.map
+      (fun o ->
+        ( o,
+          try run_forward_exn ~env t plan o
+          with Stale_plan -> nav_fallback ~env t path ~i ~j o ))
+      probes
 
-let backward_batch t path ~i ~j ~targets =
-  let c = choose t path ~i ~j ~dir:Plan.Bwd in
-  Storage.Stats.begin_op t.env.Core.Exec.stats;
+let backward_batch ?env t path ~i ~j ~targets =
+  let env = resolve_env t env in
+  let c = choose ~env t path ~i ~j ~dir:Plan.Bwd in
+  Storage.Stats.begin_op env.Core.Exec.stats;
   let probes = List.sort_uniq Gom.Value.compare targets in
   match c.chosen with
-  | Plan.Stitch { index; i = pi; j = pj; _ } ->
-    let frontiers = Array.of_list (List.map (fun v -> [ v ]) probes) in
-    let finals = batch_stitch_bwd t index ~i:pi ~j:pj frontiers in
-    List.mapi
-      (fun k v ->
-        (v, finals.(k) |> List.map Gom.Value.oid_exn |> List.sort_uniq Gom.Oid.compare))
+  | Plan.Stitch { index; i = pi; j = pj; steps; _ } -> (
+    try
+      if not (stitch_usable t index steps) then raise Stale_plan;
+      let frontiers = Array.of_list (List.map (fun v -> [ v ]) probes) in
+      let finals = batch_stitch_bwd ~env index ~i:pi ~j:pj frontiers in
+      List.mapi
+        (fun k v ->
+          (v, finals.(k) |> List.map Gom.Value.oid_exn |> List.sort_uniq Gom.Oid.compare))
+        probes
+    with Stale_plan ->
+      List.map (fun v -> (v, scan_fallback ~env t path ~i ~j ~target:v)) probes)
+  | plan ->
+    List.map
+      (fun v ->
+        ( v,
+          try run_backward_exn ~env t plan ~target:v
+          with Stale_plan -> scan_fallback ~env t path ~i ~j ~target:v ))
       probes
-  | plan -> List.map (fun v -> (v, run_backward t plan ~target:v)) probes
 
 (* ------------------------------------------------------------------ *)
 (* Explain                                                             *)

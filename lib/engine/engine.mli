@@ -25,7 +25,24 @@
     clustering-boundary lookups go through
     {!Core.Asr.lookup_fwd_many} so sorted keys share B+ tree descents
     and leaf pages.  Per-probe answers equal those of
-    {!Core.Exec.forward_supported} / {!Core.Exec.backward_supported}. *)
+    {!Core.Exec.forward_supported} / {!Core.Exec.backward_supported}.
+
+    {2 Domain safety}
+
+    All mutable engine state — plan cache, memoised profiles, health
+    oracle, registration list, generation — sits behind one internal
+    mutex, so many OCaml 5 domains may plan and execute queries against
+    the {e same frozen store} concurrently.  A plan computed outside the
+    lock is published into the cache only if the generation is unchanged
+    (the re-check makes concurrent registration/unregistration safe,
+    never just slower).  Execution guards re-validate stitches and
+    degrade to always-live navigation / extent-scan plans when a
+    concurrent [unregister] or health change raced the lookup.
+
+    Page accounting is the one piece of shared state the lock does not
+    cover: concurrent callers must pass their own [?env] (same store,
+    private {!Storage.Stats.t} sheaf) and merge summaries afterwards
+    with {!Storage.Stats.merge}. *)
 
 (** Physical plan IR. *)
 module Plan : sig
@@ -139,37 +156,68 @@ val analytic_decomposition : Gom.Path.t -> Core.Decomposition.t -> Core.Decompos
     model's object positions (its [m = n] simplification drops set-OID
     columns). *)
 
-val candidates : t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> candidate list
+val candidates :
+  ?env:Core.Exec.env -> t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> candidate list
 (** Every legal strategy for [Q^(i,j)] over the path, priced, cheapest
     first: graph navigation (equations 31-32) plus one stitch per
     registered index that embeds the path and supports the range
     (equations 33-34).  On a cost tie a supported plan beats navigation.
+
+    [?env] (here and on every planning/execution entry below) overrides
+    the engine's own environment for accounting: it must wrap the {e
+    same store} ([Invalid_argument] otherwise) and is how concurrent
+    domains keep private {!Storage.Stats.t} sheaves.  Default: the
+    environment the engine was created over.
     @raise Invalid_argument unless [0 <= i < j <= n]. *)
 
-val choose : t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> choice
+val choose :
+  ?env:Core.Exec.env -> t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> choice
 (** Cheapest strategy, through the plan cache. *)
 
 (* {2 Execution} *)
 
-val run_forward : t -> Plan.t -> Gom.Oid.t -> Gom.Value.t list
+val run_forward : ?env:Core.Exec.env -> t -> Plan.t -> Gom.Oid.t -> Gom.Value.t list
 (** Execute a forward plan for one source object {e within the current
     accounting operation} (no [begin_op]) — for callers composing a
-    larger operation.  @raise Invalid_argument on a backward plan. *)
+    larger operation.  @raise Invalid_argument on a backward plan, or on
+    a stitch through an index that is no longer registered/healthy. *)
 
-val run_backward : t -> Plan.t -> target:Gom.Value.t -> Gom.Oid.t list
+val run_backward : ?env:Core.Exec.env -> t -> Plan.t -> target:Gom.Value.t -> Gom.Oid.t list
 
-val forward : t -> Gom.Path.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list
-(** Plan (cached) and execute as one accounting operation. *)
+val forward :
+  ?env:Core.Exec.env -> t -> Gom.Path.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list
+(** Plan (cached) and execute as one accounting operation.  If a
+    concurrent [unregister] or health change invalidates the chosen
+    stitch mid-flight, execution degrades to graph navigation (recorded
+    via {!Storage.Stats.note_fallback}) instead of failing. *)
 
-val backward : t -> Gom.Path.t -> i:int -> j:int -> target:Gom.Value.t -> Gom.Oid.t list
+val backward :
+  ?env:Core.Exec.env ->
+  t ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  target:Gom.Value.t ->
+  Gom.Oid.t list
+(** Backward analogue of {!forward}; degrades to an extent scan. *)
 
 val forward_batch :
-  t -> Gom.Path.t -> i:int -> j:int -> Gom.Oid.t list -> (Gom.Oid.t * Gom.Value.t list) list
+  ?env:Core.Exec.env ->
+  t ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  Gom.Oid.t list ->
+  (Gom.Oid.t * Gom.Value.t list) list
 (** Evaluate many probes as {e one} accounting operation, sharing
     partition scans, B+ tree descents and page locality across the
-    batch.  Probes are deduplicated and returned in sorted order. *)
+    batch.  Probes are deduplicated and returned in sorted order — a
+    deterministic function of the probe {e set}, which is what lets the
+    parallel server split a batch across domains and merge chunk
+    results back into the jobs-independent answer. *)
 
 val backward_batch :
+  ?env:Core.Exec.env ->
   t ->
   Gom.Path.t ->
   i:int ->

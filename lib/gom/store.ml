@@ -22,6 +22,7 @@ type t = {
   names : (string, Oid.t) Hashtbl.t;
   mutable listeners : (int * (event -> unit)) list; (* reverse subscription order *)
   mutable next_subscription : int;
+  mutable epoch : int; (* bumped once per emitted mutation event *)
 }
 
 let create schema =
@@ -36,11 +37,49 @@ let create schema =
     names = Hashtbl.create 16;
     listeners = [];
     next_subscription = 0;
+    epoch = 0;
   }
 
 let schema t = t.schema
 
-let emit t ev = List.iter (fun (_, f) -> f ev) (List.rev t.listeners)
+let epoch t = t.epoch
+
+let emit t ev =
+  t.epoch <- t.epoch + 1;
+  List.iter (fun (_, f) -> f ev) (List.rev t.listeners)
+
+(* Deep structural clone: every instance body is copied, the immutable
+   schema is shared, listeners are not carried over (a copy starts with
+   no observers).  The copy is a fully functional store of its own —
+   the parallel layer publishes copies as frozen epoch snapshots and
+   simply never mutates them, making concurrent multi-domain reads
+   safe (hashtable reads do not resize). *)
+let copy t =
+  let objects = Hashtbl.create (max 16 (Hashtbl.length t.objects)) in
+  Hashtbl.iter
+    (fun oid inst ->
+      let body =
+        match (inst : Instance.t).body with
+        | Instance.Tuple_body tbl -> Instance.Tuple_body (Hashtbl.copy tbl)
+        | Instance.Set_body tbl -> Instance.Set_body (Hashtbl.copy tbl)
+        | Instance.List_body l -> Instance.List_body (ref !l)
+      in
+      Hashtbl.replace objects oid (Instance.make oid (Instance.ty inst) body))
+    t.objects;
+  let extents = Hashtbl.create (max 16 (Hashtbl.length t.extents)) in
+  Hashtbl.iter (fun ty r -> Hashtbl.replace extents ty (ref !r)) t.extents;
+  let gen = Oid.make_gen () in
+  Hashtbl.iter (fun oid _ -> Oid.ensure_above gen oid) t.objects;
+  {
+    schema = t.schema;
+    gen;
+    objects;
+    extents;
+    names = Hashtbl.copy t.names;
+    listeners = [];
+    next_subscription = 0;
+    epoch = t.epoch;
+  }
 
 type subscription = int
 

@@ -37,6 +37,21 @@ val create : Schema.t -> t
 
 val schema : t -> Schema.t
 
+val epoch : t -> int
+(** Mutation counter: bumped once per emitted event, starting at 0 for
+    a fresh store.  A {!copy} carries its source's epoch, so snapshot
+    publication can label frozen copies with the store state they
+    reflect. *)
+
+val copy : t -> t
+(** Deep structural clone sharing the (immutable) schema: objects keep
+    their identifiers, extents, persistent names and the {!epoch} are
+    preserved, and no listeners are carried over.  The clone is an
+    independent store — mutating either side never affects the other.
+    The parallel serving layer publishes copies as immutable epoch
+    snapshots: a copy that is never mutated can be read from many
+    domains concurrently. *)
+
 val new_object : t -> Schema.type_name -> Oid.t
 (** Instantiate a type: tuple instances get all attributes set to
     [Null], set and list instances start empty (paper: "instantiation").

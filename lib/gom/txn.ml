@@ -9,10 +9,32 @@ exception Txn_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Txn_error s)) fmt
 
+(* The two module-level registries below are the only global mutable
+   state in the GOM layer; [registry_lock] keeps them coherent when
+   several domains run transactions over *different* stores (a single
+   store is still single-writer by contract). *)
+let registry_lock = Mutex.create ()
+
 (* One active transaction per store, by physical identity. *)
 let active_stores : Store.t list ref = ref []
 
-let active store = List.exists (fun s -> s == store) !active_stores
+let active store =
+  Mutex.protect registry_lock (fun () ->
+      List.exists (fun s -> s == store) !active_stores)
+
+(* Check-and-mark atomically, so two domains racing [start] on the same
+   store cannot both slip past the one-transaction-per-store gate. *)
+let try_mark_active store =
+  Mutex.protect registry_lock (fun () ->
+      if List.exists (fun s -> s == store) !active_stores then false
+      else begin
+        active_stores := store :: !active_stores;
+        true
+      end)
+
+let unmark_active store =
+  Mutex.protect registry_lock (fun () ->
+      active_stores := List.filter (fun s -> not (s == store)) !active_stores)
 
 type hooks = {
   on_start : unit -> unit;
@@ -25,13 +47,17 @@ type hooks = {
 let hook_table : (Store.t * hooks) list ref = ref []
 
 let set_hooks store h =
-  hook_table := (store, h) :: List.filter (fun (s, _) -> not (s == store)) !hook_table
+  Mutex.protect registry_lock (fun () ->
+      hook_table :=
+        (store, h) :: List.filter (fun (s, _) -> not (s == store)) !hook_table)
 
 let clear_hooks store =
-  hook_table := List.filter (fun (s, _) -> not (s == store)) !hook_table
+  Mutex.protect registry_lock (fun () ->
+      hook_table := List.filter (fun (s, _) -> not (s == store)) !hook_table)
 
 let hooks_of store =
-  List.find_map (fun (s, h) -> if s == store then Some h else None) !hook_table
+  Mutex.protect registry_lock (fun () ->
+      List.find_map (fun (s, h) -> if s == store then Some h else None) !hook_table)
 
 let run_hook store f =
   match hooks_of store with None -> () | Some h -> f h
@@ -41,7 +67,7 @@ let run_hook store f =
    can leave the store marked active with a dangling event logger. *)
 let release t state =
   Store.unsubscribe t.store t.sub;
-  active_stores := List.filter (fun s -> not (s == t.store)) !active_stores;
+  unmark_active t.store;
   t.state <- state
 
 let ensure_active t =
@@ -50,20 +76,27 @@ let ensure_active t =
   | `Committed | `Rolled_back -> error "transaction already finished"
 
 let start store =
-  if active store then error "a transaction is already active on this store";
-  let rec t =
-    lazy
-      {
-        store;
-        sub = Store.subscribe store (fun ev ->
-                  let t = Lazy.force t in
-                  t.log <- ev :: t.log);
-        log = [];
-        state = `Active;
-      }
+  if not (try_mark_active store) then begin
+    error "a transaction is already active on this store"
+  end;
+  let t =
+    try
+      let rec t =
+        lazy
+          {
+            store;
+            sub = Store.subscribe store (fun ev ->
+                      let t = Lazy.force t in
+                      t.log <- ev :: t.log);
+            log = [];
+            state = `Active;
+          }
+      in
+      Lazy.force t
+    with e ->
+      unmark_active store;
+      raise e
   in
-  let t = Lazy.force t in
-  active_stores := store :: !active_stores;
   (* If the start hook refuses (e.g. the write-ahead log is gone), the
      store must not stay marked active. *)
   (try run_hook store (fun h -> h.on_start ())

@@ -115,8 +115,10 @@ let merged_chain (q : T.t) =
 (* The engine enumerates the physical strategies (navigation vs every
    registered index that embeds the merged path and supports the range)
    and picks the cheapest under live profiles — equations 31-35. *)
-let plan ~engine (q : T.t) =
-  let env = Engine.env engine in
+let resolve_env ~engine = function None -> Engine.env engine | Some e -> e
+
+let plan ?env ~engine (q : T.t) =
+  let env = resolve_env ~engine env in
   let schema = Gom.Store.schema env.Core.Exec.store in
   match merged_chain q with
   | None -> Nested_loop
@@ -125,7 +127,7 @@ let plan ~engine (q : T.t) =
     | exception Gom.Path.Path_error _ -> Nested_loop
     | query_path ->
       let n = Gom.Path.length query_path in
-      let choice = Engine.choose engine query_path ~i:0 ~j:n ~dir:Engine.Plan.Bwd in
+      let choice = Engine.choose ~env engine query_path ~i:0 ~j:n ~dir:Engine.Plan.Bwd in
       Merged_backward { choice; path = query_path; target; residual })
 
 (* ------------------------------------------------------------------ *)
@@ -135,7 +137,7 @@ let plan ~engine (q : T.t) =
 (* Path-valued expressions are forward Q^(0,n) queries: the engine
    routes them through a covering access support relation when that is
    cheaper, falling back to object-graph navigation. *)
-let values_of_expr ~engine ~bindings = function
+let values_of_expr ~engine ~env ~bindings = function
   | T.TLit l -> [ T.lit_value l ]
   | T.TPath { base; path; _ } -> (
     let v = List.assoc base bindings in
@@ -145,8 +147,8 @@ let values_of_expr ~engine ~bindings = function
       match v with
       | Gom.Value.Ref o ->
         let n = Gom.Path.length p in
-        let c = Engine.choose engine p ~i:0 ~j:n ~dir:Engine.Plan.Fwd in
-        Engine.run_forward engine c.Engine.chosen o
+        let c = Engine.choose ~env engine p ~i:0 ~j:n ~dir:Engine.Plan.Fwd in
+        Engine.run_forward ~env engine c.Engine.chosen o
       | _ -> []))
 
 let cmp_holds c a b =
@@ -159,38 +161,36 @@ let cmp_holds c a b =
   | Ast.Gt -> r > 0
   | Ast.Ge -> r >= 0
 
-let rec pred_holds ~engine ~bindings = function
+let rec pred_holds ~engine ~env ~bindings = function
   | T.TTrue -> true
   | T.TCmp (c, a, b) ->
-    let va = values_of_expr ~engine ~bindings a in
-    let vb = values_of_expr ~engine ~bindings b in
+    let va = values_of_expr ~engine ~env ~bindings a in
+    let vb = values_of_expr ~engine ~env ~bindings b in
     List.exists (fun x -> List.exists (fun y -> cmp_holds c x y) vb) va
   | T.TIn (e, p) ->
-    let ve = values_of_expr ~engine ~bindings e in
-    let vp = values_of_expr ~engine ~bindings (T.TPath p) in
+    let ve = values_of_expr ~engine ~env ~bindings e in
+    let vp = values_of_expr ~engine ~env ~bindings (T.TPath p) in
     List.exists (fun x -> List.exists (Gom.Value.equal x) vp) ve
   | T.TAnd (a, b) ->
-    pred_holds ~engine ~bindings a && pred_holds ~engine ~bindings b
+    pred_holds ~engine ~env ~bindings a && pred_holds ~engine ~env ~bindings b
   | T.TOr (a, b) ->
-    pred_holds ~engine ~bindings a || pred_holds ~engine ~bindings b
-  | T.TNot p -> not (pred_holds ~engine ~bindings p)
+    pred_holds ~engine ~env ~bindings a || pred_holds ~engine ~env ~bindings b
+  | T.TNot p -> not (pred_holds ~engine ~env ~bindings p)
 
-let source_values ~engine ~bindings = function
+let source_values ~engine ~env ~bindings = function
   | T.Extent ty ->
-    let env = Engine.env engine in
     Storage.Heap.scan_extent ~deep:true env.Core.Exec.heap env.Core.Exec.stats ty;
     Gom.Store.extent ~deep:true env.Core.Exec.store ty
     |> List.map (fun o -> Gom.Value.Ref o)
   | T.Named_set (oid, _) ->
-    let env = Engine.env engine in
     Storage.Heap.read_object env.Core.Exec.heap env.Core.Exec.stats oid;
     Gom.Store.elements env.Core.Exec.store oid
   | T.Via { base; path } -> (
     match List.assoc base bindings with
     | Gom.Value.Ref o ->
       let n = Gom.Path.length path in
-      let c = Engine.choose engine path ~i:0 ~j:n ~dir:Engine.Plan.Fwd in
-      Engine.run_forward engine c.Engine.chosen o
+      let c = Engine.choose ~env engine path ~i:0 ~j:n ~dir:Engine.Plan.Fwd in
+      Engine.run_forward ~env engine c.Engine.chosen o
     | _ -> [])
 
 let rec rows_product = function
@@ -199,26 +199,25 @@ let rec rows_product = function
     let tails = rows_product rest in
     List.concat_map (fun v -> List.map (fun tail -> v :: tail) tails) vs
 
-let select_rows ~engine ~bindings select =
-  rows_product (List.map (values_of_expr ~engine ~bindings) select)
+let select_rows ~engine ~env ~bindings select =
+  rows_product (List.map (values_of_expr ~engine ~env ~bindings) select)
 
-let nested_loop ~engine (q : T.t) =
+let nested_loop ~engine ~env (q : T.t) =
   let out = ref [] in
   let rec loop bindings = function
     | [] ->
-      if pred_holds ~engine ~bindings q.T.where then
-        out := select_rows ~engine ~bindings q.T.select @ !out
+      if pred_holds ~engine ~env ~bindings q.T.where then
+        out := select_rows ~engine ~env ~bindings q.T.select @ !out
     | (v, src, _) :: rest ->
       List.iter
         (fun value -> loop ((v, value) :: bindings) rest)
-        (source_values ~engine ~bindings src)
+        (source_values ~engine ~env ~bindings src)
   in
   loop [] q.T.bindings;
   !out
 
-let merged_backward ~engine ~choice ~target ~residual (q : T.t) =
-  let env = Engine.env engine in
-  let sources = Engine.run_backward engine choice.Engine.chosen ~target in
+let merged_backward ~engine ~env ~choice ~target ~residual (q : T.t) =
+  let sources = Engine.run_backward ~env engine choice.Engine.chosen ~target in
   let v0, keep =
     match q.T.bindings with
     | (v0, T.Named_set (set_oid, _), _) :: _ ->
@@ -230,8 +229,8 @@ let merged_backward ~engine ~choice ~target ~residual (q : T.t) =
   List.concat_map
     (fun o ->
       let bindings = [ (v0, Gom.Value.Ref o) ] in
-      if keep o && pred_holds ~engine ~bindings residual then
-        select_rows ~engine ~bindings q.T.select
+      if keep o && pred_holds ~engine ~env ~bindings residual then
+        select_rows ~engine ~env ~bindings q.T.select
       else [])
     sources
 
@@ -254,15 +253,16 @@ let order_and_limit (q : T.t) rows =
   | None -> rows
   | Some n -> List.filteri (fun i _ -> i < n) rows
 
-let run ~engine (q : T.t) =
-  let stats = (Engine.env engine).Core.Exec.stats in
-  let p = plan ~engine q in
+let run ?env ~engine (q : T.t) =
+  let env = resolve_env ~engine env in
+  let stats = env.Core.Exec.stats in
+  let p = plan ~env ~engine q in
   Storage.Stats.begin_op stats;
   let rows =
     match p with
-    | Nested_loop -> nested_loop ~engine q
+    | Nested_loop -> nested_loop ~engine ~env q
     | Merged_backward { choice; target; residual; _ } ->
-      merged_backward ~engine ~choice ~target ~residual q
+      merged_backward ~engine ~env ~choice ~target ~residual q
   in
   {
     rows = order_and_limit q (dedup_rows rows);
@@ -270,7 +270,8 @@ let run ~engine (q : T.t) =
     pages = Storage.Stats.op_accesses stats;
   }
 
-let query ~engine text =
+let query ?env ~engine text =
   let ast = Parser.parse text in
-  let q = Typecheck.check (Engine.env engine).Core.Exec.store ast in
-  run ~engine q
+  let env = resolve_env ~engine env in
+  let q = Typecheck.check env.Core.Exec.store ast in
+  run ~env ~engine q

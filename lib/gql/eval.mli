@@ -43,14 +43,17 @@ type result = {
   pages : int;  (** Page accesses charged while evaluating. *)
 }
 
-val plan : engine:Engine.t -> Typecheck.t -> plan
+val plan : ?env:Core.Exec.env -> engine:Engine.t -> Typecheck.t -> plan
 (** Choose a strategy (through the engine's plan cache); no page
-    traffic. *)
+    traffic.  [?env] (here and below) overrides the engine's own
+    environment for accounting — it must wrap the same store, and is how
+    concurrent domains evaluate through one shared engine with private
+    {!Storage.Stats.t} sheaves. *)
 
-val run : engine:Engine.t -> Typecheck.t -> result
-(** Evaluate as one accounting operation on the engine environment's
-    stats; [result.pages] reports the operation's page accesses. *)
+val run : ?env:Core.Exec.env -> engine:Engine.t -> Typecheck.t -> result
+(** Evaluate as one accounting operation on the environment's stats;
+    [result.pages] reports the operation's page accesses. *)
 
-val query : engine:Engine.t -> string -> result
+val query : ?env:Core.Exec.env -> engine:Engine.t -> string -> result
 (** Parse, check and run in one step.
     @raise Parser.Parse_error or Typecheck.Check_error accordingly. *)

@@ -1,0 +1,124 @@
+(* Work-stealing-free domain pool: one shared FIFO of tasks, one mutex,
+   one "queue became non-empty" condition.  Batches (run_all calls) own
+   a private completion record so several domains can push batches into
+   the same pool concurrently without observing each other's progress.
+
+   The memory-model story: every task result is written by the executing
+   domain before it decrements the batch counter under the pool mutex,
+   and the submitting domain only reads results after it observed the
+   counter at zero under the same mutex — the mutex ordering makes all
+   result writes visible. *)
+
+type task = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  executors : int;
+}
+
+let rec worker_loop t =
+  let task =
+    Mutex.protect t.lock (fun () ->
+        let rec await () =
+          if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+          else if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.lock;
+            await ()
+          end
+        in
+        await ())
+  in
+  match task with
+  | None -> ()
+  | Some f ->
+    (* Tasks are exception-proof wrappers (see [run_all]); the catch-all
+       is a backstop so a rogue task can never kill a worker and leave a
+       batch waiting forever. *)
+    (try f () with _ -> ());
+    worker_loop t
+
+let create ~jobs =
+  let executors = max 1 jobs in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+      executors;
+    }
+  in
+  t.workers <- List.init (executors - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.executors
+
+(* Per-batch completion record; shares the pool mutex so the waiter and
+   the last finishing task cannot miss each other's signal. *)
+type batch = { mutable remaining : int; finished : Condition.t }
+
+let run_all t thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let b = { remaining = n; finished = Condition.create () } in
+    let task i () =
+      let r = try Ok (thunks.(i) ()) with e -> Error e in
+      results.(i) <- Some r;
+      Mutex.protect t.lock (fun () ->
+          b.remaining <- b.remaining - 1;
+          if b.remaining = 0 then Condition.broadcast b.finished)
+    in
+    Mutex.protect t.lock (fun () ->
+        for i = 0 to n - 1 do
+          Queue.add (task i) t.queue
+        done;
+        Condition.broadcast t.nonempty);
+    (* The caller is an executor too: drain tasks (this batch's or a
+       concurrent one's — either helps global progress) until the queue
+       is empty, then sleep until this batch's own counter hits zero. *)
+    let rec help () =
+      let task =
+        Mutex.protect t.lock (fun () ->
+            if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+      in
+      match task with
+      | Some f ->
+        (try f () with _ -> ());
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.protect t.lock (fun () ->
+        while b.remaining > 0 do
+          Condition.wait b.finished t.lock
+        done);
+    let out =
+      Array.map
+        (function
+          | Some r -> r
+          | None -> assert false (* remaining = 0 implies every slot was written *))
+        results
+    in
+    Array.iter (function Error e -> raise e | Ok _ -> ()) out;
+    Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) out)
+  end
+
+let shutdown t =
+  let workers =
+    Mutex.protect t.lock (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.nonempty;
+        let ws = t.workers in
+        t.workers <- [];
+        ws)
+  in
+  List.iter Domain.join workers

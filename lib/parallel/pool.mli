@@ -1,0 +1,37 @@
+(** Fixed-size domain pool with a shared work queue.
+
+    OCaml 5 domains are heavyweight (each maps to an OS thread and a
+    runtime participant), so the serving layer spawns a small fixed set
+    once and feeds it batches, instead of spawning per query.  The pool
+    is a plain [Mutex]/[Condition] work queue: no dependency beyond the
+    standard library.
+
+    Concurrency contract: many domains may call {!run_all} on the same
+    pool simultaneously — each call gets a private completion record, so
+    interleaved batches never cross-contaminate.  The calling domain
+    participates in draining the queue while its batch is outstanding,
+    which is what makes [size = 1] (no spawned workers at all) execute
+    everything inline on the caller. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool of [max 1 jobs] concurrent executors: [jobs - 1] spawned
+    worker domains plus the domain calling {!run_all}.  [jobs = 1]
+    spawns nothing. *)
+
+val size : t -> int
+(** Number of concurrent executors (including the caller). *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Execute every thunk (possibly concurrently, across the pool's
+    executors) and return their results {e in input order} — the
+    scheduling is nondeterministic, the result list never is.  If any
+    thunk raised, the first such exception (again in input order) is
+    re-raised after {e all} thunks finished, so no work is left running
+    behind the caller's back. *)
+
+val shutdown : t -> unit
+(** Drain and join the worker domains; idempotent.  Tasks already queued
+    are completed first.  Calling {!run_all} afterwards executes inline
+    on the caller. *)

@@ -1,0 +1,123 @@
+type t = {
+  base : Gom.Store.t;
+  specs : Snapshot.spec list;
+  sizes : Gom.Schema.type_name -> int;
+  pool : Pool.t;
+  jobs : int;
+  writer : Mutex.t;  (* serialises update/refresh and snapshot publication *)
+  current : Snapshot.t Atomic.t;
+  accountant : Storage.Stats.t;  (* cumulative, merged from worker sheaves *)
+  acc_lock : Mutex.t;
+}
+
+let create ?(jobs = 1) ?(sizes = fun _ -> 100) ~specs base =
+  let jobs = max 1 jobs in
+  {
+    base;
+    specs;
+    sizes;
+    pool = Pool.create ~jobs;
+    jobs;
+    writer = Mutex.create ();
+    current = Atomic.make (Snapshot.capture ~sizes ~specs base);
+    accountant = Storage.Stats.create ();
+    acc_lock = Mutex.create ();
+  }
+
+let jobs t = t.jobs
+let pin t = Atomic.get t.current
+let epoch t = Snapshot.epoch (pin t)
+
+let publish t = Atomic.set t.current (Snapshot.capture ~sizes:t.sizes ~specs:t.specs t.base)
+
+let update t f =
+  Mutex.protect t.writer (fun () ->
+      let r = f t.base in
+      if Gom.Store.epoch t.base <> Snapshot.epoch (Atomic.get t.current) then publish t;
+      r)
+
+let refresh t = Mutex.protect t.writer (fun () -> publish t)
+
+(* Split [xs] into at most [k] contiguous chunks of near-equal length.
+   Contiguity is what keeps the merge deterministic: over a sorted probe
+   list, concatenating sorted chunk answers in chunk order rebuilds the
+   one globally sorted answer, whatever [k] was. *)
+let chunk k xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let k = max 1 (min k n) in
+    let size = (n + k - 1) / k in
+    let rec split acc xs =
+      match xs with
+      | [] -> List.rev acc
+      | _ ->
+        let rec take i tl acc' =
+          if i = 0 then (List.rev acc', tl)
+          else match tl with [] -> (List.rev acc', []) | x :: tl -> take (i - 1) tl (x :: acc')
+        in
+        let c, rest = take size xs [] in
+        split (c :: acc) rest
+    in
+    split [] xs
+  end
+
+let absorb t summaries =
+  let merged = List.fold_left Storage.Stats.merge Storage.Stats.zero summaries in
+  Mutex.protect t.acc_lock (fun () -> Storage.Stats.absorb t.accountant merged)
+
+let fan ?snapshot t probes run =
+  let snap = match snapshot with Some s -> s | None -> pin t in
+  let parts =
+    Pool.run_all t.pool
+      (List.map
+         (fun c () ->
+           let env = Snapshot.env snap in
+           let res = run snap env c in
+           (res, Storage.Stats.snapshot env.Core.Exec.stats))
+         (chunk t.jobs probes))
+  in
+  absorb t (List.map snd parts);
+  List.concat_map fst parts
+
+let forward_batch ?snapshot t path ~i ~j oids =
+  let probes = List.sort_uniq Gom.Oid.compare oids in
+  fan ?snapshot t probes (fun snap env c ->
+      Engine.forward_batch ~env (Snapshot.engine snap) path ~i ~j c)
+
+let backward_batch ?snapshot t path ~i ~j ~targets =
+  let probes = List.sort_uniq Gom.Value.compare targets in
+  fan ?snapshot t probes (fun snap env c ->
+      Engine.backward_batch ~env (Snapshot.engine snap) path ~i ~j ~targets:c)
+
+type query =
+  | Forward of { q_path : Gom.Path.t; q_i : int; q_j : int; q_sources : Gom.Oid.t list }
+  | Backward of { q_path : Gom.Path.t; q_i : int; q_j : int; q_targets : Gom.Value.t list }
+
+type answer =
+  | Forward_answer of (Gom.Oid.t * Gom.Value.t list) list
+  | Backward_answer of (Gom.Value.t * Gom.Oid.t list) list
+
+let serve ?snapshot t queries =
+  let qs = Array.of_list queries in
+  let run_one snap env = function
+    | Forward { q_path; q_i; q_j; q_sources } ->
+      Forward_answer
+        (Engine.forward_batch ~env (Snapshot.engine snap) q_path ~i:q_i ~j:q_j q_sources)
+    | Backward { q_path; q_i; q_j; q_targets } ->
+      Backward_answer
+        (Engine.backward_batch ~env (Snapshot.engine snap) q_path ~i:q_i ~j:q_j
+           ~targets:q_targets)
+  in
+  let indexed =
+    fan ?snapshot t
+      (List.init (Array.length qs) Fun.id)
+      (fun snap env c -> List.map (fun k -> (k, run_one snap env qs.(k))) c)
+  in
+  let out = Array.make (Array.length qs) None in
+  List.iter (fun (k, a) -> out.(k) <- Some a) indexed;
+  Array.to_list
+    (Array.map (function Some a -> a | None -> assert false (* fan covers every index *)) out)
+
+let stats t = Mutex.protect t.acc_lock (fun () -> Storage.Stats.snapshot t.accountant)
+let shutdown t = Pool.shutdown t.pool

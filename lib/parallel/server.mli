@@ -1,0 +1,100 @@
+(** Parallel snapshot-isolated query serving.
+
+    The server wraps one live object base behind epoch-based snapshot
+    publication:
+
+    - {e writers} go through {!update}, serialised by a single writer
+      mutex; when a commit actually mutated the base, a fresh
+      {!Snapshot.t} is captured and published with one atomic store;
+    - {e readers} never block: {!pin} is an [Atomic.get], and every
+      query entry point runs against a pinned immutable snapshot, so a
+      reader races no one — not even a concurrent republication, which
+      merely swaps the pointer for {e later} pins.
+
+    Query batches fan out over a fixed {!Pool.t} of domains.  Probe
+    batches are globally sorted, split into contiguous chunks, and the
+    chunk answers concatenated in chunk order — because the engine's
+    batch answers are sorted functions of the probe {e set}, the merged
+    output is byte-identical for every job count (property-tested).
+    Each task accounts pages into a private {!Storage.Stats.t} sheaf;
+    sheaves are merged with {!Storage.Stats.merge} and folded into the
+    server's cumulative accountant, so {!stats} equals what a
+    sequential run would have counted. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?sizes:(Gom.Schema.type_name -> int) ->
+  specs:Snapshot.spec list ->
+  Gom.Store.t ->
+  t
+(** Serve [base] with [max 1 jobs] executor domains (default 1) and the
+    given access-support specs, capturing the initial snapshot
+    immediately.  The base must not be mutated behind the server's back
+    afterwards — route every write through {!update}. *)
+
+val jobs : t -> int
+
+val epoch : t -> int
+(** Epoch of the currently published snapshot. *)
+
+val pin : t -> Snapshot.t
+(** The current snapshot; wait-free.  A pinned snapshot stays valid (and
+    frozen) forever — republication never mutates it. *)
+
+val update : t -> (Gom.Store.t -> 'a) -> 'a
+(** Run a writer against the live base under the writer lock; if the
+    base's epoch moved (the writer emitted at least one event), capture
+    and publish a fresh snapshot before returning.  Readers pinned to
+    the old snapshot keep their consistent view. *)
+
+val refresh : t -> unit
+(** Force republication even without intervening writes (e.g. after
+    changing specs out of band). *)
+
+(** {2 Query entry points}
+
+    All of them pin the current snapshot unless handed an explicit
+    [?snapshot] (the way a reader spans several calls under one
+    consistent view). *)
+
+val forward_batch :
+  ?snapshot:Snapshot.t ->
+  t ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  Gom.Oid.t list ->
+  (Gom.Oid.t * Gom.Value.t list) list
+(** Fan a probe set across the pool; answers sorted by probe,
+    deduplicated, independent of the job count. *)
+
+val backward_batch :
+  ?snapshot:Snapshot.t ->
+  t ->
+  Gom.Path.t ->
+  i:int ->
+  j:int ->
+  targets:Gom.Value.t list ->
+  (Gom.Value.t * Gom.Oid.t list) list
+
+type query =
+  | Forward of { q_path : Gom.Path.t; q_i : int; q_j : int; q_sources : Gom.Oid.t list }
+  | Backward of { q_path : Gom.Path.t; q_i : int; q_j : int; q_targets : Gom.Value.t list }
+
+type answer =
+  | Forward_answer of (Gom.Oid.t * Gom.Value.t list) list
+  | Backward_answer of (Gom.Value.t * Gom.Oid.t list) list
+
+val serve : ?snapshot:Snapshot.t -> t -> query list -> answer list
+(** Route a mixed workload through the pool: queries are dealt to
+    executors in contiguous chunks, each executed left-to-right under a
+    private sheaf, and the answers returned {e in request order} —
+    again independent of the job count. *)
+
+val stats : t -> Storage.Stats.summary
+(** Cumulative merged accounting over everything the server executed. *)
+
+val shutdown : t -> unit
+(** Join the worker domains; the server remains usable inline. *)

@@ -1,0 +1,33 @@
+type spec = {
+  sp_path : Gom.Path.t;
+  sp_kind : Core.Extension.kind;
+  sp_decomposition : Core.Decomposition.t;
+}
+
+type t = {
+  epoch : int;
+  store : Gom.Store.t;
+  heap : Storage.Heap.t;
+  engine : Engine.t;
+  indexes : Core.Asr.t list;
+}
+
+let capture ?(sizes = fun _ -> 100) ~specs base =
+  let store = Gom.Store.copy base in
+  let heap = Storage.Heap.create ~size_of:sizes store in
+  let engine = Engine.create ~sizes (Core.Exec.make store heap) in
+  let indexes =
+    List.map
+      (fun sp ->
+        let index = Core.Asr.create store sp.sp_path sp.sp_kind sp.sp_decomposition in
+        Engine.register engine index;
+        index)
+      specs
+  in
+  { epoch = Gom.Store.epoch store; store; heap; engine; indexes }
+
+let epoch t = t.epoch
+let store t = t.store
+let engine t = t.engine
+let indexes t = t.indexes
+let env t = Core.Exec.make t.store t.heap

@@ -1,0 +1,51 @@
+(** Immutable epoch snapshots of an object base, ready to serve queries
+    from many domains at once.
+
+    A snapshot is a deep {!Gom.Store.copy} of the base taken at one
+    {!Gom.Store.epoch}, together with freshly materialised access
+    support relations (rebuilt from their specs against the copy), a
+    type-clustered heap layout, and one shared {!Engine.t} whose
+    internal lock makes its plan cache safe to hit from every worker —
+    plans chosen for the epoch are reused across the whole pool.
+
+    Nothing ever mutates a published snapshot, which is the entire
+    concurrency argument: frozen hash tables and B+ trees are safe to
+    read from any number of domains.  The one per-domain ingredient is
+    the accounting environment — call {!env} once per domain (or per
+    task) and merge the {!Storage.Stats} sheaves afterwards. *)
+
+type spec = {
+  sp_path : Gom.Path.t;
+  sp_kind : Core.Extension.kind;
+  sp_decomposition : Core.Decomposition.t;
+}
+(** What it takes to rebuild one access support relation on a fresh
+    copy: the path expression, the extension and the decomposition
+    (paper, sections 3-4). *)
+
+type t
+
+val capture :
+  ?sizes:(Gom.Schema.type_name -> int) -> specs:spec list -> Gom.Store.t -> t
+(** Freeze the base as it stands: copy it, lay out a heap ([sizes]
+    defaulting to 100 bytes per object, matching {!Engine.create}),
+    rebuild every spec'd index over the copy and register it with a
+    fresh engine.  The caller must guarantee the base is not mutated
+    {e during} the capture — the server takes it under the writer
+    lock. *)
+
+val epoch : t -> int
+(** The {!Gom.Store.epoch} of the base at capture time. *)
+
+val store : t -> Gom.Store.t
+(** The frozen copy.  Mutating it voids the snapshot's guarantees. *)
+
+val engine : t -> Engine.t
+(** The shared, lock-guarded engine over the copy. *)
+
+val indexes : t -> Core.Asr.t list
+
+val env : t -> Core.Exec.env
+(** A fresh accounting environment over the snapshot (same store and
+    heap, private cold {!Storage.Stats.t}) — one per domain, so page
+    counting never races. *)

@@ -129,6 +129,40 @@ let snapshot t =
     s_retries = t.retries;
   }
 
+let zero =
+  {
+    s_op_reads = 0;
+    s_op_writes = 0;
+    s_total_reads = 0;
+    s_total_writes = 0;
+    s_buffer_hits = 0;
+    s_buffer_capacity = 0;
+    s_scrubs = 0;
+    s_fallbacks = 0;
+    s_retries = 0;
+  }
+
+let merge a b =
+  {
+    s_op_reads = a.s_op_reads + b.s_op_reads;
+    s_op_writes = a.s_op_writes + b.s_op_writes;
+    s_total_reads = a.s_total_reads + b.s_total_reads;
+    s_total_writes = a.s_total_writes + b.s_total_writes;
+    s_buffer_hits = a.s_buffer_hits + b.s_buffer_hits;
+    s_buffer_capacity = max a.s_buffer_capacity b.s_buffer_capacity;
+    s_scrubs = a.s_scrubs + b.s_scrubs;
+    s_fallbacks = a.s_fallbacks + b.s_fallbacks;
+    s_retries = a.s_retries + b.s_retries;
+  }
+
+let absorb t s =
+  t.total_reads <- t.total_reads + s.s_total_reads;
+  t.total_writes <- t.total_writes + s.s_total_writes;
+  t.hits <- t.hits + s.s_buffer_hits;
+  t.scrubs <- t.scrubs + s.s_scrubs;
+  t.fallbacks <- t.fallbacks + s.s_fallbacks;
+  t.retries <- t.retries + s.s_retries
+
 let summary_to_json ?(extra = []) s =
   let fields =
     [

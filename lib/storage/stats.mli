@@ -95,6 +95,24 @@ type summary = {
 
 val snapshot : t -> summary
 
+val merge : summary -> summary -> summary
+(** Field-wise sum of two summaries ([s_buffer_capacity] takes the
+    maximum).  Associative and commutative with {!zero} as unit, so
+    per-domain accounting sheaves merge into one snapshot in any order
+    — the parallel server's workers each count pages privately and the
+    merged summary equals what one sequential accountant would have
+    counted.  Distinct-page suppression stays {e per sheaf}: two
+    domains touching the same page within their own operations each
+    count it once. *)
+
+val zero : summary
+(** The all-zero summary, {!merge}'s unit. *)
+
+val absorb : t -> summary -> unit
+(** Fold a (worker sheaf) summary into this accountant's {e cumulative}
+    counters: totals, buffer hits and integrity counters are added;
+    the per-operation counters and the buffer pool are untouched. *)
+
 val summary_to_json : ?extra:(string * string) list -> summary -> string
 (** One-line JSON object over the summary's counters.  [extra] fields
     are appended verbatim — each value must already be a JSON fragment

@@ -192,5 +192,5 @@ let suite =
     Alcotest.test_case "scan page accounting" `Quick test_scan_page_accounting;
     Alcotest.test_case "insert page accounting" `Quick test_insert_page_accounting;
     Alcotest.test_case "backward clustering" `Quick test_backward_clustering;
-    QCheck_alcotest.to_alcotest prop_random_ops;
+    Qc.to_alcotest prop_random_ops;
   ]

@@ -158,6 +158,6 @@ let suite =
     Alcotest.test_case "k-subset variants" `Quick test_k_variants;
     Alcotest.test_case "probability bounds" `Quick test_bounds;
     Alcotest.test_case "Yao exact cases" `Quick test_yao_exact_cases;
-    QCheck_alcotest.to_alcotest prop_yao_matches_naive;
-    QCheck_alcotest.to_alcotest prop_yao_monotone_k;
+    Qc.to_alcotest prop_yao_matches_naive;
+    Qc.to_alcotest prop_yao_monotone_k;
   ]

@@ -127,6 +127,6 @@ let suite =
     Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
     Alcotest.test_case "company projections" `Quick test_project_company;
     Alcotest.test_case "losslessness on the paper base" `Quick test_lossless_company_all;
-    QCheck_alcotest.to_alcotest prop_lossless;
-    QCheck_alcotest.to_alcotest prop_contiguous;
+    Qc.to_alcotest prop_lossless;
+    Qc.to_alcotest prop_contiguous;
   ]

@@ -275,8 +275,8 @@ let test_explain () =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_engine_agrees_oracle;
-    QCheck_alcotest.to_alcotest prop_batch_agrees_oracle;
+    Qc.to_alcotest prop_engine_agrees_oracle;
+    Qc.to_alcotest prop_batch_agrees_oracle;
     Alcotest.test_case "plan cache hits" `Quick test_plan_cache_hits;
     Alcotest.test_case "plan cache invalidation" `Quick test_plan_cache_invalidation;
     Alcotest.test_case "foreign index rejected" `Quick test_register_other_store_rejected;

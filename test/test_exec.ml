@@ -245,8 +245,8 @@ let suite =
     Alcotest.test_case "partial ranges" `Quick test_forward_partial_range;
     Alcotest.test_case "supported agrees (company, exhaustive)" `Quick
       test_supported_agrees_company;
-    QCheck_alcotest.to_alcotest prop_supported_agrees;
-    QCheck_alcotest.to_alcotest prop_forward_backward_dual;
+    Qc.to_alcotest prop_supported_agrees;
+    Qc.to_alcotest prop_forward_backward_dual;
     Alcotest.test_case "supported cheaper than scan" `Quick test_supported_cheaper;
     Alcotest.test_case "eq. 35 dispatch" `Quick test_dispatch;
   ]

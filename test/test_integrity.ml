@@ -627,5 +627,5 @@ let suite =
       crash_sweep_repair;
     Alcotest.test_case "stats: integrity counters in the JSON summary" `Quick
       counters_in_json_summary;
-    QCheck_alcotest.to_alcotest prop_corrupt_quarantine_repair;
+    Qc.to_alcotest prop_corrupt_quarantine_repair;
   ]

@@ -28,4 +28,5 @@ let () =
       ("gql", Test_gql.suite);
       ("costmodel", Test_costmodel.suite);
       ("cost-queries", Test_cost_queries.suite);
+      ("parallel", Test_parallel.suite);
     ]

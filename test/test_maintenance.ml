@@ -290,5 +290,5 @@ let suite =
     Alcotest.test_case "several ASRs, one store" `Quick test_multiple_asrs_one_store;
     Alcotest.test_case "distinct paths, one store" `Quick test_distinct_paths_one_store;
     Alcotest.test_case "maintenance charges pages" `Quick test_maintenance_charges_pages;
-    QCheck_alcotest.to_alcotest prop_incremental_equals_scratch;
+    Qc.to_alcotest prop_incremental_equals_scratch;
   ]

@@ -232,6 +232,6 @@ let suite =
     Alcotest.test_case "truncation fuzz: cut at every byte" `Quick test_truncation_fuzz;
     Alcotest.test_case "corrupt messages carry byte offsets" `Quick test_corrupt_messages_located;
     Alcotest.test_case "generated base roundtrip" `Quick test_generated_roundtrip;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Qc.to_alcotest prop_roundtrip;
     Alcotest.test_case "save/load file" `Quick test_save_load_file;
   ]

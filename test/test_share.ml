@@ -270,7 +270,7 @@ let prop_pooled_maintenance =
 let suite =
   [
     Alcotest.test_case "segment keys" `Quick test_segment_keys;
-    QCheck_alcotest.to_alcotest prop_pooled_maintenance;
+    Qc.to_alcotest prop_pooled_maintenance;
     Alcotest.test_case "pool reuses partitions" `Quick test_pool_reuses_partition;
     Alcotest.test_case "shared lookups correct" `Quick test_shared_lookup_correct;
     Alcotest.test_case "sharing saves pages" `Quick test_pool_saves_pages;

@@ -71,5 +71,5 @@ let suite =
     Alcotest.test_case "compare across constructors" `Quick test_compare_across_constructors;
     Alcotest.test_case "oid extraction" `Quick test_oid_extraction;
     Alcotest.test_case "pretty printing" `Quick test_pp;
-    QCheck_alcotest.to_alcotest compare_total;
+    Qc.to_alcotest compare_total;
   ]
