@@ -430,6 +430,136 @@ let bench_parallel ~quick () =
     Format.printf "  written       : %s@." file
   with Sys_error e -> Format.printf "  (could not write %s: %s)@." file e
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: deferred batched maintenance (BENCH_maintenance_batch)      *)
+(* ------------------------------------------------------------------ *)
+
+(* The write-path headline: pages written per store event under
+   immediate maintenance vs deferred delta buffers drained by batched
+   one-pass flushes.  The workload is update-heavy membership churn —
+   mostly transient insert/remove rotations (which annihilate in the
+   buffers before ever touching a page) plus a fraction of lasting
+   toggles (net deltas that the flush applies in one shared descent per
+   tree).  Both runs replay the identical deterministic event sequence;
+   the batched run pays for its final flush before the clock stops. *)
+let bench_maintenance_batch ~quick () =
+  let spec =
+    if quick then
+      Workload.Generator.spec ~seed:13
+        ~counts:[ 100; 200; 400; 800 ]
+        ~defined:[ 90; 180; 360 ] ~fan:[ 2; 2; 2 ] ()
+    else
+      Workload.Generator.spec ~seed:13
+        ~counts:[ 400; 800; 1600; 3200 ]
+        ~defined:[ 370; 730; 1450 ] ~fan:[ 2; 2; 2 ] ()
+  in
+  let events_target = if quick then 600 else 3000 in
+  let run policy =
+    let store, path = Workload.Generator.build spec in
+    let heap = Storage.Heap.create ~size_of:(Workload.Generator.size_of spec) store in
+    let env = Core.Exec.make store heap in
+    let stats = env.Core.Exec.stats in
+    let m = Gom.Path.arity path - 1 in
+    let a =
+      Core.Asr.create store path Core.Extension.Full (Core.Decomposition.binary ~m)
+    in
+    let mgr = Core.Maintenance.create env in
+    Core.Maintenance.register mgr a;
+    Core.Maintenance.set_policy mgr policy;
+    let sources = Array.of_list (Gom.Store.extent store "T0") in
+    let movers = Array.of_list (Gom.Store.extent store "T1") in
+    let lasting = Hashtbl.create 64 in
+    let w0 = (Storage.Stats.snapshot stats).Storage.Stats.s_total_writes in
+    let t0 = Unix.gettimeofday () in
+    let events = ref 0 in
+    let i = ref 0 in
+    while !events < events_target do
+      let src = sources.(!i mod Array.length sources) in
+      let tgt = movers.(!i mod Array.length movers) in
+      (match Gom.Store.get_attr store src "A1" with
+      | Gom.Value.Ref set ->
+        if !i mod 8 = 7 then begin
+          (* Lasting toggle: a net membership change that must reach
+             the partition trees (eventually). *)
+          let key = (set, tgt) in
+          if Hashtbl.mem lasting key then begin
+            Hashtbl.remove lasting key;
+            Gom.Store.remove_elem store set (Gom.Value.Ref tgt)
+          end
+          else begin
+            Hashtbl.replace lasting key ();
+            Gom.Store.insert_elem store set (Gom.Value.Ref tgt)
+          end;
+          incr events
+        end
+        else if not (Hashtbl.mem lasting (set, tgt)) then begin
+          (* Transient rotation: inserted and removed again — under a
+             deferred policy the pair annihilates in the buffer. *)
+          Gom.Store.insert_elem store set (Gom.Value.Ref tgt);
+          Gom.Store.remove_elem store set (Gom.Value.Ref tgt);
+          events := !events + 2
+        end
+      | _ -> ());
+      incr i
+    done;
+    ignore (Core.Maintenance.flush_all mgr);
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = Storage.Stats.snapshot stats in
+    (!events, s.Storage.Stats.s_total_writes - w0, dt, s)
+  in
+  let series =
+    List.map
+      (fun p -> (p, run p))
+      [
+        Core.Maintenance.Immediate;
+        Core.Maintenance.Every_k_events 64;
+        Core.Maintenance.On_query;
+      ]
+  in
+  let per_event (events, writes, _, _) =
+    float_of_int writes /. Float.max 1. (float_of_int events)
+  in
+  let _, immediate = List.hd series in
+  Format.printf "deferred batched maintenance: update-heavy churn, %d event(s)@."
+    (match immediate with e, _, _, _ -> e);
+  Format.printf "  %-12s %14s %16s %10s %12s@." "policy" "pages written"
+    "pages/event" "elapsed" "events/s";
+  let rows =
+    List.map
+      (fun (p, ((events, writes, dt, s) as r)) ->
+        let name = Core.Maintenance.policy_to_string p in
+        let eps = float_of_int events /. Float.max dt 1e-9 in
+        Format.printf "  %-12s %14d %16.3f %9.3fs %12.1f@." name writes
+          (per_event r) dt eps;
+        Printf.sprintf
+          {|{"policy": %S, "events": %d, "pages_written": %d, "pages_per_event": %.4f, "elapsed_s": %.6f, "events_per_s": %.1f, "deltas_buffered": %d, "deltas_merged": %d, "deltas_annihilated": %d, "deltas_flushed": %d}|}
+          name events writes (per_event r) dt eps
+          s.Storage.Stats.s_deltas_buffered s.Storage.Stats.s_deltas_merged
+          s.Storage.Stats.s_deltas_annihilated s.Storage.Stats.s_deltas_flushed)
+      series
+  in
+  let _, batched = List.nth series 1 in
+  let ratio = per_event immediate /. Float.max 1e-9 (per_event batched) in
+  Format.printf "  immediate/batched pages-per-event ratio: %.2fx@." ratio;
+  let json =
+    Printf.sprintf
+      {|{"bench": "maintenance-batch", "quick": %b, "events": %d, "ratio_pages_per_event": %.3f, "series": [%s]}|}
+      quick
+      (match immediate with e, _, _, _ -> e)
+      ratio
+      (String.concat ", " rows)
+  in
+  let file = "BENCH_maintenance_batch.json" in
+  (try
+     let oc = open_out file in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (json ^ "\n"));
+     Format.printf "  written       : %s@." file
+   with Sys_error e -> Format.printf "  (could not write %s: %s)@." file e);
+  if ratio < 3.0 then
+    Format.printf "  WARNING: batched flush below the 3x page-savings target@."
+
 let run_benchmarks tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
@@ -461,7 +591,12 @@ let run_benchmarks tests =
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let parallel = Array.exists (String.equal "--parallel") Sys.argv in
-  if parallel then begin
+  let maintenance = Array.exists (String.equal "--maintenance-batch") Sys.argv in
+  if maintenance then begin
+    Format.printf "=== maintenance mode: deferred batched maintenance benchmark ===@.@.";
+    bench_maintenance_batch ~quick ()
+  end
+  else if parallel then begin
     Format.printf "=== parallel mode: snapshot-serving scaling benchmark ===@.@.";
     bench_parallel ~quick ()
   end
@@ -479,6 +614,10 @@ let () =
     Format.printf " Parallel snapshot serving@.";
     Format.printf "===============================================================@.@.";
     bench_parallel ~quick:false ();
+    Format.printf "@.===============================================================@.";
+    Format.printf " Deferred batched maintenance@.";
+    Format.printf "===============================================================@.@.";
+    bench_maintenance_batch ~quick:false ();
     Format.printf "@.===============================================================@.";
     Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
     Format.printf "===============================================================@.@.";

@@ -144,6 +144,26 @@ let parse_index store path spec =
   in
   Core.Asr.create store path kind dec
 
+let parse_flush_policy s =
+  match Core.Maintenance.policy_of_string s with
+  | Some p -> p
+  | None ->
+    exit_usage
+      (Printf.sprintf
+         "bad flush policy %S (want immediate, every:K, bytes:N or onquery)" s)
+
+(* Wire a maintenance manager over the engine's registered indexes when
+   a deferred flush policy was requested; [None] keeps the pre-deferred
+   behaviour (no manager, relations frozen as built). *)
+let wire_maintenance engine = function
+  | None -> None
+  | Some s ->
+    let p = parse_flush_policy s in
+    let m = Core.Maintenance.create (Engine.env engine) in
+    List.iter (Core.Maintenance.register m) (Engine.indexes engine);
+    Core.Maintenance.set_policy m p;
+    Some m
+
 let dump_cmd base file =
   let store, _, _ = make_env base in
   Gom.Serial.save store file;
@@ -199,8 +219,9 @@ let stats_json engine =
       ]
     (Storage.Stats.snapshot env.Core.Exec.stats)
 
-let query_cmd base file path_spec index_spec batch jobs texts =
+let query_cmd base file path_spec index_spec flush_policy batch jobs texts =
   let store, engine = make_engine base file path_spec index_spec in
+  let maintenance = wire_maintenance engine flush_policy in
   let jobs = max 1 jobs in
   (* Parse/type errors are usage errors: surface them before any worker
      domain starts, so a typo exits 2 cleanly instead of mid-fan-out. *)
@@ -258,6 +279,12 @@ let query_cmd base file path_spec index_spec batch jobs texts =
           r.Gql.Eval.rows
       end)
     results;
+  (match maintenance with
+  | Some m ->
+    Format.printf "maintenance: %s policy, %d pending delta(s)@."
+      (Core.Maintenance.policy_to_string (Core.Maintenance.policy m))
+      (Core.Maintenance.pending m)
+  | None -> ());
   if batch then begin
     print_cache_line engine;
     print_endline (stats_json engine)
@@ -325,7 +352,7 @@ let parse_workload store env path file =
         Parallel.Server.Backward { q_path = path; q_i = i; q_j = j; q_targets = targets })
     !lines
 
-let serve_cmd base file path_spec index_spec jobs workload repeat =
+let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat =
   let jobs = max 1 jobs in
   let store, env, index_path =
     match file with
@@ -348,22 +375,37 @@ let serve_cmd base file path_spec index_spec jobs workload repeat =
       | Some p -> p
       | None -> exit_usage "--path is required for a file base")
   in
-  let specs =
+  let live_indexes =
     match index_spec with
     | None -> []
-    | Some spec ->
-      let a = parse_index store path spec in
-      [
+    | Some spec -> [ parse_index store path spec ]
+  in
+  let specs =
+    List.map
+      (fun a ->
         {
           Parallel.Snapshot.sp_path = Core.Asr.path a;
           sp_kind = Core.Asr.kind a;
           sp_decomposition = Core.Asr.decomposition a;
-        };
-      ]
+        })
+      live_indexes
+  in
+  (* Under a deferred policy the live base's relations buffer their tree
+     writes; the server flushes them before every snapshot publication,
+     so served epochs stay delta-free. *)
+  let maintenance =
+    match flush_policy with
+    | None -> None
+    | Some s ->
+      let p = parse_flush_policy s in
+      let m = Core.Maintenance.create env in
+      List.iter (Core.Maintenance.register m) live_indexes;
+      Core.Maintenance.set_policy m p;
+      Some m
   in
   let queries = parse_workload store env path workload in
   if queries = [] then exit_usage (Printf.sprintf "workload %s is empty" workload);
-  let server = Parallel.Server.create ~jobs ~specs store in
+  let server = Parallel.Server.create ~jobs ?maintenance ~specs store in
   let t0 = Unix.gettimeofday () in
   let answers = ref [] in
   for _ = 1 to max 1 repeat do
@@ -561,6 +603,9 @@ let print_recovery (r : Durability.Db.report) =
     Format.printf "  torn/uncommitted tail truncated: %d bytes@."
       r.Durability.Db.bytes_truncated;
   Format.printf "  committed transactions replayed: %d@." r.Durability.Db.commits_replayed;
+  if r.Durability.Db.flushes_replayed > 0 then
+    Format.printf "  maintenance flush groups replayed: %d@."
+      r.Durability.Db.flushes_replayed;
   List.iter
     (fun (spec, ok) ->
       Format.printf "  asr %-40s %s@." spec
@@ -573,7 +618,17 @@ let db_status db =
   Format.printf "generation: %d@." (Durability.Db.generation db);
   Format.printf "objects:    %d@."
     (Gom.Store.fold_objects store ~init:0 ~f:(fun acc _ -> acc + 1));
-  Format.printf "asrs:       %d@." (List.length (Durability.Db.asrs db))
+  Format.printf "asrs:       %d@." (List.length (Durability.Db.asrs db));
+  let mgr = Durability.Db.maintenance db in
+  Format.printf "flush:      %s policy, %d pending delta(s)@."
+    (Core.Maintenance.policy_to_string (Core.Maintenance.policy mgr))
+    (Core.Maintenance.pending mgr);
+  List.iter
+    (fun a ->
+      Format.printf "  %-40s %d pending delta(s)@."
+        (Gom.Path.to_string (Core.Asr.path a))
+        (Core.Asr.pending_deltas a))
+    (Durability.Db.asrs db)
 
 let with_db dir f =
   match Durability.Db.open_ ~dir () with
@@ -651,6 +706,21 @@ let db_append_cmd dir ops =
       | Ok () -> Format.printf "committed %d operation(s)@." (List.length ops)
       | Error (Gom.Store.Type_error m) -> exit_data ("type error (rolled back): " ^ m)
       | Error e -> exit_data ("operation failed (rolled back): " ^ Printexc.to_string e));
+      0)
+
+let db_flush_cmd dir policy_s =
+  with_db dir (fun db ->
+      (match policy_s with
+      | Some s -> Durability.Db.set_flush_policy db (parse_flush_policy s)
+      | None -> ());
+      let n = Durability.Db.flush_maintenance db in
+      Format.printf "flushed %d net delta(s) (%s policy)@." n
+        (Core.Maintenance.policy_to_string (Durability.Db.flush_policy db));
+      0)
+
+let db_status_cmd dir =
+  with_db dir (fun db ->
+      db_status db;
       0)
 
 let db_checkpoint_cmd dir =
@@ -800,6 +870,15 @@ let advise_t =
   in
   Term.(const advise_cmd $ profile $ p_up $ queries $ updates $ top)
 
+let flush_policy_arg =
+  Arg.(value & opt (some string) None & info [ "flush-policy" ] ~docv:"POLICY"
+         ~doc:"Deferred index maintenance: buffer tree writes as deltas and \
+               apply them in batched one-pass flushes.  $(docv) is \
+               $(b,immediate), $(b,every:K) (flush each K store events), \
+               $(b,bytes:N) (flush at N buffered bytes) or $(b,onquery) \
+               (only the engine's freshness watermark catches up).  Answers \
+               are exact under every policy.")
+
 let query_t =
   let base =
     Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
@@ -835,7 +914,9 @@ let query_t =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
            ~doc:"GOM-SQL text; repeatable.")
   in
-  Term.(const query_cmd $ base $ file $ path $ index $ batch $ jobs $ texts)
+  Term.(
+    const query_cmd $ base $ file $ path $ index $ flush_policy_arg $ batch $ jobs
+    $ texts)
 
 let serve_t =
   let base =
@@ -870,7 +951,9 @@ let serve_t =
                  $(b,bw I J K) — evaluate Q^(I,J) over the first K extent \
                  members.  $(b,#) comments and blank lines are skipped.")
   in
-  Term.(const serve_cmd $ base $ file $ path $ index $ jobs $ workload $ repeat)
+  Term.(
+    const serve_cmd $ base $ file $ path $ index $ flush_policy_arg $ jobs
+    $ workload $ repeat)
 
 let explain_t =
   let base =
@@ -970,6 +1053,15 @@ let db_append_t =
   in
   Term.(const db_append_cmd $ db_dir $ ops)
 
+let db_flush_t =
+  let policy =
+    Arg.(value & opt (some string) None & info [ "set-policy" ] ~docv:"POLICY"
+           ~doc:"Switch the maintenance flush policy first: $(b,immediate), \
+                 $(b,every:K), $(b,bytes:N) or $(b,onquery).")
+  in
+  Term.(const db_flush_cmd $ db_dir $ policy)
+
+let db_status_t = Term.(const db_status_cmd $ db_dir)
 let db_checkpoint_t = Term.(const db_checkpoint_cmd $ db_dir)
 let db_recover_t = Term.(const db_recover_cmd $ db_dir)
 
@@ -1029,6 +1121,17 @@ let db_cmd =
         (Cmd.info "append"
            ~doc:"Apply mutations in one write-ahead-logged transaction.")
         db_append_t;
+      Cmd.v
+        (Cmd.info "flush"
+           ~doc:"Drain every registered relation's deferred-maintenance deltas \
+                 into its partition trees, framed in the write-ahead log as one \
+                 atomic flush group.")
+        db_flush_t;
+      Cmd.v
+        (Cmd.info "status"
+           ~doc:"Print the base's generation, object/relation counts, flush \
+                 policy and per-relation pending-delta depth.")
+        db_status_t;
       Cmd.v
         (Cmd.info "checkpoint"
            ~doc:"Snapshot the base atomically and rotate the write-ahead log.")

@@ -6,7 +6,15 @@ type trees = {
 
 type part = { lo : int; hi : int; trees : trees }
 
+(* One write-behind buffer per partition: net signed refcount delta per
+   projected tuple, keyed by the tuple's serialisation.  A delta whose
+   net reaches zero annihilates — the insert/delete pair never touches a
+   page.  One buffer serves both redundant trees of the partition (they
+   hold the same projection multiset). *)
+type buffer = (string, Relation.Tuple.t * int) Hashtbl.t
+
 type t = {
+  id : int;  (* process-unique identity, usable as a hash key *)
   store : Gom.Store.t;
   path : Gom.Path.t;
   kind : Extension.kind;
@@ -15,7 +23,12 @@ type t = {
   pager : Storage.Pager.t;
   mutable extension : Relation.t;
   parts : part array;
+  mutable deferred : bool;
+  pending : buffer array;  (* same length as [parts] *)
+  mutable pending_total : int;  (* net deltas across all buffers *)
 }
+
+let next_id = ref 0
 
 type pool = {
   pool_store : Gom.Store.t;
@@ -24,6 +37,7 @@ type pool = {
   mutable segments : (string * trees) list;
 }
 
+let id t = t.id
 let store t = t.store
 let path t = t.path
 let kind t = t.kind
@@ -162,7 +176,78 @@ let create ?(config = Storage.Config.default) ?(pager = Storage.Pager.create ())
       { lo; hi; trees }
   in
   let parts = Array.of_list (List.map mk_part (Decomposition.partitions dec)) in
-  { store; path; kind; dec; config; pager; extension; parts }
+  let id = !next_id in
+  incr next_id;
+  {
+    id;
+    store;
+    path;
+    kind;
+    dec;
+    config;
+    pager;
+    extension;
+    parts;
+    deferred = false;
+    pending = Array.init (Array.length parts) (fun _ -> Hashtbl.create 64);
+    pending_total = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deferred maintenance: write-behind delta buffers                    *)
+(* ------------------------------------------------------------------ *)
+
+let deferred t = t.deferred
+let set_deferred t flag = t.deferred <- flag
+let pending_deltas t = t.pending_total
+
+let pending_bytes t =
+  let total = ref 0 in
+  Array.iteri
+    (fun i buf ->
+      let bytes = Storage.Bptree.tuple_bytes t.parts.(i).trees.fwd in
+      total := !total + (Hashtbl.length buf * bytes))
+    t.pending;
+  !total
+
+let buffer_delta ?stats t pi proj d =
+  let buf = t.pending.(pi) in
+  let k = Relation.Tuple.to_string proj in
+  (match stats with Some st -> Storage.Stats.note_delta_buffered st | None -> ());
+  match Hashtbl.find_opt buf k with
+  | None ->
+    Hashtbl.replace buf k (proj, d);
+    t.pending_total <- t.pending_total + 1
+  | Some (_, d0) ->
+    let net = d0 + d in
+    if net = 0 then begin
+      Hashtbl.remove buf k;
+      t.pending_total <- t.pending_total - 1;
+      match stats with Some st -> Storage.Stats.note_delta_annihilated st | None -> ()
+    end
+    else begin
+      Hashtbl.replace buf k (proj, net);
+      match stats with Some st -> Storage.Stats.note_delta_merged st | None -> ()
+    end
+
+let flush ?stats t =
+  let flushed = ref 0 in
+  Array.iteri
+    (fun pi buf ->
+      if Hashtbl.length buf > 0 then begin
+        let deltas = Hashtbl.fold (fun _ pd acc -> pd :: acc) buf [] in
+        Hashtbl.reset buf;
+        flushed := !flushed + List.length deltas;
+        let p = t.parts.(pi) in
+        Storage.Bptree.apply_many ?stats p.trees.fwd deltas;
+        Storage.Bptree.apply_many ?stats p.trees.bwd deltas
+      end)
+    t.pending;
+  t.pending_total <- 0;
+  (match stats with
+  | Some st when !flushed > 0 -> Storage.Stats.note_deltas_flushed st !flushed
+  | _ -> ());
+  !flushed
 
 let remove_projections t tuples =
   Array.iter
@@ -177,7 +262,10 @@ let remove_projections t tuples =
 
 let refresh t =
   (* Retract this relation's contributions (leaving co-sharers intact),
-     then re-add from a fresh computation. *)
+     then re-add from a fresh computation.  Pending deltas must reach
+     the trees first, or the retraction below would decrement tuples the
+     buffers still owe (robbing a co-sharer in a pooled segment). *)
+  ignore (flush t);
   remove_projections t (Relation.to_list t.extension);
   t.extension <- Extension.compute t.store t.path t.kind;
   let tuples = Relation.to_list t.extension in
@@ -206,11 +294,14 @@ let insert_tuple ?stats t tup =
   if Relation.mem t.extension tup then false
   else begin
     t.extension <- Relation.add t.extension tup;
-    Array.iter
-      (fun p ->
+    Array.iteri
+      (fun pi p ->
         let proj = project_tuple tup (p.lo, p.hi) in
-        Storage.Bptree.insert ?stats p.trees.fwd proj;
-        Storage.Bptree.insert ?stats p.trees.bwd proj)
+        if t.deferred then buffer_delta ?stats t pi proj 1
+        else begin
+          Storage.Bptree.insert ?stats p.trees.fwd proj;
+          Storage.Bptree.insert ?stats p.trees.bwd proj
+        end)
       t.parts;
     true
   end
@@ -218,11 +309,14 @@ let insert_tuple ?stats t tup =
 let remove_tuple ?stats t tup =
   if Relation.mem t.extension tup then begin
     t.extension <- Relation.remove t.extension tup;
-    Array.iter
-      (fun p ->
+    Array.iteri
+      (fun pi p ->
         let proj = project_tuple tup (p.lo, p.hi) in
-        Storage.Bptree.remove ?stats p.trees.fwd proj;
-        Storage.Bptree.remove ?stats p.trees.bwd proj)
+        if t.deferred then buffer_delta ?stats t pi proj (-1)
+        else begin
+          Storage.Bptree.remove ?stats p.trees.fwd proj;
+          Storage.Bptree.remove ?stats p.trees.bwd proj
+        end)
       t.parts;
     true
   end
@@ -243,6 +337,11 @@ let find_by_column ?stats t ~col v =
   in
   (match stats with
   | None -> ()
+  | Some st when t.deferred ->
+    (* Deferred mode answers maintenance probes from the write-behind
+       extension — no tree descent happens, so none is charged; this is
+       the read half of the deferred pipeline's page savings. *)
+    ignore st
   | Some st ->
     let pi = partition_index_of_column t col in
     let p = t.parts.(pi) in
@@ -298,6 +397,9 @@ let damage_partition t i ds =
     ds
 
 let patch_partition ?stats t i =
+  (* Reconcile against trees that reflect every buffered delta, or the
+     pending work would read as divergence and later double-apply. *)
+  ignore (flush ?stats t);
   let p = t.parts.(i) in
   let span = (p.lo, p.hi) in
   let shared = p.trees.skey <> None in

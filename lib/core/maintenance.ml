@@ -1,8 +1,40 @@
+type flush_policy =
+  | Immediate
+  | Every_k_events of int
+  | Bytes_threshold of int
+  | On_query
+
+let policy_to_string = function
+  | Immediate -> "immediate"
+  | Every_k_events k -> Printf.sprintf "every:%d" k
+  | Bytes_threshold b -> Printf.sprintf "bytes:%d" b
+  | On_query -> "onquery"
+
+let policy_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
+  | "immediate" -> Some Immediate
+  | "onquery" | "on-query" | "on_query" -> Some On_query
+  | _ ->
+    let parse prefix mk =
+      let pl = String.length prefix in
+      if String.length s > pl && String.equal (String.sub s 0 pl) prefix then
+        match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+        | Some n when n > 0 -> Some (mk n)
+        | _ -> None
+      else None
+    in
+    (match parse "every:" (fun k -> Every_k_events k) with
+    | Some _ as r -> r
+    | None -> parse "bytes:" (fun b -> Bytes_threshold b))
+
 type t = {
   env : Exec.env;
   stats : Storage.Stats.t;
   mutable asrs : Asr.t list;
-  mutable suspended : Asr.t list;
+  suspended : (int, unit) Hashtbl.t;  (* keyed by Asr.id — identity set *)
+  mutable policy : flush_policy;
+  mutable events_since_flush : int;
 }
 
 let asrs t = List.rev t.asrs
@@ -262,29 +294,73 @@ let handle_event t index ev =
              (* An orphan set is not represented in any extension. *)
              List.iter (fun o -> handle_change t index ~i ~obj:o ~targets) os)
 
+(* ------------------------------------------------------------------ *)
+(* Flush policies                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let policy t = t.policy
+
+let flush_asr t index = Asr.flush ~stats:t.stats index
+
+let flush_all t =
+  t.events_since_flush <- 0;
+  List.fold_left (fun acc a -> acc + flush_asr t a) 0 t.asrs
+
+let pending t = List.fold_left (fun acc a -> acc + Asr.pending_deltas a) 0 t.asrs
+
+let pending_bytes t =
+  List.fold_left (fun acc a -> acc + Asr.pending_bytes a) 0 t.asrs
+
+let set_policy t p =
+  t.policy <- p;
+  t.events_since_flush <- 0;
+  let defer = match p with Immediate -> false | _ -> true in
+  List.iter (fun a -> Asr.set_deferred a defer) t.asrs;
+  if not defer then ignore (flush_all t)
+
+(* Threshold check after each store event; runs inside the event's
+   accounting operation, so a flushing event pays for its flush. *)
+let maybe_flush t =
+  match t.policy with
+  | Immediate | On_query -> ()
+  | Every_k_events k ->
+    t.events_since_flush <- t.events_since_flush + 1;
+    if t.events_since_flush >= max 1 k then ignore (flush_all t)
+  | Bytes_threshold b -> if pending_bytes t >= max 1 b then ignore (flush_all t)
+
 let create env =
-  let t = { env; stats = env.Exec.stats; asrs = []; suspended = [] } in
+  let t =
+    {
+      env;
+      stats = env.Exec.stats;
+      asrs = [];
+      suspended = Hashtbl.create 16;
+      policy = Immediate;
+      events_since_flush = 0;
+    }
+  in
   let (_ : Gom.Store.subscription) =
     Gom.Store.subscribe env.Exec.store (fun ev ->
       Storage.Stats.begin_op t.stats;
       List.iter
         (fun index ->
-          if not (List.memq index t.suspended) then handle_event t index ev)
-        (List.rev t.asrs))
+          if not (Hashtbl.mem t.suspended (Asr.id index)) then
+            handle_event t index ev)
+        (List.rev t.asrs);
+      maybe_flush t)
   in
   t
 
 let register t index =
   if not (Asr.store index == t.env.Exec.store) then
     invalid_arg "Maintenance.register: ASR built over a different store";
-  t.asrs <- index :: t.asrs
+  t.asrs <- index :: t.asrs;
+  Asr.set_deferred index (match t.policy with Immediate -> false | _ -> true)
 
-let suspend t index =
-  if not (List.memq index t.suspended) then t.suspended <- index :: t.suspended
+let suspend t index = Hashtbl.replace t.suspended (Asr.id index) ()
 
-let resume t index =
-  t.suspended <- List.filter (fun i -> not (i == index)) t.suspended
+let resume t index = Hashtbl.remove t.suspended (Asr.id index)
 
-let is_suspended t index = List.memq index t.suspended
+let is_suspended t index = Hashtbl.mem t.suspended (Asr.id index)
 
 let apply_event t index ev = handle_event t index ev

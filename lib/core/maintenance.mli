@@ -26,12 +26,58 @@
 
 type t
 
+(** {2 Flush policies}
+
+    The manager keeps every registered ASR's {e logical} extension
+    exact on every event; what a policy controls is when the physical
+    partition trees catch up:
+
+    - [Immediate] — classic write-through: every event's tree writes
+      happen inline (the pre-deferred behaviour, and the default);
+    - [Every_k_events k] — deltas buffer; the manager flushes after
+      every [k]-th store event;
+    - [Bytes_threshold b] — flush when the buffered volume (in stored
+      tuple bytes) reaches [b];
+    - [On_query] — never flush spontaneously; the query engine's
+      freshness watermark (or an explicit {!flush_all}) catches up. *)
+
+type flush_policy =
+  | Immediate
+  | Every_k_events of int
+  | Bytes_threshold of int
+  | On_query
+
+val policy_to_string : flush_policy -> string
+(** ["immediate"], ["every:K"], ["bytes:N"], ["onquery"]. *)
+
+val policy_of_string : string -> flush_policy option
+(** Inverse of {!policy_to_string} (counts must be positive). *)
+
 val create : Exec.env -> t
-(** Subscribes to the environment's store. *)
+(** Subscribes to the environment's store.  Policy starts [Immediate]. *)
 
 val register : t -> Asr.t -> unit
-(** Add an access support relation to maintain.  The ASR must be built
-    over the same store. *)
+(** Add an access support relation to maintain; it inherits the
+    manager's current flush policy.  The ASR must be built over the
+    same store. *)
+
+val policy : t -> flush_policy
+
+val set_policy : t -> flush_policy -> unit
+(** Switch policies.  Moving to [Immediate] flushes everything pending
+    first, so no deltas are stranded in buffers no event will drain. *)
+
+val flush_all : t -> int
+(** Drain every registered ASR's buffers into its partition trees
+    ({!Asr.flush}); returns the number of net deltas applied. *)
+
+val flush_asr : t -> Asr.t -> int
+(** Drain one ASR's buffers. *)
+
+val pending : t -> int
+(** Net buffered deltas over all registered ASRs. *)
+
+val pending_bytes : t -> int
 
 val asrs : t -> Asr.t list
 

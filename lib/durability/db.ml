@@ -100,6 +100,7 @@ type report = {
   records_dropped : int;
   bytes_truncated : int;
   commits_replayed : int;
+  flushes_replayed : int;
   asr_checks : (string * bool) list;
 }
 
@@ -237,6 +238,11 @@ let open_ ?fault ?(policy = Wal.Sync_on_commit) ~dir () =
       (fun n r -> match r with Wal.Commit -> n + 1 | _ -> n)
       0 committed
   in
+  let flushes =
+    List.fold_left
+      (fun n r -> match r with Wal.Flush _ -> n + 1 | _ -> n)
+      0 committed
+  in
   let checked =
     List.map
       (fun spec ->
@@ -257,6 +263,7 @@ let open_ ?fault ?(policy = Wal.Sync_on_commit) ~dir () =
       records_dropped = List.length scanned.Wal.records - scanned.Wal.committed;
       bytes_truncated = scanned.Wal.total_bytes - scanned.Wal.committed_bytes;
       commits_replayed = commits;
+      flushes_replayed = flushes;
       asr_checks = List.map fst checked;
     }
   in
@@ -288,6 +295,36 @@ let bind_name t name oid =
 let flush t =
   ensure_open t;
   Wal.sync t.wal
+
+let flush_policy t = Core.Maintenance.policy t.mgr
+
+let set_flush_policy t p =
+  ensure_open t;
+  (* Switching to Immediate drains the buffers inside the manager; that
+     drain deserves its own WAL frame too, so count first. *)
+  let pending = Core.Maintenance.pending t.mgr in
+  if pending > 0 && p = Core.Maintenance.Immediate then begin
+    Wal.append t.wal Wal.Begin;
+    Core.Maintenance.set_policy t.mgr p;
+    Wal.append t.wal (Wal.Flush pending);
+    Wal.append t.wal Wal.Commit
+  end
+  else Core.Maintenance.set_policy t.mgr p
+
+let flush_maintenance t =
+  ensure_open t;
+  let pending = Core.Maintenance.pending t.mgr in
+  if pending = 0 then 0
+  else begin
+    (* One WAL group frames the whole flush: recovery either replays the
+       closed group (a counted no-op — the trees are rebuilt from the
+       manifest anyway) or truncates the open one, never half of it. *)
+    Wal.append t.wal Wal.Begin;
+    let n = Core.Maintenance.flush_all t.mgr in
+    Wal.append t.wal (Wal.Flush n);
+    Wal.append t.wal Wal.Commit;
+    n
+  end
 
 let checkpoint t =
   ensure_open t;

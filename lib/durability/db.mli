@@ -56,6 +56,10 @@ type report = {
   records_dropped : int;  (** intact but uncommitted, truncated away *)
   bytes_truncated : int;  (** physical bytes chopped off the log *)
   commits_replayed : int;  (** commit markers in the replayed prefix *)
+  flushes_replayed : int;
+      (** maintenance flush barriers ({!Wal.record.Flush}) in the
+          replayed prefix — each one a flush group that survived whole;
+          a mid-flush crash truncates its open group instead *)
   asr_checks : (string * bool) list;
       (** registered ASR spec, and whether the rebuilt relation equals a
           from-scratch computation over the recovered base *)
@@ -104,6 +108,23 @@ val bind_name : t -> string -> Gom.Oid.t -> unit
 
 val flush : t -> unit
 (** Explicit log barrier. *)
+
+val flush_policy : t -> Core.Maintenance.flush_policy
+
+val set_flush_policy : t -> Core.Maintenance.flush_policy -> unit
+(** Switch the maintenance manager's flush policy
+    ({!Core.Maintenance.set_policy}).  Switching to [Immediate] drains
+    every pending delta first; that drain is framed in the log as one
+    flush group, like {!flush_maintenance}. *)
+
+val flush_maintenance : t -> int
+(** Drain every registered ASR's deferred-maintenance buffers into
+    their partition trees, framed in the write-ahead log as one
+    [begin] / [flush n] / [commit] group so crash recovery replays or
+    drops the flush atomically (replay is a store-level no-op — the
+    trees are rebuilt from the manifest).  Returns the number of net
+    deltas applied; 0 pending appends nothing.  Must not be called
+    inside an open store transaction (the group framing would nest). *)
 
 val checkpoint : t -> unit
 (** Write a new atomic snapshot as generation [g+1], rotate to a fresh

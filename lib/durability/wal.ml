@@ -10,6 +10,7 @@ type record =
   | Remove of Gom.Oid.t * Gom.Value.t
   | Delete of Gom.Oid.t * Gom.Schema.type_name
   | Bind of string * Gom.Oid.t
+  | Flush of int
 
 let record_of_event store : Gom.Store.event -> record = function
   | Gom.Store.Created oid -> Create (oid, Gom.Store.type_of store oid)
@@ -33,6 +34,7 @@ let payload_of_record = function
     Printf.sprintf "rem %d %s" (Gom.Oid.to_int o) (Gom.Serial.value_to_string v)
   | Delete (o, ty) -> Printf.sprintf "del %d %s" (Gom.Oid.to_int o) ty
   | Bind (name, o) -> Printf.sprintf "name %S %d" name (Gom.Oid.to_int o)
+  | Flush n -> Printf.sprintf "flush %d" n
 
 (* Tokenise the first [count] space-separated fields, keeping the
    remainder verbatim (string payloads may contain spaces). *)
@@ -84,6 +86,10 @@ let record_of_payload ~recno s =
     | Some [ "name"; _ ] -> (
       try Scanf.sscanf s "name %S %d%!" (fun n o -> Some (Bind (n, Gom.Oid.of_int o)))
       with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+    | Some [ "flush"; rest ] -> (
+      match int_of_string_opt rest with
+      | Some n when n >= 0 -> Some (Flush n)
+      | _ -> None)
     | _ -> None)
 
 (* ---------------- appending ---------------- *)
@@ -193,6 +199,12 @@ let replay store records =
       in
       match record with
       | Begin | Commit | Abort -> ()
+      | Flush _ ->
+        (* Maintenance flush barrier: the store carries no trace of it —
+           recovery rebuilds every access support relation from scratch,
+           so a replayed flush group is a (counted) no-op and a dropped
+           one loses nothing. *)
+        ()
       | Create (o, ty) -> apply (fun () -> Gom.Store.restore_object store o ty)
       | Set (o, a, v) -> apply (fun () -> Gom.Store.set_attr store o a v)
       | Insert (o, v) -> apply (fun () -> Gom.Store.insert_elem store o v)

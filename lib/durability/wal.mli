@@ -22,6 +22,8 @@
                                nullifications precede it as [set]/[rem]
                                records)
     name "OurRobots" 5         persistent root bound
+    flush 12                   deferred-maintenance flush barrier
+                               (12 net deltas applied)
     v}
 
     A record is {e committed} when it lies outside any
@@ -49,6 +51,14 @@ type record =
   | Remove of Gom.Oid.t * Gom.Value.t
   | Delete of Gom.Oid.t * Gom.Schema.type_name
   | Bind of string * Gom.Oid.t
+  | Flush of int
+      (** Deferred-maintenance flush barrier carrying the number of net
+          deltas applied; written inside its own [begin]..[commit] group
+          ({v flush <n> v}) so crash recovery replays or drops the whole
+          flush atomically.  Replay is a store-level no-op: access
+          support relations are rebuilt from the manifest on open, so
+          the barrier only marks (and counts) where batched tree catch-up
+          happened in the event stream. *)
 
 val record_of_event : Gom.Store.t -> Gom.Store.event -> record
 (** The loggable image of a store event ([Created] looks the object's

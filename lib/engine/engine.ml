@@ -104,7 +104,16 @@ type t = {
          every registered index is trusted; the integrity registry
          installs a callback so quarantined indexes/partitions are
          priced out and stale plans refuse to run. *)
+  mutable freshness : freshness_mode;
+      (* What planning and execution do with an index whose deferred
+         maintenance buffers hold pending deltas (the freshness
+         watermark).  Catch_up keeps deferred maintenance invisible to
+         answers by flushing on first use; Degrade prices the stale
+         index out and falls back to always-live plans — also exact,
+         since navigation and extent scans never consult the trees. *)
 }
+
+and freshness_mode = Catch_up | Degrade
 
 let with_lock t f = Mutex.protect t.lock f
 
@@ -144,6 +153,32 @@ let clear_health t =
       t.health <- None;
       t.generation <- t.generation + 1)
 
+let freshness t = with_lock t (fun () -> t.freshness)
+
+let set_freshness t mode =
+  with_lock t (fun () ->
+      t.freshness <- mode;
+      t.generation <- t.generation + 1)
+
+(* The freshness watermark: may [a] be stitched through right now?
+   Always true for an index with no pending deltas (the common case is
+   one integer read).  Otherwise Catch_up drains the buffers — charged
+   to the caller's stats, so the first query over a stale index pays the
+   catch-up — and Degrade refuses, which sends the planner or execution
+   guard to navigation / extent scan. *)
+let index_fresh ~env t a =
+  Core.Asr.pending_deltas a = 0
+  ||
+  let stats = env.Core.Exec.stats in
+  match with_lock t (fun () -> t.freshness) with
+  | Catch_up ->
+    ignore (Core.Asr.flush ~stats a);
+    Storage.Stats.note_catchup_flush stats;
+    true
+  | Degrade ->
+    Storage.Stats.note_freshness_degradation stats;
+    false
+
 let create ?(sizes = fun _ -> 100) env =
   let t =
     {
@@ -159,6 +194,7 @@ let create ?(sizes = fun _ -> 100) env =
       invalidations = 0;
       sizes;
       health = None;
+      freshness = Catch_up;
     }
   in
   let (_ : Gom.Store.subscription) =
@@ -461,6 +497,11 @@ let candidates ?env t path ~i ~j ~dir =
             degraded := true;
             None
           end
+          else if not (index_fresh ~env t a) then
+            (* Pending deferred deltas under Degrade: the stale index is
+               priced out (its own counter already recorded it); the
+               always-live plans below stay exact. *)
+            None
           else begin
             let prof_i = if whole ipath off then prof_q else profile t ipath in
             let dec = analytic_decomposition ipath (Core.Asr.decomposition a) in
@@ -529,6 +570,7 @@ let rec run_forward_exn ~env t plan oid =
   | Nav { path; i; j } -> Core.Exec.forward_scan env path ~i ~j oid
   | Stitch { index; i; j; steps; _ } ->
     if not (stitch_usable t index steps) then raise Stale_plan;
+    if not (index_fresh ~env t index) then raise Stale_plan;
     Core.Exec.forward_supported env index ~i ~j oid
   | Extent_scan _ -> invalid_arg "Engine.run_forward: backward plan"
   | Union ps ->
@@ -547,6 +589,7 @@ let rec run_backward_exn ~env t plan ~target =
   | Extent_scan { path; i; j } -> Core.Exec.backward_scan env path ~i ~j ~target
   | Stitch { index; i; j; steps; _ } ->
     if not (stitch_usable t index steps) then raise Stale_plan;
+    if not (index_fresh ~env t index) then raise Stale_plan;
     Core.Exec.backward_supported env index ~i ~j ~target
   | Nav _ -> invalid_arg "Engine.run_backward: forward plan"
   | Union ps ->
@@ -690,6 +733,7 @@ let forward_batch ?env t path ~i ~j oids =
   | Plan.Stitch { index; i = pi; j = pj; steps; _ } -> (
     try
       if not (stitch_usable t index steps) then raise Stale_plan;
+      if not (index_fresh ~env t index) then raise Stale_plan;
       let frontiers = Array.of_list (List.map (fun o -> [ Gom.Value.Ref o ]) probes) in
       let finals = batch_stitch_fwd ~env index ~i:pi ~j:pj frontiers in
       List.mapi (fun k o -> (o, finals.(k))) probes
@@ -712,6 +756,7 @@ let backward_batch ?env t path ~i ~j ~targets =
   | Plan.Stitch { index; i = pi; j = pj; steps; _ } -> (
     try
       if not (stitch_usable t index steps) then raise Stale_plan;
+      if not (index_fresh ~env t index) then raise Stale_plan;
       let frontiers = Array.of_list (List.map (fun v -> [ v ]) probes) in
       let finals = batch_stitch_bwd ~env index ~i:pi ~j:pj frontiers in
       List.mapi

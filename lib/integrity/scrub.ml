@@ -149,6 +149,15 @@ let run ?fault ?sample ?stats index =
   (match sample with
   | Some k when k < 1 -> invalid_arg "Scrub.run: sample must be >= 1"
   | _ -> ());
+  (* Pending deferred-maintenance deltas are scheduled work, not
+     divergence: flush them (a catch-up, counted as such) before
+     auditing, so the comparison sees only genuine corruption. *)
+  if Core.Asr.pending_deltas index > 0 then begin
+    ignore (Core.Asr.flush ?stats index);
+    match stats with
+    | Some st -> Storage.Stats.note_catchup_flush st
+    | None -> ()
+  end;
   let truth =
     Relation.to_list
       (Core.Extension.compute (Core.Asr.store index) (Core.Asr.path index)

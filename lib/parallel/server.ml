@@ -2,6 +2,10 @@ type t = {
   base : Gom.Store.t;
   specs : Snapshot.spec list;
   sizes : Gom.Schema.type_name -> int;
+  maintenance : Core.Maintenance.t option;
+      (* the live base's maintenance manager, when its ASRs run under a
+         deferred flush policy: pending deltas are flushed before any
+         snapshot publication, so published epochs are always delta-free *)
   pool : Pool.t;
   jobs : int;
   writer : Mutex.t;  (* serialises update/refresh and snapshot publication *)
@@ -10,12 +14,13 @@ type t = {
   acc_lock : Mutex.t;
 }
 
-let create ?(jobs = 1) ?(sizes = fun _ -> 100) ~specs base =
+let create ?(jobs = 1) ?(sizes = fun _ -> 100) ?maintenance ~specs base =
   let jobs = max 1 jobs in
   {
     base;
     specs;
     sizes;
+    maintenance;
     pool = Pool.create ~jobs;
     jobs;
     writer = Mutex.create ();
@@ -28,7 +33,17 @@ let jobs t = t.jobs
 let pin t = Atomic.get t.current
 let epoch t = Snapshot.epoch (pin t)
 
-let publish t = Atomic.set t.current (Snapshot.capture ~sizes:t.sizes ~specs:t.specs t.base)
+let publish t =
+  (* Snapshots build their own ASRs from the specs, so they are fresh by
+     construction — but the live base's trees must catch up too, or the
+     writer's deferred work would straddle the epoch boundary and a
+     later policy switch could replay it against a future epoch's
+     expectations. Flushing here keeps "published epoch" synonymous
+     with "no pending deltas anywhere". *)
+  (match t.maintenance with
+  | Some m -> ignore (Core.Maintenance.flush_all m)
+  | None -> ());
+  Atomic.set t.current (Snapshot.capture ~sizes:t.sizes ~specs:t.specs t.base)
 
 let update t f =
   Mutex.protect t.writer (fun () ->

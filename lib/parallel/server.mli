@@ -26,13 +26,18 @@ type t
 val create :
   ?jobs:int ->
   ?sizes:(Gom.Schema.type_name -> int) ->
+  ?maintenance:Core.Maintenance.t ->
   specs:Snapshot.spec list ->
   Gom.Store.t ->
   t
 (** Serve [base] with [max 1 jobs] executor domains (default 1) and the
     given access-support specs, capturing the initial snapshot
     immediately.  The base must not be mutated behind the server's back
-    afterwards — route every write through {!update}. *)
+    afterwards — route every write through {!update}.  With
+    [?maintenance] (the live base's manager, when its relations run
+    under a deferred flush policy), every pending delta is flushed
+    before a snapshot is published, so published epochs are always
+    delta-free. *)
 
 val jobs : t -> int
 

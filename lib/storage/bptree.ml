@@ -457,6 +457,178 @@ let scan ?stats t =
   List.rev !acc
 
 (* ------------------------------------------------------------------ *)
+(* Bulk apply                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The write-side sibling of [lookup_many]: apply many signed refcount
+   deltas in one pass.  Deltas are sorted by (clustering key, tuple) and
+   coalesced, then a single descent finds the first target leaf and the
+   pass rides the leaf chain rightwards — consecutive deltas landing on
+   the same leaf charge its page once per operation, exactly like sorted
+   probes sharing leaves in [lookup_many].  Structural damage (emptied
+   or over-full leaves) is repaired once at the end: over-full leaves
+   split in bulk into fresh pages, emptied leaves are dropped from the
+   chain, and the inner levels are rebuilt bulk-load style. *)
+let apply_many ?stats t deltas =
+  let deltas = List.filter (fun (_, d) -> d <> 0) deltas in
+  let deltas = List.sort (fun (a, _) (b, _) -> cmp_entry t a b) deltas in
+  (* Coalesce deltas on the same tuple; zero nets vanish here. *)
+  let deltas =
+    List.fold_left
+      (fun acc (tup, d) ->
+        match acc with
+        | (pt, pd) :: rest when cmp_entry t pt tup = 0 -> (tup, pd + d) :: rest
+        | _ -> (tup, d) :: acc)
+      [] deltas
+    |> List.rev
+    |> List.filter (fun (_, d) -> d <> 0)
+  in
+  match deltas with
+  | [] -> ()
+  | (first, _) :: _ ->
+    let structural = ref false in
+    (* One root descent for the batch; afterwards the cursor only moves
+       right along the chain.  Whether the next delta still belongs to
+       the current leaf is decided against the next leaf's minimum — the
+       parent separator's knowledge, so peeking costs no page access;
+       only leaves actually applied to are charged. *)
+    let cursor = ref (descend_for_key ?stats t (t.key_of first) t.root) in
+    let rec seek node tup =
+      match node.body with
+      | Inner _ -> node
+      | Leaf l -> (
+        match l.next with
+        | None -> node
+        | Some nx -> (
+          match nx.body with
+          | Leaf { entries = e :: _; _ } when cmp_entry t e.tup tup <= 0 -> seek nx tup
+          | Leaf _ | Inner _ -> node))
+    in
+    let apply_one (tup, d) =
+      cursor := seek !cursor tup;
+      let node = !cursor in
+      match node.body with
+      | Inner _ -> assert false
+      | Leaf l ->
+        read stats node.page;
+        let changed = ref false in
+        let rec go = function
+          | [] ->
+            if d > 0 then begin
+              t.cardinal <- t.cardinal + 1;
+              changed := true;
+              [ { tup; count = d } ]
+            end
+            else []
+          | e :: rest ->
+            let c = cmp_entry t tup e.tup in
+            if c = 0 then begin
+              e.count <- e.count + d;
+              changed := true;
+              if e.count <= 0 then begin
+                t.cardinal <- t.cardinal - 1;
+                rest
+              end
+              else e :: rest
+            end
+            else if c < 0 then
+              if d > 0 then begin
+                t.cardinal <- t.cardinal + 1;
+                changed := true;
+                { tup; count = d } :: e :: rest
+              end
+              else e :: rest
+            else e :: go rest
+        in
+        l.entries <- go l.entries;
+        if !changed then begin
+          write stats node.page;
+          if l.entries = [] || List.length l.entries > t.leaf_cap then structural := true
+        end
+    in
+    List.iter apply_one deltas;
+    if !structural then begin
+      (* Walk the (old) chain once: drop emptied leaves, split over-full
+         ones in bulk — the first chunk keeps its page, the remainder go
+         to fresh pages. *)
+      let rec collect node acc =
+        match node.body with
+        | Inner _ -> List.rev acc
+        | Leaf l ->
+          let nxt = l.next in
+          let acc =
+            if l.entries = [] then acc
+            else if List.length l.entries <= t.leaf_cap then node :: acc
+            else begin
+              match chunk t.leaf_cap l.entries with
+              | [] -> acc
+              | first_chunk :: rest ->
+                l.entries <- first_chunk;
+                write stats node.page;
+                List.fold_left
+                  (fun acc es ->
+                    let n =
+                      {
+                        page = Pager.alloc t.pager;
+                        body = Leaf { entries = es; next = None; prev = None };
+                      }
+                    in
+                    write stats n.page;
+                    n :: acc)
+                  (node :: acc) rest
+            end
+          in
+          (match nxt with Some nx -> collect nx acc | None -> List.rev acc)
+      in
+      let leaves = collect t.first_leaf [] in
+      match leaves with
+      | [] ->
+        let leaf = new_leaf t in
+        write stats leaf.page;
+        t.root <- leaf;
+        t.first_leaf <- leaf
+      | head :: _ ->
+        (match head.body with
+        | Leaf l -> l.prev <- None
+        | Inner _ -> assert false);
+        t.first_leaf <- head;
+        let rec link = function
+          | a :: (b :: _ as rest) ->
+            (match (a.body, b.body) with
+            | Leaf la, Leaf lb ->
+              la.next <- Some b;
+              lb.prev <- Some a
+            | _ -> assert false);
+            link rest
+          | [ last ] -> ( match last.body with Leaf l -> l.next <- None | Inner _ -> ())
+          | [] -> ()
+        in
+        link leaves;
+        let min_of node =
+          match node.body with
+          | Leaf l -> (List.hd l.entries).tup
+          | Inner i -> fst (List.hd i.children)
+        in
+        let rec build level =
+          match level with
+          | [ single ] -> single
+          | _ ->
+            chunk t.inner_cap level
+            |> List.map (fun cs ->
+                   let n =
+                     {
+                       page = Pager.alloc t.pager;
+                       body = Inner { children = List.map (fun c -> (min_of c, c)) cs };
+                     }
+                   in
+                   write stats n.page;
+                   n)
+            |> build
+        in
+        t.root <- build leaves
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Geometry                                                            *)
 (* ------------------------------------------------------------------ *)
 

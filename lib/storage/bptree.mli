@@ -62,6 +62,19 @@ val lookup_many :
     descents and leaf pages.  Returns one [(key, tuples)] pair per
     distinct key, in key order ([tuples] may be empty). *)
 
+val apply_many : ?stats:Stats.t -> t -> (tuple * int) list -> unit
+(** Batched {!insert}/{!remove}: apply many signed reference-count
+    deltas in one shared-descent pass — the write-side sibling of
+    {!lookup_many}.  Deltas are sorted by (clustering key, tuple) and
+    coalesced (zero nets are discarded), then applied left to right
+    riding the leaf chain, so consecutive deltas landing on the same
+    leaf charge its page once per operation.  A positive delta on an
+    absent tuple creates the entry with that count; a negative delta on
+    an absent tuple is ignored (matching {!remove} of an unknown tuple);
+    an entry whose count reaches zero disappears.  Emptied leaves are
+    unlinked and over-full leaves are split in bulk at the end of the
+    pass, rebuilding the inner levels bulk-load style. *)
+
 val mem : t -> tuple -> bool
 
 val refcount : t -> tuple -> int

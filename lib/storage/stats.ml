@@ -15,6 +15,12 @@ type t = {
   mutable scrubs : int;
   mutable fallbacks : int;
   mutable retries : int;
+  mutable deltas_buffered : int;
+  mutable deltas_merged : int;
+  mutable deltas_annihilated : int;
+  mutable deltas_flushed : int;
+  mutable catchup_flushes : int;
+  mutable freshness_degradations : int;
   touched_r : (int, unit) Hashtbl.t;
   touched_w : (int, unit) Hashtbl.t;
   buffer : buffer option;
@@ -30,6 +36,12 @@ let create ?(buffer_capacity = 0) () =
     scrubs = 0;
     fallbacks = 0;
     retries = 0;
+    deltas_buffered = 0;
+    deltas_merged = 0;
+    deltas_annihilated = 0;
+    deltas_flushed = 0;
+    catchup_flushes = 0;
+    freshness_degradations = 0;
     touched_r = Hashtbl.create 256;
     touched_w = Hashtbl.create 64;
     buffer =
@@ -104,6 +116,21 @@ let scrubs t = t.scrubs
 let fallbacks t = t.fallbacks
 let retries t = t.retries
 
+let note_delta_buffered t = t.deltas_buffered <- t.deltas_buffered + 1
+let note_delta_merged t = t.deltas_merged <- t.deltas_merged + 1
+let note_delta_annihilated t = t.deltas_annihilated <- t.deltas_annihilated + 1
+let note_deltas_flushed t n = t.deltas_flushed <- t.deltas_flushed + n
+let note_catchup_flush t = t.catchup_flushes <- t.catchup_flushes + 1
+let note_freshness_degradation t =
+  t.freshness_degradations <- t.freshness_degradations + 1
+
+let deltas_buffered t = t.deltas_buffered
+let deltas_merged t = t.deltas_merged
+let deltas_annihilated t = t.deltas_annihilated
+let deltas_flushed t = t.deltas_flushed
+let catchup_flushes t = t.catchup_flushes
+let freshness_degradations t = t.freshness_degradations
+
 type summary = {
   s_op_reads : int;
   s_op_writes : int;
@@ -114,6 +141,12 @@ type summary = {
   s_scrubs : int;
   s_fallbacks : int;
   s_retries : int;
+  s_deltas_buffered : int;
+  s_deltas_merged : int;
+  s_deltas_annihilated : int;
+  s_deltas_flushed : int;
+  s_catchup_flushes : int;
+  s_freshness_degradations : int;
 }
 
 let snapshot t =
@@ -127,6 +160,12 @@ let snapshot t =
     s_scrubs = t.scrubs;
     s_fallbacks = t.fallbacks;
     s_retries = t.retries;
+    s_deltas_buffered = t.deltas_buffered;
+    s_deltas_merged = t.deltas_merged;
+    s_deltas_annihilated = t.deltas_annihilated;
+    s_deltas_flushed = t.deltas_flushed;
+    s_catchup_flushes = t.catchup_flushes;
+    s_freshness_degradations = t.freshness_degradations;
   }
 
 let zero =
@@ -140,6 +179,12 @@ let zero =
     s_scrubs = 0;
     s_fallbacks = 0;
     s_retries = 0;
+    s_deltas_buffered = 0;
+    s_deltas_merged = 0;
+    s_deltas_annihilated = 0;
+    s_deltas_flushed = 0;
+    s_catchup_flushes = 0;
+    s_freshness_degradations = 0;
   }
 
 let merge a b =
@@ -153,6 +198,12 @@ let merge a b =
     s_scrubs = a.s_scrubs + b.s_scrubs;
     s_fallbacks = a.s_fallbacks + b.s_fallbacks;
     s_retries = a.s_retries + b.s_retries;
+    s_deltas_buffered = a.s_deltas_buffered + b.s_deltas_buffered;
+    s_deltas_merged = a.s_deltas_merged + b.s_deltas_merged;
+    s_deltas_annihilated = a.s_deltas_annihilated + b.s_deltas_annihilated;
+    s_deltas_flushed = a.s_deltas_flushed + b.s_deltas_flushed;
+    s_catchup_flushes = a.s_catchup_flushes + b.s_catchup_flushes;
+    s_freshness_degradations = a.s_freshness_degradations + b.s_freshness_degradations;
   }
 
 let absorb t s =
@@ -161,7 +212,13 @@ let absorb t s =
   t.hits <- t.hits + s.s_buffer_hits;
   t.scrubs <- t.scrubs + s.s_scrubs;
   t.fallbacks <- t.fallbacks + s.s_fallbacks;
-  t.retries <- t.retries + s.s_retries
+  t.retries <- t.retries + s.s_retries;
+  t.deltas_buffered <- t.deltas_buffered + s.s_deltas_buffered;
+  t.deltas_merged <- t.deltas_merged + s.s_deltas_merged;
+  t.deltas_annihilated <- t.deltas_annihilated + s.s_deltas_annihilated;
+  t.deltas_flushed <- t.deltas_flushed + s.s_deltas_flushed;
+  t.catchup_flushes <- t.catchup_flushes + s.s_catchup_flushes;
+  t.freshness_degradations <- t.freshness_degradations + s.s_freshness_degradations
 
 let summary_to_json ?(extra = []) s =
   let fields =
@@ -176,6 +233,12 @@ let summary_to_json ?(extra = []) s =
       ("scrubs", string_of_int s.s_scrubs);
       ("fallbacks", string_of_int s.s_fallbacks);
       ("retries", string_of_int s.s_retries);
+      ("deltas_buffered", string_of_int s.s_deltas_buffered);
+      ("deltas_merged", string_of_int s.s_deltas_merged);
+      ("deltas_annihilated", string_of_int s.s_deltas_annihilated);
+      ("deltas_flushed", string_of_int s.s_deltas_flushed);
+      ("catchup_flushes", string_of_int s.s_catchup_flushes);
+      ("freshness_degradations", string_of_int s.s_freshness_degradations);
     ]
     @ extra
   in
@@ -197,6 +260,12 @@ let reset t =
   t.scrubs <- 0;
   t.fallbacks <- 0;
   t.retries <- 0;
+  t.deltas_buffered <- 0;
+  t.deltas_merged <- 0;
+  t.deltas_annihilated <- 0;
+  t.deltas_flushed <- 0;
+  t.catchup_flushes <- 0;
+  t.freshness_degradations <- 0;
   match t.buffer with
   | Some b ->
     Hashtbl.reset b.pages;

@@ -76,6 +76,44 @@ val scrubs : t -> int
 val fallbacks : t -> int
 val retries : t -> int
 
+(** {2 Deferred-maintenance counters}
+
+    Trajectory counters for the write-behind maintenance pipeline: how
+    many typed deltas entered the buffers, how often buffering coalesced
+    or outright annihilated work before it ever touched a page, how many
+    net deltas were eventually applied by bulk flushes, and how often
+    the planner's freshness watermark fired. *)
+
+val note_delta_buffered : t -> unit
+(** Record one typed delta (+tuple/−tuple for one partition) entering a
+    write-behind buffer. *)
+
+val note_delta_merged : t -> unit
+(** Record one delta that coalesced with a pending delta on the same
+    projected tuple (refcount deltas summed; net still non-zero). *)
+
+val note_delta_annihilated : t -> unit
+(** Record one annihilation: a pending delta's net refcount reached
+    zero, so the pair vanished without touching a page. *)
+
+val note_deltas_flushed : t -> int -> unit
+(** Record [n] net deltas applied to partition trees by a flush. *)
+
+val note_catchup_flush : t -> unit
+(** Record one catch-up flush forced by the planner's freshness
+    watermark (or an integrity audit) before using a stale index. *)
+
+val note_freshness_degradation : t -> unit
+(** Record one planning decision that refused a stale index and
+    degraded to navigation / extent scan instead of flushing. *)
+
+val deltas_buffered : t -> int
+val deltas_merged : t -> int
+val deltas_annihilated : t -> int
+val deltas_flushed : t -> int
+val catchup_flushes : t -> int
+val freshness_degradations : t -> int
+
 val reset : t -> unit
 (** Clears everything, including totals and the buffer pool. *)
 
@@ -89,6 +127,12 @@ type summary = {
   s_scrubs : int;
   s_fallbacks : int;
   s_retries : int;
+  s_deltas_buffered : int;
+  s_deltas_merged : int;
+  s_deltas_annihilated : int;
+  s_deltas_flushed : int;
+  s_catchup_flushes : int;
+  s_freshness_degradations : int;
 }
 (** A point-in-time copy of every counter, decoupled from the live
     [t] (which keeps mutating). *)

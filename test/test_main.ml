@@ -18,6 +18,7 @@ let () =
       ("exec", Test_exec.suite);
       ("engine", Test_engine.suite);
       ("maintenance", Test_maintenance.suite);
+      ("maintenance-batch", Test_maintenance_batch.suite);
       ("share", Test_share.suite);
       ("baselines", Test_baselines.suite);
       ("profiler", Test_profiler.suite);
