@@ -560,6 +560,212 @@ let bench_maintenance_batch ~quick () =
   if ratio < 3.0 then
     Format.printf "  WARNING: batched flush below the 3x page-savings target@."
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: overload-resilient serving (BENCH_serving.json)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the admission-controlled front past saturation and measure
+   what resilience buys: a closed-loop calibration pins the server's
+   saturation throughput and uncontended latency tail, then open-loop
+   phases offer 0.5x/1x/2x/4x that rate with paced arrivals.  Per
+   phase: latency percentiles of the admitted queries, shed and timeout
+   counts, goodput — and the accounting identity
+
+     offered = answered + shed + timed_out + failed,  failed = 0
+
+   is asserted, not just reported.  The heaviest phase interleaves
+   writes so brownout (deferred publication, stale-epoch serving) is
+   exercised too.  Every front and the server shut down cleanly at the
+   end; completing at all is the no-wedged-domain check CI gates on. *)
+let bench_serving ~quick () =
+  let spec =
+    if quick then
+      Workload.Generator.spec ~seed:23
+        ~counts:[ 60; 120; 240; 480 ]
+        ~defined:[ 55; 110; 220 ] ~fan:[ 2; 2; 2 ] ()
+    else
+      Workload.Generator.spec ~seed:23
+        ~counts:[ 200; 400; 800; 1600 ]
+        ~defined:[ 185; 365; 730 ] ~fan:[ 2; 2; 2 ] ()
+  in
+  let store, path = Workload.Generator.build spec in
+  let sizes = Workload.Generator.size_of spec in
+  let n = Gom.Path.length path in
+  let m = Gom.Path.arity path - 1 in
+  let specs =
+    [
+      {
+        Parallel.Snapshot.sp_path = path;
+        sp_kind = Core.Extension.Full;
+        sp_decomposition = Core.Decomposition.binary ~m;
+      };
+    ]
+  in
+  let slice k xs =
+    let rec go acc cur cnt = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+        if cnt = k then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (cnt + 1) rest
+    in
+    go [] [] 0 xs
+  in
+  let probe_sz = if quick then 8 else 16 in
+  let fw =
+    List.map
+      (fun srcs ->
+        Parallel.Server.Forward { q_path = path; q_i = 0; q_j = n; q_sources = srcs })
+      (slice probe_sz (Gom.Store.extent store "T0"))
+  in
+  let bw =
+    List.map
+      (fun tgts ->
+        Parallel.Server.Backward { q_path = path; q_i = 0; q_j = n; q_targets = tgts })
+      (slice probe_sz
+         (List.map (fun o -> Gom.Value.Ref o)
+            (Gom.Store.extent store (Printf.sprintf "T%d" n))))
+  in
+  let pool = fw @ bw in
+  let nth_query i = List.nth pool (i mod List.length pool) in
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let server = Parallel.Server.create ~jobs ~sizes ~specs store in
+  (* Closed-loop calibration: one query in flight at a time gives the
+     uncontended latency tail; back-to-back batches give the saturation
+     throughput the open-loop phases are scaled against. *)
+  ignore (Parallel.Server.serve server pool) (* warm plans *);
+  let unc =
+    List.map
+      (fun q ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Parallel.Server.serve server [ q ]);
+        Unix.gettimeofday () -. t0)
+      pool
+  in
+  let percentile sorted p =
+    let len = Array.length sorted in
+    sorted.(min (len - 1) (int_of_float (p *. float_of_int (len - 1) +. 0.5)))
+  in
+  let unc_sorted = Array.of_list (List.sort Float.compare unc) in
+  let p99_unc = percentile unc_sorted 0.99 in
+  let rounds = if quick then 3 else 5 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    ignore (Parallel.Server.serve server pool)
+  done;
+  let sat_qps =
+    float_of_int (rounds * List.length pool) /. Float.max (Unix.gettimeofday () -. t0) 1e-9
+  in
+  (* The budget must absorb one dispatch round's granularity (a query
+     resolves when its whole batch returns), so floor it well above a
+     batch's serve time; 4x the uncontended tail dominates on slower
+     bases. *)
+  let deadline_s = Float.max (4.0 *. p99_unc) 0.010 in
+  Format.printf
+    "overload serving: %d jobs, %d pooled quer(ies), saturation %.0f q/s, p99 \
+     uncontended %.3f ms, deadline %.3f ms@."
+    jobs (List.length pool) sat_qps (1e3 *. p99_unc) (1e3 *. deadline_s);
+  let n_offered = if quick then 300 else 1500 in
+  let accounting_ok = ref true in
+  let run_phase mult =
+    let config =
+      {
+        Resilience.Front.max_queue = 64;
+        high_watermark = 48;
+        low_watermark = 16;
+        shed_policy = Resilience.Front.Deadline_aware;
+        deadline_s = Some deadline_s;
+        rate_limit = None;
+        batch = 8;
+      }
+    in
+    let front = Resilience.Front.create ~config ~spawn:true server in
+    let interval = 1.0 /. (mult *. sat_qps) in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      List.init n_offered (fun i ->
+          let due = t0 +. (float_of_int i *. interval) in
+          (* Paced open-loop arrivals: sleep the bulk of the gap (so the
+             pacing thread doesn't steal a core from the executors) and
+             spin only the last sliver. *)
+          let rec pace () =
+            let gap = due -. Unix.gettimeofday () in
+            if gap > 0.0005 then begin
+              Unix.sleepf (gap -. 0.0003);
+              pace ()
+            end
+            else if gap > 0.0 then begin
+              Domain.cpu_relax ();
+              pace ()
+            end
+          in
+          pace ();
+          (* Past saturation, interleave writes so brownout — deferred
+             publication, stale-but-exact serving — is on the path. *)
+          if mult >= 4.0 && i mod 64 = 0 then
+            ignore (Resilience.Front.update front (fun st -> Gom.Store.new_object st "T0"));
+          Resilience.Front.submit front (nth_query i))
+    in
+    let outcomes = List.map (fun t -> (t, Resilience.Front.await front t)) tickets in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let c = Resilience.Front.counters front in
+    let stale = (Resilience.Front.stats front).Storage.Stats.s_stale_epoch_served in
+    Resilience.Front.shutdown front;
+    let admitted_lat =
+      List.filter_map
+        (fun (t, o) ->
+          match o with
+          | Resilience.Front.Answer _ -> Resilience.Front.latency_s t
+          | _ -> None)
+        outcomes
+      |> List.sort Float.compare |> Array.of_list
+    in
+    let p q = if Array.length admitted_lat = 0 then 0.0 else percentile admitted_lat q in
+    let p50 = p 0.50 and p99 = p 0.99 and p999 = p 0.999 in
+    let goodput = float_of_int c.Resilience.Front.answered /. Float.max elapsed 1e-9 in
+    let balanced =
+      c.Resilience.Front.offered = n_offered
+      && c.Resilience.Front.offered = c.answered + c.shed + c.timed_out + c.failed
+      && c.failed = 0
+    in
+    if not balanced then accounting_ok := false;
+    Format.printf
+      "  %4.1fx offered %4d: answered %4d shed %4d timed-out %4d | goodput %7.0f q/s \
+       | p50 %6.2f ms p99 %6.2f ms p999 %6.2f ms | stale %d%s@."
+      mult c.Resilience.Front.offered c.answered c.shed c.timed_out goodput
+      (1e3 *. p50) (1e3 *. p99) (1e3 *. p999) stale
+      (if balanced then "" else "  ACCOUNTING VIOLATION");
+    Printf.sprintf
+      {|{"load_x": %.1f, "offered": %d, "answered": %d, "shed": %d, "timed_out": %d, "failed": %d, "goodput_qps": %.1f, "p50_s": %.6f, "p99_s": %.6f, "p999_s": %.6f, "stale_epoch_served": %d, "accounting_ok": %b}|}
+      mult c.Resilience.Front.offered c.answered c.shed c.timed_out c.failed goodput
+      p50 p99 p999 stale balanced
+  in
+  let phase_rows = List.map run_phase [ 0.5; 1.0; 2.0; 4.0 ] in
+  Parallel.Server.shutdown server;
+  (* Reaching this line means every front and the pool joined: nothing
+     wedged.  A wedged domain would hang the driver and trip CI's
+     timeout instead. *)
+  let json =
+    Printf.sprintf
+      {|{"bench": "overload-serving", "quick": %b, "cores": %d, "jobs": %d, "sat_qps": %.1f, "p99_uncontended_s": %.6f, "deadline_s": %.6f, "offered_per_phase": %d, "phases": [%s], "accounting_ok": %b, "wedged": false}|}
+      quick
+      (Domain.recommended_domain_count ())
+      jobs sat_qps p99_unc deadline_s n_offered
+      (String.concat ", " phase_rows)
+      !accounting_ok
+  in
+  let file = "BENCH_serving.json" in
+  (try
+     let oc = open_out file in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (json ^ "\n"));
+     Format.printf "  written       : %s@." file
+   with Sys_error e -> Format.printf "  (could not write %s: %s)@." file e);
+  if not !accounting_ok then begin
+    Format.printf "  FAIL: shed accounting does not balance@.";
+    exit 1
+  end
+
 let run_benchmarks tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
@@ -592,7 +798,12 @@ let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let parallel = Array.exists (String.equal "--parallel") Sys.argv in
   let maintenance = Array.exists (String.equal "--maintenance-batch") Sys.argv in
-  if maintenance then begin
+  let serving = Array.exists (String.equal "--serving") Sys.argv in
+  if serving then begin
+    Format.printf "=== serving mode: overload-resilience benchmark ===@.@.";
+    bench_serving ~quick ()
+  end
+  else if maintenance then begin
     Format.printf "=== maintenance mode: deferred batched maintenance benchmark ===@.@.";
     bench_maintenance_batch ~quick ()
   end
@@ -618,6 +829,10 @@ let () =
     Format.printf " Deferred batched maintenance@.";
     Format.printf "===============================================================@.@.";
     bench_maintenance_batch ~quick:false ();
+    Format.printf "@.===============================================================@.";
+    Format.printf " Overload-resilient serving@.";
+    Format.printf "===============================================================@.@.";
+    bench_serving ~quick:false ();
     Format.printf "@.===============================================================@.";
     Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
     Format.printf "===============================================================@.@.";

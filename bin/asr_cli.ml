@@ -352,7 +352,8 @@ let parse_workload store env path file =
         Parallel.Server.Backward { q_path = path; q_i = i; q_j = j; q_targets = targets })
     !lines
 
-let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat =
+let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat max_queue
+    deadline_ms shed_policy =
   let jobs = max 1 jobs in
   let store, env, index_path =
     match file with
@@ -405,46 +406,132 @@ let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat =
   in
   let queries = parse_workload store env path workload in
   if queries = [] then exit_usage (Printf.sprintf "workload %s is empty" workload);
+  let describe q =
+    match q with
+    | Parallel.Server.Forward { q_i; q_j; q_sources; _ } ->
+      ("fw", q_i, q_j, List.length q_sources)
+    | Parallel.Server.Backward { q_i; q_j; q_targets; _ } ->
+      ("bw", q_i, q_j, List.length q_targets)
+  in
+  let answer_rows = function
+    | Parallel.Server.Forward_answer ans ->
+      List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 ans
+    | Parallel.Server.Backward_answer ans ->
+      List.fold_left (fun acc (_, os) -> acc + List.length os) 0 ans
+  in
   let server = Parallel.Server.create ~jobs ?maintenance ~specs store in
-  let t0 = Unix.gettimeofday () in
-  let answers = ref [] in
-  for _ = 1 to max 1 repeat do
-    answers := Parallel.Server.serve server queries
-  done;
-  let dt = Unix.gettimeofday () -. t0 in
-  let served = List.length queries * max 1 repeat in
-  List.iteri
-    (fun k (q, a) ->
-      let dir, i, j, probes, rows =
-        match (q, a) with
-        | Parallel.Server.Forward { q_i; q_j; q_sources; _ }, Parallel.Server.Forward_answer ans
-          ->
-          ( "fw", q_i, q_j, List.length q_sources,
-            List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 ans )
-        | ( Parallel.Server.Backward { q_i; q_j; q_targets; _ },
-            Parallel.Server.Backward_answer ans ) ->
-          ( "bw", q_i, q_j, List.length q_targets,
-            List.fold_left (fun acc (_, os) -> acc + List.length os) 0 ans )
-        | _ -> assert false
-      in
-      Format.printf "%3d  %s Q^(%d,%d)  %4d probe(s)  %5d result row(s)@." k dir i j
-        probes rows)
-    (List.combine queries !answers);
-  let summary = Parallel.Server.stats server in
-  Format.printf "served %d quer(ies) over epoch %d with %d job(s) in %.3fs (%.1f q/s)@."
-    served (Parallel.Server.epoch server) jobs dt
-    (float_of_int served /. Float.max dt 1e-9);
-  print_endline
-    (Storage.Stats.summary_to_json
-       ~extra:
-         [
-           ("jobs", string_of_int jobs);
-           ("queries", string_of_int served);
-           ("elapsed_s", Printf.sprintf "%.6f" dt);
-         ]
-       summary);
-  Parallel.Server.shutdown server;
-  0
+  (* The server owns a pool of domains: whatever the serve path raises
+     (a failed query, a corrupt workload assertion), the pool must be
+     joined on the way out, never leaked. *)
+  Fun.protect
+    ~finally:(fun () -> Parallel.Server.shutdown server)
+    (fun () ->
+      match (max_queue, deadline_ms, shed_policy) with
+      | None, None, None ->
+        (* Unthrottled path: the whole workload as one mixed batch. *)
+        let t0 = Unix.gettimeofday () in
+        let answers = ref [] in
+        for _ = 1 to max 1 repeat do
+          answers := Parallel.Server.serve server queries
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        let served = List.length queries * max 1 repeat in
+        List.iteri
+          (fun k (q, a) ->
+            let dir, i, j, probes = describe q in
+            Format.printf "%3d  %s Q^(%d,%d)  %4d probe(s)  %5d result row(s)@." k dir
+              i j probes (answer_rows a))
+          (List.combine queries !answers);
+        let summary = Parallel.Server.stats server in
+        Format.printf
+          "served %d quer(ies) over epoch %d with %d job(s) in %.3fs (%.1f q/s)@."
+          served (Parallel.Server.epoch server) jobs dt
+          (float_of_int served /. Float.max dt 1e-9);
+        print_endline
+          (Storage.Stats.summary_to_json
+             ~extra:
+               [
+                 ("jobs", string_of_int jobs);
+                 ("queries", string_of_int served);
+                 ("elapsed_s", Printf.sprintf "%.6f" dt);
+               ]
+             summary);
+        0
+      | _ ->
+        (* Overload-resilient path: admission-controlled front with a
+           spawned dispatcher; every query resolves to a typed outcome. *)
+        let policy =
+          match shed_policy with
+          | None -> Resilience.Front.Deadline_aware
+          | Some s -> (
+            match Resilience.Front.policy_of_string s with
+            | Some p -> p
+            | None ->
+              exit_usage
+                (Printf.sprintf
+                   "unknown shed policy %s (want newest, oldest or deadline)" s))
+        in
+        let config =
+          let d = Resilience.Front.default_config in
+          let max_queue = max 1 (Option.value ~default:d.Resilience.Front.max_queue max_queue) in
+          {
+            d with
+            Resilience.Front.max_queue;
+            high_watermark = max 1 (max_queue * 3 / 4);
+            low_watermark = max_queue / 4;
+            shed_policy = policy;
+            deadline_s = Option.map (fun ms -> ms /. 1000.) deadline_ms;
+          }
+        in
+        let front = Resilience.Front.create ~config ~spawn:true server in
+        Fun.protect
+          ~finally:(fun () -> Resilience.Front.shutdown front)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let tickets =
+              List.concat
+                (List.init (max 1 repeat) (fun _ ->
+                     List.map (fun q -> (q, Resilience.Front.submit front q)) queries))
+            in
+            let outcomes =
+              List.map (fun (q, t) -> (q, Resilience.Front.await front t)) tickets
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            List.iteri
+              (fun k (q, o) ->
+                let dir, i, j, probes = describe q in
+                let verdict =
+                  match o with
+                  | Resilience.Front.Answer a ->
+                    Printf.sprintf "%5d result row(s)" (answer_rows a)
+                  | Resilience.Front.Shed Resilience.Front.Queue_full ->
+                    "shed (queue full)"
+                  | Resilience.Front.Shed Resilience.Front.Rate_limited ->
+                    "shed (rate limited)"
+                  | Resilience.Front.Timeout -> "timed out"
+                  | Resilience.Front.Failed m -> "failed: " ^ m
+                in
+                Format.printf "%3d  %s Q^(%d,%d)  %4d probe(s)  %s@." k dir i j probes
+                  verdict)
+              outcomes;
+            let c = Resilience.Front.counters front in
+            let summary = Resilience.Front.stats front in
+            Format.printf
+              "offered %d: answered %d, shed %d, timed-out %d, failed %d — %d job(s), \
+               %.3fs (%.1f admitted q/s)@."
+              c.Resilience.Front.offered c.answered c.shed c.timed_out c.failed jobs dt
+              (float_of_int c.answered /. Float.max dt 1e-9);
+            print_endline
+              (Storage.Stats.summary_to_json
+                 ~extra:
+                   [
+                     ("jobs", string_of_int jobs);
+                     ("offered", string_of_int c.Resilience.Front.offered);
+                     ("answered", string_of_int c.answered);
+                     ("elapsed_s", Printf.sprintf "%.6f" dt);
+                   ]
+                 summary);
+            if c.failed > 0 then 1 else 0))
 
 (* ---------------- explain command ---------------- *)
 
@@ -951,9 +1038,27 @@ let serve_t =
                  $(b,bw I J K) — evaluate Q^(I,J) over the first K extent \
                  members.  $(b,#) comments and blank lines are skipped.")
   in
+  let max_queue =
+    Arg.(value & opt (some int) None & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission-controlled serving: bound the dispatch queue at \
+                 $(docv) entries; overflow is shed per $(b,--shed-policy). \
+                 Setting any of the three overload flags enables the \
+                 resilience front.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-query cancellation budget: a query that exceeds $(docv) \
+                 milliseconds (queued or running) resolves to a typed \
+                 timeout, never a partial answer.")
+  in
+  let shed_policy =
+    Arg.(value & opt (some string) None & info [ "shed-policy" ] ~docv:"POLICY"
+           ~doc:"Overflow policy: $(b,newest), $(b,oldest) or $(b,deadline) \
+                 (evict the entry with the least remaining budget).")
+  in
   Term.(
     const serve_cmd $ base $ file $ path $ index $ flush_policy_arg $ jobs
-    $ workload $ repeat)
+    $ workload $ repeat $ max_queue $ deadline_ms $ shed_policy)
 
 let explain_t =
   let base =

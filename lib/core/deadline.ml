@@ -1,0 +1,55 @@
+(* Cooperative cancellation budgets.
+
+   A deadline is consulted at explicit checkpoints (page reads,
+   partition rounds of the batch executors) via [check]; an expired
+   budget raises [Expired] there and nowhere else, so cancellation can
+   only ever observe the evaluator between two whole steps — never
+   mid-mutation, never with a partial answer in hand.  The clock is
+   injected, which keeps the expiry-at-every-checkpoint test sweep and
+   the admission controller's simulated time fully deterministic. *)
+
+exception Expired
+
+type limit =
+  | Never  (* also the probe mode: count checkpoints, never fire *)
+  | At_time of { clock : unit -> float; expires_at : float }
+  | At_checkpoint of int
+
+type t = { mutable checkpoints : int; limit : limit }
+
+let none () = { checkpoints = 0; limit = Never }
+let probe = none
+
+let until ~clock expires_at =
+  { checkpoints = 0; limit = At_time { clock; expires_at } }
+
+let after ~clock budget_s = until ~clock (clock () +. budget_s)
+
+let at_checkpoint n =
+  if n < 1 then invalid_arg "Deadline.at_checkpoint: n must be >= 1";
+  { checkpoints = 0; limit = At_checkpoint n }
+
+let checkpoints t = t.checkpoints
+
+let expired t =
+  match t.limit with
+  | Never -> false
+  | At_time { clock; expires_at } -> clock () >= expires_at
+  | At_checkpoint n -> t.checkpoints >= n
+
+let remaining_s t =
+  match t.limit with
+  | Never | At_checkpoint _ -> infinity
+  | At_time { clock; expires_at } -> expires_at -. clock ()
+
+let expires_at t =
+  match t.limit with
+  | Never | At_checkpoint _ -> None
+  | At_time { expires_at; _ } -> Some expires_at
+
+let check t =
+  t.checkpoints <- t.checkpoints + 1;
+  match t.limit with
+  | Never -> ()
+  | At_time { clock; expires_at } -> if clock () >= expires_at then raise Expired
+  | At_checkpoint n -> if t.checkpoints >= n then raise Expired

@@ -1,0 +1,49 @@
+(** Cooperative cancellation budgets for query evaluation.
+
+    A deadline travels inside {!Exec.env} and is consulted at explicit
+    checkpoints — object/page reads and the partition rounds of the
+    batch executors — via {!check}.  An expired budget raises
+    {!Expired} at a checkpoint and nowhere else: cancellation only ever
+    observes the evaluator between two whole steps, never mid-mutation,
+    so an admitted (non-expired) query is byte-identical to an
+    undeadlined one.  Clocks are injected to keep tests and the
+    admission controller's simulated time deterministic. *)
+
+type t
+
+exception Expired
+
+val none : unit -> t
+(** A budget that never expires (fresh counter per call — counters are
+    per-query, not shared). *)
+
+val probe : unit -> t
+(** Alias of {!none}, named for its use: run a query once just to count
+    its checkpoints via {!checkpoints}, enabling the
+    expiry-at-every-checkpoint sweep. *)
+
+val after : clock:(unit -> float) -> float -> t
+(** [after ~clock budget_s] expires [budget_s] seconds from [clock ()]
+    now. *)
+
+val until : clock:(unit -> float) -> float -> t
+(** [until ~clock at] expires once [clock () >= at]. *)
+
+val at_checkpoint : int -> t
+(** [at_checkpoint n] expires exactly on the [n]-th {!check} ([n] >= 1)
+    regardless of wall time — the deterministic sweep primitive. *)
+
+val check : t -> unit
+(** Record one checkpoint; raise {!Expired} if the budget is exhausted. *)
+
+val checkpoints : t -> int
+(** Checkpoints recorded so far. *)
+
+val expired : t -> bool
+(** Whether the budget is exhausted (does not count a checkpoint). *)
+
+val remaining_s : t -> float
+(** Seconds of budget left; [infinity] for untimed deadlines. *)
+
+val expires_at : t -> float option
+(** Absolute expiry on the injected clock, when time-based. *)

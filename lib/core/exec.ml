@@ -1,10 +1,20 @@
-type env = { store : Gom.Store.t; heap : Storage.Heap.t; stats : Storage.Stats.t }
+type env = {
+  store : Gom.Store.t;
+  heap : Storage.Heap.t;
+  stats : Storage.Stats.t;
+  deadline : Deadline.t;
+}
 
-let make ?stats store heap =
+let make ?stats ?deadline store heap =
   let stats = match stats with Some s -> s | None -> Storage.Stats.create () in
-  { store; heap; stats }
+  let deadline = match deadline with Some d -> d | None -> Deadline.none () in
+  { store; heap; stats; deadline }
 
-let read_obj env oid = Storage.Heap.read_object env.heap env.stats oid
+let checkpoint env = Deadline.check env.deadline
+
+let read_obj env oid =
+  checkpoint env;
+  Storage.Heap.read_object env.heap env.stats oid
 
 let check_range path ~i ~j =
   let n = Gom.Path.length path in
@@ -96,6 +106,7 @@ let forward_supported env index ~i ~j oid =
   let ci = Gom.Path.column_of_object_position path i in
   let cj = Gom.Path.column_of_object_position path j in
   let rec go pidx cur frontier =
+    checkpoint env;
     if frontier = [] then []
     else
       let lo, hi = Asr.partition_bounds index pidx in
@@ -132,6 +143,7 @@ let backward_supported env index ~i ~j ~target =
     if !k >= 0 then !k else Asr.partition_index_of_column index col
   in
   let rec go pidx cur frontier =
+    checkpoint env;
     if frontier = [] then []
     else
       let lo, hi = Asr.partition_bounds index pidx in

@@ -25,12 +25,23 @@ type env = {
   store : Gom.Store.t;
   heap : Storage.Heap.t;
   stats : Storage.Stats.t;  (** Every evaluation charges its pages here. *)
+  deadline : Deadline.t;
+      (** Cooperative budget; {!checkpoint} sites raise
+          {!Deadline.Expired} once it is exhausted. *)
 }
 
-val make : ?stats:Storage.Stats.t -> Gom.Store.t -> Storage.Heap.t -> env
+val make :
+  ?stats:Storage.Stats.t -> ?deadline:Deadline.t -> Gom.Store.t -> Storage.Heap.t -> env
 (** [make store heap] builds an environment with a fresh cold
     {!Storage.Stats.t}; pass [?stats] to share or buffer one (e.g. the
-    warm-cache ablation's LRU pool). *)
+    warm-cache ablation's LRU pool).  [?deadline] defaults to
+    {!Deadline.none} — no budget, zero-cost checkpoints. *)
+
+val checkpoint : env -> unit
+(** Record one cancellation checkpoint against [env.deadline] (raising
+    {!Deadline.Expired} when exhausted).  Called on every object read
+    and every partition round; evaluators that add new bulk loops
+    should call it once per round. *)
 
 val forward_scan :
   env -> Gom.Path.t -> i:int -> j:int -> Gom.Oid.t -> Gom.Value.t list

@@ -687,6 +687,10 @@ let batch_stitch_fwd ~env index ~i ~j frontiers =
     Core.Asr.lookup_fwd_many ~stats index pidx keys
   in
   let rec go pidx cur frontiers =
+    (* Cancellation checkpoint between partition rounds: a whole round's
+       descents and merges either happen or don't, so every frontier is
+       still exact when Deadline.Expired propagates. *)
+    Core.Exec.checkpoint env;
     if Array.for_all is_empty frontiers then frontiers
     else begin
       let lo, hi = Core.Asr.partition_bounds index pidx in
@@ -710,6 +714,7 @@ let batch_stitch_bwd ~env index ~i ~j frontiers =
     Core.Asr.lookup_bwd_many ~stats index pidx keys
   in
   let rec go pidx cur frontiers =
+    Core.Exec.checkpoint env;
     if Array.for_all is_empty frontiers then frontiers
     else begin
       let lo, hi = Core.Asr.partition_bounds index pidx in

@@ -145,10 +145,16 @@ let audit_partition ?stats index truth ~part ~sample =
   let order = List.sort (fun (a, _) (b, _) -> Relation.Tuple.compare a b) in
   classify ~part (order !missing) (order !phantom)
 
-let run ?fault ?sample ?stats index =
+let run ?deadline ?fault ?sample ?stats index =
   (match sample with
   | Some k when k < 1 -> invalid_arg "Scrub.run: sample must be >= 1"
   | _ -> ());
+  (* Partition audits are the scrub's whole steps: a budget expires
+     between audits (never inside one), so a cancelled scrub has simply
+     audited a prefix of the partitions. *)
+  let checkpoint () =
+    match deadline with Some d -> Core.Deadline.check d | None -> ()
+  in
   (* Pending deferred-maintenance deltas are scheduled work, not
      divergence: flush them (a catch-up, counted as such) before
      auditing, so the comparison sees only genuine corruption. *)
@@ -165,6 +171,7 @@ let run ?fault ?sample ?stats index =
   in
   let parts = Core.Asr.partition_count index in
   let audit part =
+    checkpoint ();
     match fault with
     | None -> audit_partition ?stats index truth ~part ~sample
     | Some f ->

@@ -41,6 +41,7 @@ type report = {
 val clean : report -> bool
 
 val run :
+  ?deadline:Core.Deadline.t ->
   ?fault:Durability.Fault.t ->
   ?sample:int ->
   ?stats:Storage.Stats.t ->
@@ -50,8 +51,11 @@ val run :
     deterministic 1-in-[k] OID sample (presence checks only).  Each
     partition audited is counted via {!Storage.Stats.note_scrub} and as
     one logical read against [?fault] — transient read faults are
-    absorbed by bounded retry with deterministic backoff.
+    absorbed by bounded retry with deterministic backoff.  [?deadline]
+    is checked between partition audits, so a background scrub yields
+    under load instead of monopolising a domain.
     @raise Invalid_argument if [sample < 1].
+    @raise Core.Deadline.Expired between partition audits.
     @raise Durability.Fault.Crash per the fault plan. *)
 
 val divergence_part : divergence -> int

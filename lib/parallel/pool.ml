@@ -63,7 +63,7 @@ let size t = t.executors
    the last finishing task cannot miss each other's signal. *)
 type batch = { mutable remaining : int; finished : Condition.t }
 
-let run_all t thunks =
+let run_all_results t thunks =
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
   if n = 0 then []
@@ -101,16 +101,18 @@ let run_all t thunks =
         while b.remaining > 0 do
           Condition.wait b.finished t.lock
         done);
-    let out =
-      Array.map
-        (function
-          | Some r -> r
-          | None -> assert false (* remaining = 0 implies every slot was written *))
-        results
-    in
-    Array.iter (function Error e -> raise e | Ok _ -> ()) out;
-    Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) out)
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* remaining = 0 implies every slot was written *))
+         results)
   end
+
+let run_all t thunks =
+  let out = run_all_results t thunks in
+  List.iter (function Error e -> raise e | Ok _ -> ()) out;
+  List.map (function Ok v -> v | Error _ -> assert false) out
 
 let shutdown t =
   let workers =

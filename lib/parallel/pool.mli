@@ -31,6 +31,13 @@ val run_all : t -> (unit -> 'a) list -> 'a list
     re-raised after {e all} thunks finished, so no work is left running
     behind the caller's back. *)
 
+val run_all_results : t -> (unit -> 'a) list -> ('a, exn) result list
+(** Like {!run_all} but exception-safe per task: a raising thunk yields
+    [Error exn] in its own slot while every other thunk still runs and
+    returns [Ok] — nothing is re-raised, no worker dies, the pool stays
+    fully usable.  This is the serving layer's contract: one poisoned
+    chunk fails typed, the batch survives. *)
+
 val shutdown : t -> unit
 (** Drain and join the worker domains; idempotent.  Tasks already queued
     are completed first.  Calling {!run_all} afterwards executes inline

@@ -45,13 +45,20 @@ let publish t =
   | None -> ());
   Atomic.set t.current (Snapshot.capture ~sizes:t.sizes ~specs:t.specs t.base)
 
-let update t f =
+let update ?publish:(want_publish = true) t f =
   Mutex.protect t.writer (fun () ->
       let r = f t.base in
-      if Gom.Store.epoch t.base <> Snapshot.epoch (Atomic.get t.current) then publish t;
+      if
+        want_publish
+        && Gom.Store.epoch t.base <> Snapshot.epoch (Atomic.get t.current)
+      then publish t;
       r)
 
 let refresh t = Mutex.protect t.writer (fun () -> publish t)
+
+let lag t =
+  Mutex.protect t.writer (fun () ->
+      Gom.Store.epoch t.base - Snapshot.epoch (Atomic.get t.current))
 
 (* Split [xs] into at most [k] contiguous chunks of near-equal length.
    Contiguity is what keeps the merge deterministic: over a sorted probe
@@ -133,6 +140,67 @@ let serve ?snapshot t queries =
   List.iter (fun (k, a) -> out.(k) <- Some a) indexed;
   Array.to_list
     (Array.map (function Some a -> a | None -> assert false (* fan covers every index *)) out)
+
+type served = Answered of answer | Timed_out | Failed of string
+
+(* Deadline- and exception-safe serving.  Each query gets its own
+   environment (so a budget belongs to exactly one query) and its own
+   typed outcome: an expired budget surfaces as [Timed_out] (counted on
+   the query's sheaf, hence in the merged accountant), any other raise
+   as [Failed] — and via [Pool.run_all_results] even a whole lost chunk
+   degrades to per-query [Failed]s instead of poisoning the batch or a
+   worker domain.  Admitted answers remain byte-identical to [serve]'s:
+   cancellation checkpoints only ever fire between whole evaluation
+   steps, and chunking/merging is unchanged. *)
+let serve_deadlined ?snapshot t entries =
+  let qs = Array.of_list entries in
+  let snap = match snapshot with Some s -> s | None -> pin t in
+  let run_one k =
+    let query, deadline = qs.(k) in
+    let env = Snapshot.env ~deadline snap in
+    let outcome =
+      try
+        Answered
+          (match query with
+          | Forward { q_path; q_i; q_j; q_sources } ->
+            Forward_answer
+              (Engine.forward_batch ~env (Snapshot.engine snap) q_path ~i:q_i ~j:q_j
+                 q_sources)
+          | Backward { q_path; q_i; q_j; q_targets } ->
+            Backward_answer
+              (Engine.backward_batch ~env (Snapshot.engine snap) q_path ~i:q_i ~j:q_j
+                 ~targets:q_targets))
+      with
+      | Core.Deadline.Expired ->
+        Storage.Stats.note_timed_out env.Core.Exec.stats;
+        Timed_out
+      | e -> Failed (Printexc.to_string e)
+    in
+    (outcome, Storage.Stats.snapshot env.Core.Exec.stats)
+  in
+  let chunks = chunk t.jobs (List.init (Array.length qs) Fun.id) in
+  let parts =
+    Pool.run_all_results t.pool
+      (List.map (fun c () -> List.map (fun k -> (k, run_one k)) c) chunks)
+  in
+  let out = Array.make (Array.length qs) (Failed "chunk lost") in
+  let sheaves = ref [] in
+  List.iter2
+    (fun c part ->
+      match part with
+      | Ok items ->
+        List.iter
+          (fun (k, (o, sheaf)) ->
+            out.(k) <- o;
+            sheaves := sheaf :: !sheaves)
+          items
+      | Error e ->
+        (* run_one catches everything, so this arm is unreachable today;
+           it still closes the contract for any future task wrapper. *)
+        List.iter (fun k -> out.(k) <- Failed (Printexc.to_string e)) c)
+    chunks parts;
+  absorb t !sheaves;
+  Array.to_list out
 
 let stats t = Mutex.protect t.acc_lock (fun () -> Storage.Stats.snapshot t.accountant)
 let shutdown t = Pool.shutdown t.pool

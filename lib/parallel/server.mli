@@ -48,15 +48,24 @@ val pin : t -> Snapshot.t
 (** The current snapshot; wait-free.  A pinned snapshot stays valid (and
     frozen) forever — republication never mutates it. *)
 
-val update : t -> (Gom.Store.t -> 'a) -> 'a
+val update : ?publish:bool -> t -> (Gom.Store.t -> 'a) -> 'a
 (** Run a writer against the live base under the writer lock; if the
     base's epoch moved (the writer emitted at least one event), capture
     and publish a fresh snapshot before returning.  Readers pinned to
-    the old snapshot keep their consistent view. *)
+    the old snapshot keep their consistent view.  With [~publish:false]
+    the write commits but publication is deferred (readers keep the
+    previous epoch) until a later publishing {!update} or {!refresh} —
+    brownout mode uses this to shed the capture cost under overload,
+    trading bounded staleness. *)
 
 val refresh : t -> unit
 (** Force republication even without intervening writes (e.g. after
-    changing specs out of band). *)
+    changing specs out of band, or to catch up after deferred
+    [~publish:false] updates). *)
+
+val lag : t -> int
+(** How many epochs the published snapshot trails the live base
+    (0 = fresh; positive only while publication is deferred). *)
 
 (** {2 Query entry points}
 
@@ -97,6 +106,21 @@ val serve : ?snapshot:Snapshot.t -> t -> query list -> answer list
     executors in contiguous chunks, each executed left-to-right under a
     private sheaf, and the answers returned {e in request order} —
     again independent of the job count. *)
+
+type served = Answered of answer | Timed_out | Failed of string
+    (** Typed per-query outcome of {!serve_deadlined}: a full answer, a
+        cooperative cancellation (the query's deadline expired at a
+        checkpoint — never a partial answer), or a query-local failure
+        (the raising query fails alone; the batch, the pool and every
+        other query survive). *)
+
+val serve_deadlined :
+  ?snapshot:Snapshot.t -> t -> (query * Core.Deadline.t) list -> served list
+(** Like {!serve}, but each query carries its own cancellation budget
+    and returns a typed outcome instead of raising.  An [Answered]
+    outcome is byte-identical to what {!serve} would have produced for
+    the same query on the same snapshot (property-tested); [Timed_out]
+    is counted in the merged accounting as [timed_out]. *)
 
 val stats : t -> Storage.Stats.summary
 (** Cumulative merged accounting over everything the server executed. *)

@@ -30,4 +30,4 @@ let epoch t = t.epoch
 let store t = t.store
 let engine t = t.engine
 let indexes t = t.indexes
-let env t = Core.Exec.make t.store t.heap
+let env ?deadline t = Core.Exec.make ?deadline t.store t.heap

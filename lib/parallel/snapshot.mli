@@ -45,7 +45,8 @@ val engine : t -> Engine.t
 
 val indexes : t -> Core.Asr.t list
 
-val env : t -> Core.Exec.env
+val env : ?deadline:Core.Deadline.t -> t -> Core.Exec.env
 (** A fresh accounting environment over the snapshot (same store and
     heap, private cold {!Storage.Stats.t}) — one per domain, so page
-    counting never races. *)
+    counting never races.  [?deadline] arms the environment's
+    cooperative cancellation budget (defaults to none). *)

@@ -1,0 +1,51 @@
+(** Circuit breaker over repair/refresh work and transient read faults.
+
+    Closed → (k consecutive failures) → Open → (jittered exponential
+    backoff elapses) → Half-open: exactly one probe call is admitted;
+    success closes the circuit and resets the backoff, failure re-opens
+    it with the backoff doubled (capped at [max_backoff_s]).  While
+    open, {!call} short-circuits with [Error `Open] — the caller falls
+    back to its degraded path (for the serving stack: keep answering
+    from the quarantine-degraded, possibly stale, always-live plans)
+    instead of hammering a struggling dependency.
+
+    The failure class defaults to {!Durability.Fault.Retryable} — the
+    transient read faults the durability layer injects and retries.
+    Exceptions outside the class propagate to the caller untouched and
+    leave the breaker state alone. *)
+
+type t
+
+type config = {
+  trip_after : int;  (** consecutive failures that open the circuit *)
+  base_backoff_s : float;
+  max_backoff_s : float;
+  jitter : float;  (** +/- fraction of the backoff, in [0, 1] *)
+}
+
+val default_config : config
+(** 3 failures, 0.1 s base, 30 s cap, 20% jitter. *)
+
+type state = Closed | Open | Half_open
+
+val create :
+  ?config:config ->
+  ?failure:(exn -> bool) ->
+  ?seed:int ->
+  clock:(unit -> float) ->
+  unit ->
+  t
+(** The clock is injected (tests use simulated time); [seed] fixes the
+    jitter stream so trip schedules replay deterministically. *)
+
+val call :
+  ?stats:Storage.Stats.t -> t -> (unit -> 'a) -> ('a, [ `Open | `Failed of exn ]) result
+(** Run [f] through the breaker.  [Error `Open]: the circuit is open,
+    [f] was not attempted (counted as [breaker_open] on [stats]).
+    [Error (`Failed e)]: [f] raised a breaker-class exception, recorded
+    against the trip counter.  Other exceptions propagate. *)
+
+val state : t -> state
+
+val trips : t -> int
+(** Total times the circuit opened. *)

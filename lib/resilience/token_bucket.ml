@@ -1,0 +1,34 @@
+(* Classic token bucket with injected time: [tokens] refills at [rate]
+   per second up to [burst], each admitted request spends one token.
+   Time is an explicit argument, never sampled here, so admission
+   decisions replay deterministically under a simulated clock. *)
+
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ~rate ~burst ~now =
+  if rate <= 0. then invalid_arg "Token_bucket.create: rate must be positive";
+  if burst < 1. then invalid_arg "Token_bucket.create: burst must be >= 1";
+  { rate; burst; tokens = burst; last = now }
+
+let refill t ~now =
+  if now > t.last then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+    t.last <- now
+  end
+
+let take ?(cost = 1.) t ~now =
+  refill t ~now;
+  if t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    true
+  end
+  else false
+
+let level t ~now =
+  refill t ~now;
+  t.tokens

@@ -1,0 +1,19 @@
+(** Per-client token-bucket rate limiter with injected time.
+
+    A bucket holds up to [burst] tokens and refills at [rate] tokens per
+    second; each admitted request spends one.  The current time is
+    always passed in, never sampled, so the limiter is a pure function
+    of its call history — tests drive it with a simulated clock. *)
+
+type t
+
+val create : rate:float -> burst:float -> now:float -> t
+(** [create ~rate ~burst ~now] starts full.  [rate] must be positive,
+    [burst] at least 1. *)
+
+val take : ?cost:float -> t -> now:float -> bool
+(** Refill up to [now], then try to spend [cost] (default 1) tokens:
+    [true] admits, [false] sheds without spending anything. *)
+
+val level : t -> now:float -> float
+(** Tokens available at [now] (after refill); for observability. *)

@@ -21,6 +21,10 @@ type t = {
   mutable deltas_flushed : int;
   mutable catchup_flushes : int;
   mutable freshness_degradations : int;
+  mutable shed : int;
+  mutable timed_out : int;
+  mutable breaker_open : int;
+  mutable stale_epoch_served : int;
   touched_r : (int, unit) Hashtbl.t;
   touched_w : (int, unit) Hashtbl.t;
   buffer : buffer option;
@@ -42,6 +46,10 @@ let create ?(buffer_capacity = 0) () =
     deltas_flushed = 0;
     catchup_flushes = 0;
     freshness_degradations = 0;
+    shed = 0;
+    timed_out = 0;
+    breaker_open = 0;
+    stale_epoch_served = 0;
     touched_r = Hashtbl.create 256;
     touched_w = Hashtbl.create 64;
     buffer =
@@ -124,6 +132,15 @@ let note_catchup_flush t = t.catchup_flushes <- t.catchup_flushes + 1
 let note_freshness_degradation t =
   t.freshness_degradations <- t.freshness_degradations + 1
 
+let note_shed t = t.shed <- t.shed + 1
+let note_timed_out t = t.timed_out <- t.timed_out + 1
+let note_breaker_open t = t.breaker_open <- t.breaker_open + 1
+let note_stale_epoch_served t = t.stale_epoch_served <- t.stale_epoch_served + 1
+let shed t = t.shed
+let timed_out t = t.timed_out
+let breaker_open t = t.breaker_open
+let stale_epoch_served t = t.stale_epoch_served
+
 let deltas_buffered t = t.deltas_buffered
 let deltas_merged t = t.deltas_merged
 let deltas_annihilated t = t.deltas_annihilated
@@ -147,6 +164,10 @@ type summary = {
   s_deltas_flushed : int;
   s_catchup_flushes : int;
   s_freshness_degradations : int;
+  s_shed : int;
+  s_timed_out : int;
+  s_breaker_open : int;
+  s_stale_epoch_served : int;
 }
 
 let snapshot t =
@@ -166,6 +187,10 @@ let snapshot t =
     s_deltas_flushed = t.deltas_flushed;
     s_catchup_flushes = t.catchup_flushes;
     s_freshness_degradations = t.freshness_degradations;
+    s_shed = t.shed;
+    s_timed_out = t.timed_out;
+    s_breaker_open = t.breaker_open;
+    s_stale_epoch_served = t.stale_epoch_served;
   }
 
 let zero =
@@ -185,6 +210,10 @@ let zero =
     s_deltas_flushed = 0;
     s_catchup_flushes = 0;
     s_freshness_degradations = 0;
+    s_shed = 0;
+    s_timed_out = 0;
+    s_breaker_open = 0;
+    s_stale_epoch_served = 0;
   }
 
 let merge a b =
@@ -204,6 +233,10 @@ let merge a b =
     s_deltas_flushed = a.s_deltas_flushed + b.s_deltas_flushed;
     s_catchup_flushes = a.s_catchup_flushes + b.s_catchup_flushes;
     s_freshness_degradations = a.s_freshness_degradations + b.s_freshness_degradations;
+    s_shed = a.s_shed + b.s_shed;
+    s_timed_out = a.s_timed_out + b.s_timed_out;
+    s_breaker_open = a.s_breaker_open + b.s_breaker_open;
+    s_stale_epoch_served = a.s_stale_epoch_served + b.s_stale_epoch_served;
   }
 
 let absorb t s =
@@ -218,7 +251,11 @@ let absorb t s =
   t.deltas_annihilated <- t.deltas_annihilated + s.s_deltas_annihilated;
   t.deltas_flushed <- t.deltas_flushed + s.s_deltas_flushed;
   t.catchup_flushes <- t.catchup_flushes + s.s_catchup_flushes;
-  t.freshness_degradations <- t.freshness_degradations + s.s_freshness_degradations
+  t.freshness_degradations <- t.freshness_degradations + s.s_freshness_degradations;
+  t.shed <- t.shed + s.s_shed;
+  t.timed_out <- t.timed_out + s.s_timed_out;
+  t.breaker_open <- t.breaker_open + s.s_breaker_open;
+  t.stale_epoch_served <- t.stale_epoch_served + s.s_stale_epoch_served
 
 let summary_to_json ?(extra = []) s =
   let fields =
@@ -239,6 +276,10 @@ let summary_to_json ?(extra = []) s =
       ("deltas_flushed", string_of_int s.s_deltas_flushed);
       ("catchup_flushes", string_of_int s.s_catchup_flushes);
       ("freshness_degradations", string_of_int s.s_freshness_degradations);
+      ("shed", string_of_int s.s_shed);
+      ("timed_out", string_of_int s.s_timed_out);
+      ("breaker_open", string_of_int s.s_breaker_open);
+      ("stale_epoch_served", string_of_int s.s_stale_epoch_served);
     ]
     @ extra
   in
@@ -266,6 +307,10 @@ let reset t =
   t.deltas_flushed <- 0;
   t.catchup_flushes <- 0;
   t.freshness_degradations <- 0;
+  t.shed <- 0;
+  t.timed_out <- 0;
+  t.breaker_open <- 0;
+  t.stale_epoch_served <- 0;
   match t.buffer with
   | Some b ->
     Hashtbl.reset b.pages;

@@ -114,6 +114,33 @@ val deltas_flushed : t -> int
 val catchup_flushes : t -> int
 val freshness_degradations : t -> int
 
+(** {2 Overload counters}
+
+    Resilience-layer counters: every query turned away or cut short by
+    admission control is visible here, so overload behaviour can be
+    audited next to page traffic ({e offered = answered + shed +
+    timed_out} is checked by the serving benchmark gate). *)
+
+val note_shed : t -> unit
+(** Record one query rejected by admission control (bounded-queue
+    overflow under any shed policy, or a per-client rate limit). *)
+
+val note_timed_out : t -> unit
+(** Record one query whose deadline expired — either while queued or at
+    a cooperative cancellation checkpoint mid-evaluation. *)
+
+val note_breaker_open : t -> unit
+(** Record one call short-circuited by an open circuit breaker. *)
+
+val note_stale_epoch_served : t -> unit
+(** Record one query answered from the previous published epoch while
+    brownout mode defers snapshot publication (bounded staleness). *)
+
+val shed : t -> int
+val timed_out : t -> int
+val breaker_open : t -> int
+val stale_epoch_served : t -> int
+
 val reset : t -> unit
 (** Clears everything, including totals and the buffer pool. *)
 
@@ -133,6 +160,10 @@ type summary = {
   s_deltas_flushed : int;
   s_catchup_flushes : int;
   s_freshness_degradations : int;
+  s_shed : int;
+  s_timed_out : int;
+  s_breaker_open : int;
+  s_stale_epoch_served : int;
 }
 (** A point-in-time copy of every counter, decoupled from the live
     [t] (which keeps mutating). *)

@@ -30,4 +30,5 @@ let () =
       ("costmodel", Test_costmodel.suite);
       ("cost-queries", Test_cost_queries.suite);
       ("parallel", Test_parallel.suite);
+      ("resilience", Test_resilience.suite);
     ]
