@@ -249,7 +249,7 @@ let query_cmd base file path_spec index_spec flush_policy batch jobs texts =
         Parallel.Pool.run_all pool
           (List.map
              (fun q () ->
-               let env = Core.Exec.make env0.Core.Exec.store env0.Core.Exec.heap in
+               let env = Core.Exec.make_view env0.Core.Exec.view env0.Core.Exec.heap in
                let r = Gql.Eval.run ~env ~engine q in
                (r, Storage.Stats.snapshot env.Core.Exec.stats))
              compiled)
@@ -447,6 +447,13 @@ let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat m
           "served %d quer(ies) over epoch %d with %d job(s) in %.3fs (%.1f q/s)@."
           served (Parallel.Server.epoch server) jobs dt
           (float_of_int served /. Float.max dt 1e-9);
+        let p = Parallel.Server.publish_info server in
+        Format.printf
+          "published %d epoch(s); last publish %.3fms (%d object(s) copied, %d \
+           shared)@."
+          p.Parallel.Server.publishes
+          (p.Parallel.Server.last_latency_s *. 1000.)
+          p.Parallel.Server.last_copied p.Parallel.Server.last_shared;
         print_endline
           (Storage.Stats.summary_to_json
              ~extra:
@@ -454,6 +461,11 @@ let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat m
                  ("jobs", string_of_int jobs);
                  ("queries", string_of_int served);
                  ("elapsed_s", Printf.sprintf "%.6f" dt);
+                 ("publishes", string_of_int p.Parallel.Server.publishes);
+                 ( "last_publish_ms",
+                   Printf.sprintf "%.6f" (p.Parallel.Server.last_latency_s *. 1000.) );
+                 ("last_copied", string_of_int p.Parallel.Server.last_copied);
+                 ("last_shared", string_of_int p.Parallel.Server.last_shared);
                ]
              summary);
         0
@@ -521,6 +533,13 @@ let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat m
                %.3fs (%.1f admitted q/s)@."
               c.Resilience.Front.offered c.answered c.shed c.timed_out c.failed jobs dt
               (float_of_int c.answered /. Float.max dt 1e-9);
+            let p = Parallel.Server.publish_info server in
+            Format.printf
+              "published %d epoch(s); last publish %.3fms (%d object(s) copied, %d \
+               shared)@."
+              p.Parallel.Server.publishes
+              (p.Parallel.Server.last_latency_s *. 1000.)
+              p.Parallel.Server.last_copied p.Parallel.Server.last_shared;
             print_endline
               (Storage.Stats.summary_to_json
                  ~extra:
@@ -715,7 +734,21 @@ let db_status db =
       Format.printf "  %-40s %d pending delta(s)@."
         (Gom.Path.to_string (Core.Asr.path a))
         (Core.Asr.pending_deltas a))
-    (Durability.Db.asrs db)
+    (Durability.Db.asrs db);
+  (* What epoch publication costs against this base: the one-time O(n)
+     image, then a CoW republication (no intervening writes here, so it
+     copies nothing and shares every instance). *)
+  let t0 = Unix.gettimeofday () in
+  let image = Gom.Frozen.of_store store in
+  let t1 = Unix.gettimeofday () in
+  let next = Gom.Frozen.advance image [] in
+  let t2 = Unix.gettimeofday () in
+  Format.printf
+    "snapshot:   initial image %.1fms; CoW republish %.3fms (%d object(s) copied, %d \
+     shared)@."
+    ((t1 -. t0) *. 1000.)
+    ((t2 -. t1) *. 1000.)
+    (Gom.Frozen.copied next) (Gom.Frozen.shared next)
 
 let with_db dir f =
   match Durability.Db.open_ ~dir () with

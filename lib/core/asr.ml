@@ -13,6 +13,19 @@ type part = { lo : int; hi : int; trees : trees }
    hold the same projection multiset). *)
 type buffer = (string, Relation.Tuple.t * int) Hashtbl.t
 
+(* Epoch gate over the mutable B+ trees.  Snapshot readers on other
+   domains pin [version] at publication and run tree probes inside an
+   [acquire_trees]/[release_trees] bracket; the (mutex-serialised)
+   writer seals the gate, spins until in-flight readers drain, mutates
+   the trees, bumps [version] and reopens.  A reader that loses the race
+   — gate closed, or version moved past its pin — refuses the trees and
+   the engine degrades to navigation, which stays exact. *)
+type gate = {
+  closed : bool Atomic.t;
+  readers : int Atomic.t;
+  version : int Atomic.t;
+}
+
 type t = {
   id : int;  (* process-unique identity, usable as a hash key *)
   store : Gom.Store.t;
@@ -26,6 +39,7 @@ type t = {
   mutable deferred : bool;
   pending : buffer array;  (* same length as [parts] *)
   mutable pending_total : int;  (* net deltas across all buffers *)
+  gate : gate;
 }
 
 let next_id = ref 0
@@ -191,7 +205,42 @@ let create ?(config = Storage.Config.default) ?(pager = Storage.Pager.create ())
     deferred = false;
     pending = Array.init (Array.length parts) (fun _ -> Hashtbl.create 64);
     pending_total = 0;
+    gate =
+      { closed = Atomic.make false; readers = Atomic.make 0; version = Atomic.make 0 };
   }
+
+(* ------------------------------------------------------------------ *)
+(* Tree epoch gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tree_version t = Atomic.get t.gate.version
+
+let acquire_trees t ~version =
+  if Atomic.get t.gate.closed then false
+  else begin
+    Atomic.incr t.gate.readers;
+    (* Re-check after announcing ourselves: the writer seals first and
+       then waits for readers, so either it sees our increment and
+       spins, or we see [closed]/a moved version here and back out. *)
+    if Atomic.get t.gate.closed || Atomic.get t.gate.version <> version then begin
+      Atomic.decr t.gate.readers;
+      false
+    end
+    else true
+  end
+
+let release_trees t = Atomic.decr t.gate.readers
+
+let with_sealed t f =
+  Atomic.set t.gate.closed true;
+  while Atomic.get t.gate.readers > 0 do
+    Domain.cpu_relax ()
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.incr t.gate.version;
+      Atomic.set t.gate.closed false)
+    f
 
 (* ------------------------------------------------------------------ *)
 (* Deferred maintenance: write-behind delta buffers                    *)
@@ -230,7 +279,7 @@ let buffer_delta ?stats t pi proj d =
       match stats with Some st -> Storage.Stats.note_delta_merged st | None -> ()
     end
 
-let flush ?stats t =
+let flush_unlocked ?stats t =
   let flushed = ref 0 in
   Array.iteri
     (fun pi buf ->
@@ -249,6 +298,11 @@ let flush ?stats t =
   | _ -> ());
   !flushed
 
+(* Empty buffers leave the gate untouched: the tree version survives, so
+   snapshot pins on untouched relations keep their fast path. *)
+let flush ?stats t =
+  if t.pending_total = 0 then 0 else with_sealed t (fun () -> flush_unlocked ?stats t)
+
 let remove_projections t tuples =
   Array.iter
     (fun p ->
@@ -265,13 +319,15 @@ let refresh t =
      then re-add from a fresh computation.  Pending deltas must reach
      the trees first, or the retraction below would decrement tuples the
      buffers still owe (robbing a co-sharer in a pooled segment). *)
-  ignore (flush t);
-  remove_projections t (Relation.to_list t.extension);
-  t.extension <- Extension.compute t.store t.path t.kind;
-  let tuples = Relation.to_list t.extension in
-  Array.iter
-    (fun p -> List.iter (fun tup -> insert_projection p.trees tup (p.lo, p.hi)) tuples)
-    t.parts
+  with_sealed t (fun () ->
+      ignore (flush_unlocked t);
+      remove_projections t (Relation.to_list t.extension);
+      t.extension <- Extension.compute t.store t.path t.kind;
+      let tuples = Relation.to_list t.extension in
+      Array.iter
+        (fun p ->
+          List.iter (fun tup -> insert_projection p.trees tup (p.lo, p.hi)) tuples)
+        t.parts)
 
 let partition_relation t i =
   let p = t.parts.(i) in
@@ -294,30 +350,36 @@ let insert_tuple ?stats t tup =
   if Relation.mem t.extension tup then false
   else begin
     t.extension <- Relation.add t.extension tup;
-    Array.iteri
-      (fun pi p ->
-        let proj = project_tuple tup (p.lo, p.hi) in
-        if t.deferred then buffer_delta ?stats t pi proj 1
-        else begin
-          Storage.Bptree.insert ?stats p.trees.fwd proj;
-          Storage.Bptree.insert ?stats p.trees.bwd proj
-        end)
-      t.parts;
+    if t.deferred then
+      Array.iteri
+        (fun pi p -> buffer_delta ?stats t pi (project_tuple tup (p.lo, p.hi)) 1)
+        t.parts
+    else
+      with_sealed t (fun () ->
+          Array.iter
+            (fun p ->
+              let proj = project_tuple tup (p.lo, p.hi) in
+              Storage.Bptree.insert ?stats p.trees.fwd proj;
+              Storage.Bptree.insert ?stats p.trees.bwd proj)
+            t.parts);
     true
   end
 
 let remove_tuple ?stats t tup =
   if Relation.mem t.extension tup then begin
     t.extension <- Relation.remove t.extension tup;
-    Array.iteri
-      (fun pi p ->
-        let proj = project_tuple tup (p.lo, p.hi) in
-        if t.deferred then buffer_delta ?stats t pi proj (-1)
-        else begin
-          Storage.Bptree.remove ?stats p.trees.fwd proj;
-          Storage.Bptree.remove ?stats p.trees.bwd proj
-        end)
-      t.parts;
+    if t.deferred then
+      Array.iteri
+        (fun pi p -> buffer_delta ?stats t pi (project_tuple tup (p.lo, p.hi)) (-1))
+        t.parts
+    else
+      with_sealed t (fun () ->
+          Array.iter
+            (fun p ->
+              let proj = project_tuple tup (p.lo, p.hi) in
+              Storage.Bptree.remove ?stats p.trees.fwd proj;
+              Storage.Bptree.remove ?stats p.trees.bwd proj)
+            t.parts);
     true
   end
   else false
@@ -382,24 +444,25 @@ type damage =
 let damage_partition t i ds =
   let p = t.parts.(i) in
   let width = p.hi - p.lo + 1 in
-  List.iter
-    (fun d ->
-      let proj = match d with Drop proj | Phantom proj -> proj in
-      if Array.length proj <> width then
-        invalid_arg "Asr.damage_partition: projection width mismatch";
-      match d with
-      | Drop proj ->
-        Storage.Bptree.remove p.trees.fwd proj;
-        Storage.Bptree.remove p.trees.bwd proj
-      | Phantom proj ->
-        Storage.Bptree.insert p.trees.fwd proj;
-        Storage.Bptree.insert p.trees.bwd proj)
-    ds
+  with_sealed t (fun () ->
+      List.iter
+        (fun d ->
+          let proj = match d with Drop proj | Phantom proj -> proj in
+          if Array.length proj <> width then
+            invalid_arg "Asr.damage_partition: projection width mismatch";
+          match d with
+          | Drop proj ->
+            Storage.Bptree.remove p.trees.fwd proj;
+            Storage.Bptree.remove p.trees.bwd proj
+          | Phantom proj ->
+            Storage.Bptree.insert p.trees.fwd proj;
+            Storage.Bptree.insert p.trees.bwd proj)
+        ds)
 
-let patch_partition ?stats t i =
+let patch_partition_unlocked ?stats t i =
   (* Reconcile against trees that reflect every buffered delta, or the
      pending work would read as divergence and later double-apply. *)
-  ignore (flush ?stats t);
+  ignore (flush_unlocked ?stats t);
   let p = t.parts.(i) in
   let span = (p.lo, p.hi) in
   let shared = p.trees.skey <> None in
@@ -456,6 +519,9 @@ let patch_partition ?stats t i =
       end)
     present;
   !fixes
+
+let patch_partition ?stats t i =
+  with_sealed t (fun () -> patch_partition_unlocked ?stats t i)
 
 type part_geometry = {
   lo : int;

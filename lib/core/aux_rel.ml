@@ -9,7 +9,7 @@ let column_span path j =
   let hi = Gom.Path.column_of_object_position path (j + 1) in
   (lo, hi)
 
-let build_one store path j =
+let build_one_view view path j =
   let n = count path in
   if j < 0 || j >= n then invalid_arg "Aux_rel.build_one: index out of range";
   let step = Gom.Path.step path (j + 1) in
@@ -19,17 +19,19 @@ let build_one store path j =
   let emit r = rows := r :: !rows in
   List.iter
     (fun o ->
-      match Gom.Store.get_attr store o step.Gom.Path.attr with
+      match Gom.Store_view.get_attr view o step.Gom.Path.attr with
       | Gom.Value.Null -> ()
       | v -> (
         match step.Gom.Path.set_type with
         | None -> emit [| Gom.Value.Ref o; v |]
         | Some _ ->
           let set_oid = Gom.Value.oid_exn v in
-          (match Gom.Store.elements store set_oid with
+          (match Gom.Store_view.elements view set_oid with
           | [] -> emit [| Gom.Value.Ref o; v; Gom.Value.Null |]
           | elems -> List.iter (fun e -> emit [| Gom.Value.Ref o; v; e |]) elems)))
-    (Gom.Store.extent ~deep:true store domain);
+    (Gom.Store_view.extent ~deep:true view domain);
   Relation.of_list ~width:w !rows
 
-let build store path = List.init (count path) (build_one store path)
+let build_view view path = List.init (count path) (build_one_view view path)
+let build_one store path j = build_one_view (Gom.Store_view.live store) path j
+let build store path = build_view (Gom.Store_view.live store) path

@@ -1,14 +1,26 @@
 type env = {
-  store : Gom.Store.t;
+  view : Gom.Store_view.t;
   heap : Storage.Heap.t;
   stats : Storage.Stats.t;
   deadline : Deadline.t;
+  marks : (int * int) list;
+      (* (Asr.id, tree version) pinned at snapshot publication *)
 }
 
-let make ?stats ?deadline store heap =
+let make_view ?stats ?deadline ?(marks = []) view heap =
   let stats = match stats with Some s -> s | None -> Storage.Stats.create () in
   let deadline = match deadline with Some d -> d | None -> Deadline.none () in
-  { store; heap; stats; deadline }
+  { view; heap; stats; deadline; marks }
+
+let make ?stats ?deadline store heap =
+  make_view ?stats ?deadline (Gom.Store_view.live store) heap
+
+let live_store_exn env =
+  match Gom.Store_view.live_store env.view with
+  | Some s -> s
+  | None -> invalid_arg "Exec: environment reads a frozen snapshot, not a live store"
+
+let mark_for env id = List.assoc_opt id env.marks
 
 let checkpoint env = Deadline.check env.deadline
 
@@ -33,7 +45,7 @@ let rec reach env path ~p ~j oid =
   else begin
     read_obj env oid;
     let step = Gom.Path.step path (p + 1) in
-    match Gom.Store.get_attr env.store oid step.Gom.Path.attr with
+    match Gom.Store_view.get_attr env.view oid step.Gom.Path.attr with
     | Gom.Value.Null -> []
     | v -> (
       match step.Gom.Path.set_type with
@@ -43,7 +55,7 @@ let rec reach env path ~p ~j oid =
       | Some _ ->
         let set_oid = Gom.Value.oid_exn v in
         read_obj env set_oid;
-        Gom.Store.elements env.store set_oid
+        Gom.Store_view.elements env.view set_oid
         |> List.concat_map (fun e ->
                if p + 1 = j then [ e ]
                else reach env path ~p:(p + 1) ~j (Gom.Value.oid_exn e)))
@@ -66,7 +78,7 @@ let backward_scan env path ~i ~j ~target =
         begin
           read_obj env oid;
           let step = Gom.Path.step path (p + 1) in
-          match Gom.Store.get_attr env.store oid step.Gom.Path.attr with
+          match Gom.Store_view.get_attr env.view oid step.Gom.Path.attr with
           | Gom.Value.Null -> false
           | v -> (
             match step.Gom.Path.set_type with
@@ -76,7 +88,7 @@ let backward_scan env path ~i ~j ~target =
             | Some _ ->
               let set_oid = Gom.Value.oid_exn v in
               read_obj env set_oid;
-              let elems = Gom.Store.elements env.store set_oid in
+              let elems = Gom.Store_view.elements env.view set_oid in
               if p + 1 = j then List.exists (Gom.Value.equal target) elems
               else
                 List.exists (fun e -> reaches (p + 1) (Gom.Value.oid_exn e)) elems)
@@ -85,7 +97,7 @@ let backward_scan env path ~i ~j ~target =
       Hashtbl.replace memo (p, oid) r;
       r
   in
-  let sources = Gom.Store.extent ~deep:true env.store (Gom.Path.type_at path i) in
+  let sources = Gom.Store_view.extent ~deep:true env.view (Gom.Path.type_at path i) in
   sort_oids (List.filter (fun o -> reaches i o) sources)
 
 (* ------------------------------------------------------------------ *)

@@ -22,20 +22,50 @@
     before evaluating. *)
 
 type env = {
-  store : Gom.Store.t;
+  view : Gom.Store_view.t;
+      (** The read-only view every evaluation consumes: the live store
+          for ordinary environments, a frozen epoch snapshot in the
+          parallel server's executors. *)
   heap : Storage.Heap.t;
   stats : Storage.Stats.t;  (** Every evaluation charges its pages here. *)
   deadline : Deadline.t;
       (** Cooperative budget; {!checkpoint} sites raise
           {!Deadline.Expired} once it is exhausted. *)
+  marks : (int * int) list;
+      (** Index pins of a frozen environment: ({!Asr.id}, tree version)
+          pairs recorded at snapshot publication.  The engine only walks
+          an ASR's B+ trees on behalf of this environment if the ASR's
+          current {!Asr.tree_version} still equals the pinned one —
+          otherwise it degrades to navigation (exact, just slower).
+          Empty for live environments. *)
 }
 
 val make :
   ?stats:Storage.Stats.t -> ?deadline:Deadline.t -> Gom.Store.t -> Storage.Heap.t -> env
-(** [make store heap] builds an environment with a fresh cold
-    {!Storage.Stats.t}; pass [?stats] to share or buffer one (e.g. the
-    warm-cache ablation's LRU pool).  [?deadline] defaults to
-    {!Deadline.none} — no budget, zero-cost checkpoints. *)
+(** [make store heap] builds an environment over the live store (a
+    [Live] view, no marks) with a fresh cold {!Storage.Stats.t}; pass
+    [?stats] to share or buffer one (e.g. the warm-cache ablation's LRU
+    pool).  [?deadline] defaults to {!Deadline.none} — no budget,
+    zero-cost checkpoints. *)
+
+val make_view :
+  ?stats:Storage.Stats.t ->
+  ?deadline:Deadline.t ->
+  ?marks:(int * int) list ->
+  Gom.Store_view.t ->
+  Storage.Heap.t ->
+  env
+(** Generalisation of {!make} to any view; snapshot environments pass
+    the frozen view plus the index marks pinned at publication. *)
+
+val live_store_exn : env -> Gom.Store.t
+(** The mutable store behind a [Live] environment — write paths
+    (maintenance, transactions) recover mutation rights through this.
+    @raise Invalid_argument on frozen environments. *)
+
+val mark_for : env -> int -> int option
+(** [mark_for env id] is the tree version pinned for ASR [id] at
+    publication, if this is a snapshot environment that pinned it. *)
 
 val checkpoint : env -> unit
 (** Record one cancellation checkpoint against [env.deadline] (raising

@@ -20,9 +20,14 @@ val of_name : string -> kind option
 
 val join_kind : kind -> Relation.join_kind
 
+val compute_view : Gom.Store_view.t -> Gom.Path.t -> kind -> Relation.t
+(** Materialise the extension from the object base behind the view,
+    composing the auxiliary relations with the corresponding join
+    chain.  Over a frozen view this is ground truth {e for that epoch}
+    (the scrubber audits published snapshots this way). *)
+
 val compute : Gom.Store.t -> Gom.Path.t -> kind -> Relation.t
-(** Materialise the extension from the current object base, composing
-    the auxiliary relations with the corresponding join chain. *)
+(** {!compute_view} over the live store. *)
 
 val supports : kind -> n:int -> i:int -> j:int -> bool
 (** Applicability of the extension to a query over sub-path

@@ -30,6 +30,7 @@ let policy_of_string s =
 
 type t = {
   env : Exec.env;
+  store : Gom.Store.t; (* = Exec.live_store_exn env: maintenance writes *)
   stats : Storage.Stats.t;
   mutable asrs : Asr.t list;
   suspended : (int, unit) Hashtbl.t;  (* keyed by Asr.id — identity set *)
@@ -88,7 +89,7 @@ let rec graph_prefixes t ~charge path ~pos ~oid =
     if charge then
       Storage.Heap.scan_extent ~deep:true t.env.Exec.heap t.stats step.Gom.Path.domain;
     let refs =
-      Gom.Store.referencers t.env.Exec.store step.Gom.Path.domain step.Gom.Path.attr
+      Gom.Store.referencers t.store step.Gom.Path.domain step.Gom.Path.attr
         (Gom.Value.Ref oid)
     in
     match refs with
@@ -125,7 +126,7 @@ let rec graph_suffixes t path ~pos ~oid =
   if pos = n then [ [| Gom.Value.Ref oid |] ]
   else begin
     let step = Gom.Path.step path (pos + 1) in
-    match Gom.Store.get_attr t.env.Exec.store oid step.Gom.Path.attr with
+    match Gom.Store.get_attr t.store oid step.Gom.Path.attr with
     | Gom.Value.Null -> [ pad [| Gom.Value.Ref oid |] ]
     | v -> (
       match step.Gom.Path.set_type with
@@ -138,7 +139,7 @@ let rec graph_suffixes t path ~pos ~oid =
       | Some _ ->
         let set_oid = Gom.Value.oid_exn v in
         Storage.Heap.read_object t.env.Exec.heap t.stats set_oid;
-        (match Gom.Store.elements t.env.Exec.store set_oid with
+        (match Gom.Store.elements t.store set_oid with
         | [] -> [ pad [| Gom.Value.Ref oid; v; Gom.Value.Null |] ]
         | elems ->
           elems
@@ -237,8 +238,8 @@ let handle_change t index ~i ~obj ~targets =
     List.iter
       (fun x ->
         if
-          Gom.Store.mem t.env.Exec.store x
-          && not (referenced_now t.env.Exec.store path ~pos:(i + 1) ~oid:x)
+          Gom.Store.mem t.store x
+          && not (referenced_now t.store path ~pos:(i + 1) ~oid:x)
         then begin
           let cx = ci1 in
           let pre = Array.make (cx + 1) Gom.Value.Null in
@@ -262,12 +263,12 @@ let targets_of_value t (step : Gom.Path.step) v =
     | None -> ( match value_oid v with Some o -> [ o ] | None -> [])
     | Some _ -> (
       match value_oid v with
-      | Some set_oid when Gom.Store.mem t.env.Exec.store set_oid ->
-        Gom.Store.elements t.env.Exec.store set_oid |> List.filter_map value_oid
+      | Some set_oid when Gom.Store.mem t.store set_oid ->
+        Gom.Store.elements t.store set_oid |> List.filter_map value_oid
       | Some _ | None -> []))
 
 let handle_event t index ev =
-  let store = t.env.Exec.store in
+  let store = t.store in
   let schema = Gom.Store.schema store in
   let path = Asr.path index in
   match ev with
@@ -329,9 +330,11 @@ let maybe_flush t =
   | Bytes_threshold b -> if pending_bytes t >= max 1 b then ignore (flush_all t)
 
 let create env =
+  let store = Exec.live_store_exn env in
   let t =
     {
       env;
+      store;
       stats = env.Exec.stats;
       asrs = [];
       suspended = Hashtbl.create 16;
@@ -340,7 +343,7 @@ let create env =
     }
   in
   let (_ : Gom.Store.subscription) =
-    Gom.Store.subscribe env.Exec.store (fun ev ->
+    Gom.Store.subscribe store (fun ev ->
       Storage.Stats.begin_op t.stats;
       List.iter
         (fun index ->
@@ -352,7 +355,7 @@ let create env =
   t
 
 let register t index =
-  if not (Asr.store index == t.env.Exec.store) then
+  if not (Asr.store index == t.store) then
     invalid_arg "Maintenance.register: ASR built over a different store";
   t.asrs <- index :: t.asrs;
   Asr.set_deferred index (match t.policy with Immediate -> false | _ -> true)

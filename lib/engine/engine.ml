@@ -129,12 +129,13 @@ let indexes t = with_lock t (fun () -> t.indexes)
 let generation t = with_lock t (fun () -> t.generation)
 
 (* Per-domain execution environments: workers pass their own [env]
-   (same store and heap, private stats sheaf) so page accounting never
-   races; [None] means the engine's own environment. *)
+   (a frozen snapshot view of the same lineage, private stats sheaf) so
+   page accounting never races; [None] means the engine's own (live)
+   environment. *)
 let resolve_env t = function
   | None -> t.env
   | Some (e : Core.Exec.env) ->
-    if not (e.Core.Exec.store == t.env.Core.Exec.store) then
+    if not (Gom.Store_view.same_base e.Core.Exec.view t.env.Core.Exec.view) then
       invalid_arg "Engine: execution environment over a different store";
     e
 
@@ -179,6 +180,40 @@ let index_fresh ~env t a =
     Storage.Stats.note_freshness_degradation stats;
     false
 
+(* May this environment walk the index's B+ trees right now?
+
+   A snapshot environment carries version marks pinned at publication:
+   the trees are usable iff they still sit at the pinned version, which
+   means they reflect exactly the environment's epoch (publication
+   flushes every buffer first, so pending deltas are strictly {e future}
+   work relative to the snapshot).  A frozen environment without a mark
+   never touches the trees.  A live environment falls back to the
+   freshness watermark — including Catch_up's flush-on-first-use, which
+   must never run on behalf of a frozen reader (it would pull future
+   writes into a published epoch). *)
+let tree_guard ~env t a =
+  match Core.Exec.mark_for env (Core.Asr.id a) with
+  | Some v -> if Core.Asr.acquire_trees a ~version:v then `Acquired else `Refuse
+  | None ->
+    if Gom.Store_view.is_frozen env.Core.Exec.view then `Refuse
+    else if index_fresh ~env t a then `Plain
+    else `Refuse
+
+let with_index_trees ~env t a f =
+  match tree_guard ~env t a with
+  | `Plain -> f ()
+  | `Refuse -> raise Stale_plan
+  | `Acquired -> Fun.protect ~finally:(fun () -> Core.Asr.release_trees a) f
+
+(* Planning-time mirror of [tree_guard] that never takes the reader
+   slot: pricing only needs to know whether execution would succeed
+   (execution re-guards with the real bracket). *)
+let index_usable ~env t a =
+  match Core.Exec.mark_for env (Core.Asr.id a) with
+  | Some v -> Core.Asr.tree_version a = v
+  | None ->
+    (not (Gom.Store_view.is_frozen env.Core.Exec.view)) && index_fresh ~env t a
+
 let create ?(sizes = fun _ -> 100) env =
   let t =
     {
@@ -198,7 +233,7 @@ let create ?(sizes = fun _ -> 100) env =
     }
   in
   let (_ : Gom.Store.subscription) =
-    Gom.Store.subscribe env.Core.Exec.store (fun _event ->
+    Gom.Store.subscribe (Core.Exec.live_store_exn env) (fun _event ->
         with_lock t (fun () ->
             t.generation <- t.generation + 1;
             Hashtbl.reset t.measured))
@@ -206,7 +241,7 @@ let create ?(sizes = fun _ -> 100) env =
   t
 
 let register t a =
-  if not (Core.Asr.store a == t.env.Core.Exec.store) then
+  if not (Core.Asr.store a == Gom.Store_view.base t.env.Core.Exec.view) then
     invalid_arg "Engine.register: index built over a different store";
   with_lock t (fun () ->
       if not (List.memq a t.indexes) then begin
@@ -273,18 +308,18 @@ let cache_info t =
 (* Profiles                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let measure_profile ?(sizes = fun _ -> 100) store path =
+let measure_profile_view ?(sizes = fun _ -> 100) view path =
   let n = Gom.Path.length path in
   let type_count i =
     let ty = Gom.Path.type_at path i in
-    if Gom.Schema.is_atomic (Gom.Store.schema store) ty then begin
+    if Gom.Schema.is_atomic (Gom.Store_view.schema view) ty then begin
       (* Elementary terminal type: its "extent" is the set of distinct
          values actually referenced (their value is their identity). *)
       let step = Gom.Path.step path n in
       let values = Hashtbl.create 64 in
       List.iter
         (fun o ->
-          match Gom.Store.get_attr store o step.Gom.Path.attr with
+          match Gom.Store_view.get_attr view o step.Gom.Path.attr with
           | Gom.Value.Null -> ()
           | v -> (
             match step.Gom.Path.set_type with
@@ -292,11 +327,11 @@ let measure_profile ?(sizes = fun _ -> 100) store path =
             | Some _ ->
               List.iter
                 (fun e -> Hashtbl.replace values e ())
-                (Gom.Store.elements store (Gom.Value.oid_exn v))))
-        (Gom.Store.extent ~deep:true store step.Gom.Path.domain);
+                (Gom.Store_view.elements view (Gom.Value.oid_exn v))))
+        (Gom.Store_view.extent ~deep:true view step.Gom.Path.domain);
       max 1 (Hashtbl.length values)
     end
-    else max 1 (Gom.Store.count ~deep:true store ty)
+    else max 1 (Gom.Store_view.count ~deep:true view ty)
   in
   let level i =
     (* d_i, total references, distinct referenced targets of A(i+1). *)
@@ -306,7 +341,7 @@ let measure_profile ?(sizes = fun _ -> 100) store path =
     let distinct = Hashtbl.create 64 in
     List.iter
       (fun o ->
-        match Gom.Store.get_attr store o step.Gom.Path.attr with
+        match Gom.Store_view.get_attr view o step.Gom.Path.attr with
         | Gom.Value.Null -> ()
         | v -> (
           incr defined;
@@ -319,8 +354,8 @@ let measure_profile ?(sizes = fun _ -> 100) store path =
               (fun e ->
                 incr refs;
                 Hashtbl.replace distinct e ())
-              (Gom.Store.elements store (Gom.Value.oid_exn v))))
-      (Gom.Store.extent ~deep:true store step.Gom.Path.domain);
+              (Gom.Store_view.elements view (Gom.Value.oid_exn v))))
+      (Gom.Store_view.extent ~deep:true view step.Gom.Path.domain);
     (!defined, !refs, Hashtbl.length distinct)
   in
   let stats = List.init n level in
@@ -343,12 +378,15 @@ let measure_profile ?(sizes = fun _ -> 100) store path =
   in
   Costmodel.Profile.make ~sizes:size_list ~shar ~c ~d ~fan ()
 
+let measure_profile ?sizes store path =
+  measure_profile_view ?sizes (Gom.Store_view.live store) path
+
 let set_profile t path prof =
   with_lock t (fun () ->
       Hashtbl.replace t.pinned (Gom.Path.to_string path) prof;
       t.generation <- t.generation + 1)
 
-let profile t path =
+let profile_in ~env t path =
   let key = Gom.Path.to_string path in
   let memoised =
     with_lock t (fun () ->
@@ -359,10 +397,14 @@ let profile t path =
   match memoised with
   | Some p -> p
   | None ->
-    (* Measure outside the lock — it walks the store.  Two domains
-       missing simultaneously both measure the same (unchanged-since)
-       base and publish equal profiles; the first insert wins. *)
-    let p = measure_profile ~sizes:t.sizes t.env.Core.Exec.store path in
+    (* Measure outside the lock, over the {e caller's} view: a worker
+       domain measures its own frozen snapshot (immutable, so the walk
+       can never race the writer), the engine's own environment measures
+       the live base.  Two domains missing simultaneously publish
+       near-identical profiles; the first insert wins, and any store
+       mutation resets the memo — a stale entry can only mis-price a
+       plan, never mis-answer a query. *)
+    let p = measure_profile_view ~sizes:t.sizes env.Core.Exec.view path in
     with_lock t (fun () ->
         match Hashtbl.find_opt t.pinned key with
         | Some pinned -> pinned
@@ -372,6 +414,8 @@ let profile t path =
           | None ->
             Hashtbl.replace t.measured key p;
             p))
+
+let profile t path = profile_in ~env:t.env t path
 
 (* ------------------------------------------------------------------ *)
 (* Planning                                                            *)
@@ -473,7 +517,7 @@ let candidates ?env t path ~i ~j ~dir =
   (* One consistent view of the registrations and health for the whole
      enumeration; pricing happens outside the lock. *)
   let indexes, health = with_lock t (fun () -> (t.indexes, t.health)) in
-  let prof_q = profile t path in
+  let prof_q = profile_in ~env t path in
   let nav_plan =
     match (dir : Plan.dir) with
     | Fwd -> Plan.Nav { path; i; j }
@@ -497,13 +541,14 @@ let candidates ?env t path ~i ~j ~dir =
             degraded := true;
             None
           end
-          else if not (index_fresh ~env t a) then
-            (* Pending deferred deltas under Degrade: the stale index is
-               priced out (its own counter already recorded it); the
-               always-live plans below stay exact. *)
+          else if not (index_usable ~env t a) then
+            (* The trees are out of reach for this environment: version
+               moved past a snapshot's pin, a frozen env without a mark,
+               or pending deltas under Degrade.  Price the index out;
+               the always-live plans below stay exact. *)
             None
           else begin
-            let prof_i = if whole ipath off then prof_q else profile t ipath in
+            let prof_i = if whole ipath off then prof_q else profile_in ~env t ipath in
             let dec = analytic_decomposition ipath (Core.Asr.decomposition a) in
             let est = QC.qsup prof_i (Core.Asr.kind a) dec (qkind dir) pi pj in
             Some
@@ -570,8 +615,8 @@ let rec run_forward_exn ~env t plan oid =
   | Nav { path; i; j } -> Core.Exec.forward_scan env path ~i ~j oid
   | Stitch { index; i; j; steps; _ } ->
     if not (stitch_usable t index steps) then raise Stale_plan;
-    if not (index_fresh ~env t index) then raise Stale_plan;
-    Core.Exec.forward_supported env index ~i ~j oid
+    with_index_trees ~env t index (fun () ->
+        Core.Exec.forward_supported env index ~i ~j oid)
   | Extent_scan _ -> invalid_arg "Engine.run_forward: backward plan"
   | Union ps ->
     List.concat_map (fun p -> run_forward_exn ~env t p oid) ps
@@ -589,8 +634,8 @@ let rec run_backward_exn ~env t plan ~target =
   | Extent_scan { path; i; j } -> Core.Exec.backward_scan env path ~i ~j ~target
   | Stitch { index; i; j; steps; _ } ->
     if not (stitch_usable t index steps) then raise Stale_plan;
-    if not (index_fresh ~env t index) then raise Stale_plan;
-    Core.Exec.backward_supported env index ~i ~j ~target
+    with_index_trees ~env t index (fun () ->
+        Core.Exec.backward_supported env index ~i ~j ~target)
   | Nav _ -> invalid_arg "Engine.run_backward: forward plan"
   | Union ps ->
     List.concat_map (fun p -> run_backward_exn ~env t p ~target) ps
@@ -738,10 +783,12 @@ let forward_batch ?env t path ~i ~j oids =
   | Plan.Stitch { index; i = pi; j = pj; steps; _ } -> (
     try
       if not (stitch_usable t index steps) then raise Stale_plan;
-      if not (index_fresh ~env t index) then raise Stale_plan;
-      let frontiers = Array.of_list (List.map (fun o -> [ Gom.Value.Ref o ]) probes) in
-      let finals = batch_stitch_fwd ~env index ~i:pi ~j:pj frontiers in
-      List.mapi (fun k o -> (o, finals.(k))) probes
+      with_index_trees ~env t index (fun () ->
+          let frontiers =
+            Array.of_list (List.map (fun o -> [ Gom.Value.Ref o ]) probes)
+          in
+          let finals = batch_stitch_fwd ~env index ~i:pi ~j:pj frontiers in
+          List.mapi (fun k o -> (o, finals.(k))) probes)
     with Stale_plan ->
       List.map (fun o -> (o, nav_fallback ~env t path ~i ~j o)) probes)
   | plan ->
@@ -761,13 +808,15 @@ let backward_batch ?env t path ~i ~j ~targets =
   | Plan.Stitch { index; i = pi; j = pj; steps; _ } -> (
     try
       if not (stitch_usable t index steps) then raise Stale_plan;
-      if not (index_fresh ~env t index) then raise Stale_plan;
-      let frontiers = Array.of_list (List.map (fun v -> [ v ]) probes) in
-      let finals = batch_stitch_bwd ~env index ~i:pi ~j:pj frontiers in
-      List.mapi
-        (fun k v ->
-          (v, finals.(k) |> List.map Gom.Value.oid_exn |> List.sort_uniq Gom.Oid.compare))
-        probes
+      with_index_trees ~env t index (fun () ->
+          let frontiers = Array.of_list (List.map (fun v -> [ v ]) probes) in
+          let finals = batch_stitch_bwd ~env index ~i:pi ~j:pj frontiers in
+          List.mapi
+            (fun k v ->
+              ( v,
+                finals.(k) |> List.map Gom.Value.oid_exn
+                |> List.sort_uniq Gom.Oid.compare ))
+            probes)
     with Stale_plan ->
       List.map (fun v -> (v, scan_fallback ~env t path ~i ~j ~target:v)) probes)
   | plan ->

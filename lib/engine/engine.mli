@@ -161,6 +161,15 @@ val measure_profile :
 (** Measure a path's exact statistics ([c_i], [d_i], [fan_i], [shar_i])
     from the object base — the live feed of the planner's cost model. *)
 
+val measure_profile_view :
+  ?sizes:(Gom.Schema.type_name -> int) ->
+  Gom.Store_view.t ->
+  Gom.Path.t ->
+  Costmodel.Profile.t
+(** {!measure_profile} over any read-only view.  Planning on behalf of a
+    frozen environment measures the {e snapshot}, never racing the
+    writer. *)
+
 val set_profile : t -> Gom.Path.t -> Costmodel.Profile.t -> unit
 (** Pin a profile for a path, overriding measurement (e.g. an assumed
     future workload, or a deterministic profile for tests).  Bumps the

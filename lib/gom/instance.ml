@@ -6,6 +6,16 @@ type body =
 type t = { oid : Oid.t; ty : Schema.type_name; body : body }
 
 let make oid ty body = { oid; ty; body }
+
+let copy t =
+  let body =
+    match t.body with
+    | Tuple_body tbl -> Tuple_body (Hashtbl.copy tbl)
+    | Set_body tbl -> Set_body (Hashtbl.copy tbl)
+    | List_body l -> List_body (ref !l)
+  in
+  { t with body }
+
 let oid t = t.oid
 let ty t = t.ty
 

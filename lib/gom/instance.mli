@@ -16,6 +16,11 @@ type t = private { oid : Oid.t; ty : Schema.type_name; body : body }
 val make : Oid.t -> Schema.type_name -> body -> t
 (** Used by {!Store}; not intended for direct use. *)
 
+val copy : t -> t
+(** Deep copy of the mutable body; identifier and type are shared.
+    Copy-on-write snapshots clone exactly the instances the current
+    epoch touched and share every other one by reference. *)
+
 val oid : t -> Oid.t
 val ty : t -> Schema.type_name
 

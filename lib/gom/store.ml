@@ -57,19 +57,14 @@ let emit t ev =
 let copy t =
   let objects = Hashtbl.create (max 16 (Hashtbl.length t.objects)) in
   Hashtbl.iter
-    (fun oid inst ->
-      let body =
-        match (inst : Instance.t).body with
-        | Instance.Tuple_body tbl -> Instance.Tuple_body (Hashtbl.copy tbl)
-        | Instance.Set_body tbl -> Instance.Set_body (Hashtbl.copy tbl)
-        | Instance.List_body l -> Instance.List_body (ref !l)
-      in
-      Hashtbl.replace objects oid (Instance.make oid (Instance.ty inst) body))
+    (fun oid inst -> Hashtbl.replace objects oid (Instance.copy inst))
     t.objects;
   let extents = Hashtbl.create (max 16 (Hashtbl.length t.extents)) in
   Hashtbl.iter (fun ty r -> Hashtbl.replace extents ty (ref !r)) t.extents;
-  let gen = Oid.make_gen () in
-  Hashtbl.iter (fun oid _ -> Oid.ensure_above gen oid) t.objects;
+  (* Fork the generator at its current position instead of rescanning
+     every object: identifiers already drawn stay taken on both sides,
+     and the O(n) [ensure_above] sweep disappears. *)
+  let gen = Oid.fork t.gen in
   {
     schema = t.schema;
     gen;
@@ -230,6 +225,19 @@ let extent ?(deep = false) t ty =
     |> List.sort Oid.compare
 
 let count ?deep t ty = List.length (extent ?deep t ty)
+
+(* Raw extent list in reverse creation order, as stored.  The returned
+   list is the current value of the extent ref: list cells are immutable
+   and never mutated in place (creation conses a new head, deletion
+   rebuilds the spine), so a caller holding this list keeps a consistent
+   point-in-time extent even while the store keeps mutating — the basis
+   of structural sharing in frozen snapshots. *)
+let extent_rev t ty =
+  match Hashtbl.find_opt t.extents ty with Some r -> !r | None -> []
+
+let extent_types t =
+  Hashtbl.fold (fun ty r acc -> if !r = [] then acc else ty :: acc) t.extents []
+  |> List.sort String.compare
 
 let fold_objects t ~init ~f =
   let all = Hashtbl.fold (fun _ inst acc -> inst :: acc) t.objects [] in

@@ -44,13 +44,20 @@ val epoch : t -> int
     reflect. *)
 
 val copy : t -> t
+  [@@alert
+    legacy
+      "Store.copy deep-clones the whole base; read paths should consume \
+       Store_view (Frozen snapshots share untouched objects across epochs). \
+       Kept for writer-side cloning (tests, tools)."]
 (** Deep structural clone sharing the (immutable) schema: objects keep
     their identifiers, extents, persistent names and the {!epoch} are
     preserved, and no listeners are carried over.  The clone is an
     independent store — mutating either side never affects the other.
-    The parallel serving layer publishes copies as immutable epoch
-    snapshots: a copy that is never mutated can be read from many
-    domains concurrently. *)
+
+    Deprecated as a snapshot mechanism: the parallel serving layer now
+    publishes {!Frozen} copy-on-write snapshots behind {!Store_view}
+    instead of deep copies.  [copy] remains for whole-base duplication
+    (durability snapshot writing, tests). *)
 
 val new_object : t -> Schema.type_name -> Oid.t
 (** Instantiate a type: tuple instances get all attributes set to
@@ -89,6 +96,17 @@ val extent : ?deep:bool -> t -> Schema.type_name -> Oid.t list
     (default [false]) instances of subtypes are included. *)
 
 val count : ?deep:bool -> t -> Schema.type_name -> int
+
+val extent_rev : t -> Schema.type_name -> Oid.t list
+(** Raw extent in {e reverse} creation order, exactly as stored.  The
+    returned list is immutable and structurally shared with the store's
+    own extent (mutation replaces the spine rather than updating cells
+    in place), so it stays a consistent point-in-time extent even as the
+    store continues to mutate.  {!Frozen} snapshots capture extents this
+    way. *)
+
+val extent_types : t -> Schema.type_name list
+(** Type names with a non-empty extent, sorted. *)
 
 val fold_objects : t -> init:'a -> f:('a -> Instance.t -> 'a) -> 'a
 (** Folds over every instance in the base in creation order. *)

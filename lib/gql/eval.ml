@@ -119,7 +119,7 @@ let resolve_env ~engine = function None -> Engine.env engine | Some e -> e
 
 let plan ?env ~engine (q : T.t) =
   let env = resolve_env ~engine env in
-  let schema = Gom.Store.schema env.Core.Exec.store in
+  let schema = Gom.Store_view.schema env.Core.Exec.view in
   match merged_chain q with
   | None -> Nested_loop
   | Some (anchor_ty, attrs, target, residual) -> (
@@ -180,11 +180,11 @@ let rec pred_holds ~engine ~env ~bindings = function
 let source_values ~engine ~env ~bindings = function
   | T.Extent ty ->
     Storage.Heap.scan_extent ~deep:true env.Core.Exec.heap env.Core.Exec.stats ty;
-    Gom.Store.extent ~deep:true env.Core.Exec.store ty
+    Gom.Store_view.extent ~deep:true env.Core.Exec.view ty
     |> List.map (fun o -> Gom.Value.Ref o)
   | T.Named_set (oid, _) ->
     Storage.Heap.read_object env.Core.Exec.heap env.Core.Exec.stats oid;
-    Gom.Store.elements env.Core.Exec.store oid
+    Gom.Store_view.elements env.Core.Exec.view oid
   | T.Via { base; path } -> (
     match List.assoc base bindings with
     | Gom.Value.Ref o ->
@@ -221,7 +221,7 @@ let merged_backward ~engine ~env ~choice ~target ~residual (q : T.t) =
   let v0, keep =
     match q.T.bindings with
     | (v0, T.Named_set (set_oid, _), _) :: _ ->
-      let members = Gom.Store.elements env.Core.Exec.store set_oid in
+      let members = Gom.Store_view.elements env.Core.Exec.view set_oid in
       (v0, fun o -> List.exists (Gom.Value.equal (Gom.Value.Ref o)) members)
     | (v0, _, _) :: _ -> (v0, fun _ -> true)
     | [] -> assert false
@@ -273,5 +273,5 @@ let run ?env ~engine (q : T.t) =
 let query ?env ~engine text =
   let ast = Parser.parse text in
   let env = resolve_env ~engine env in
-  let q = Typecheck.check env.Core.Exec.store ast in
+  let q = Typecheck.check_view env.Core.Exec.view ast in
   run ~env ~engine q

@@ -50,8 +50,8 @@ let check_path schema ~var ~var_ty attrs =
       { base = var; path = Some path; rtype = rtype_of_type schema result_ty }
     with Gom.Path.Path_error msg -> error "in path %s.%s: %s" var (String.concat "." attrs) msg)
 
-let check store q =
-  let schema = Gom.Store.schema store in
+let check_view view q =
+  let schema = Gom.Store_view.schema view in
   (* Resolve bindings left to right; later sources may reference earlier
      variables. *)
   let bindings =
@@ -62,9 +62,9 @@ let check store q =
         let tsource, elem_ty =
           match src with
           | Ast.Named name -> (
-            match Gom.Store.find_name store name with
+            match Gom.Store_view.find_name view name with
             | Some oid -> (
-              let ty = Gom.Store.type_of store oid in
+              let ty = Gom.Store_view.type_of view oid in
               match Gom.Schema.element_type schema ty with
               | Some elem -> (Named_set (oid, elem), elem)
               | None ->
@@ -162,3 +162,5 @@ let check store q =
   | Some n when n < 0 -> error "limit must be non-negative"
   | _ -> ());
   { bindings; select; where = check_pred q.Ast.where; order_by; limit = q.Ast.limit }
+
+let check store q = check_view (Gom.Store_view.live store) q

@@ -44,7 +44,13 @@ type t = {
   limit : int option;
 }
 
+val check_view : Gom.Store_view.t -> Ast.query -> t
+(** Resolve and type a query against any read-only view — the live
+    store or a frozen epoch snapshot (named roots resolve against the
+    view's own name table).
+    @raise Check_error on any name, scope or type violation. *)
+
 val check : Gom.Store.t -> Ast.query -> t
-(** @raise Check_error on any name, scope or type violation. *)
+(** [check_view] over the live store. *)
 
 val lit_value : Ast.lit -> Gom.Value.t

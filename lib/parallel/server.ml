@@ -1,30 +1,50 @@
+type publish_info = {
+  publishes : int;  (* epochs published since creation (incl. the first) *)
+  last_latency_s : float;
+  total_latency_s : float;
+  last_copied : int;
+  last_shared : int;
+}
+
 type t = {
   base : Gom.Store.t;
-  specs : Snapshot.spec list;
-  sizes : Gom.Schema.type_name -> int;
-  maintenance : Core.Maintenance.t option;
-      (* the live base's maintenance manager, when its ASRs run under a
-         deferred flush policy: pending deltas are flushed before any
-         snapshot publication, so published epochs are always delta-free *)
+  source : Snapshot.source;
+      (* the publication side: shared engine, shared ASRs, event tap and
+         the previous epoch's frozen image — advancing it applies only
+         the event suffix (CoW), never a deep copy *)
   pool : Pool.t;
   jobs : int;
   writer : Mutex.t;  (* serialises update/refresh and snapshot publication *)
   current : Snapshot.t Atomic.t;
+  pub : publish_info Atomic.t;
+      (* single-writer telemetry (updated under [writer]); atomic so
+         [publish_info] reads never tear *)
   accountant : Storage.Stats.t;  (* cumulative, merged from worker sheaves *)
   acc_lock : Mutex.t;
 }
 
 let create ?(jobs = 1) ?(sizes = fun _ -> 100) ?maintenance ~specs base =
   let jobs = max 1 jobs in
+  let source = Snapshot.source ~sizes ?maintenance ~specs base in
+  let t0 = Unix.gettimeofday () in
+  let snap = Snapshot.advance source in
+  let dt = Unix.gettimeofday () -. t0 in
   {
     base;
-    specs;
-    sizes;
-    maintenance;
+    source;
     pool = Pool.create ~jobs;
     jobs;
     writer = Mutex.create ();
-    current = Atomic.make (Snapshot.capture ~sizes ~specs base);
+    current = Atomic.make snap;
+    pub =
+      Atomic.make
+        {
+          publishes = 1;
+          last_latency_s = dt;
+          total_latency_s = dt;
+          last_copied = Snapshot.copied snap;
+          last_shared = Snapshot.shared snap;
+        };
     accountant = Storage.Stats.create ();
     acc_lock = Mutex.create ();
   }
@@ -32,18 +52,27 @@ let create ?(jobs = 1) ?(sizes = fun _ -> 100) ?maintenance ~specs base =
 let jobs t = t.jobs
 let pin t = Atomic.get t.current
 let epoch t = Snapshot.epoch (pin t)
+let publish_info t = Atomic.get t.pub
 
 let publish t =
-  (* Snapshots build their own ASRs from the specs, so they are fresh by
-     construction — but the live base's trees must catch up too, or the
-     writer's deferred work would straddle the epoch boundary and a
-     later policy switch could replay it against a future epoch's
-     expectations. Flushing here keeps "published epoch" synonymous
-     with "no pending deltas anywhere". *)
-  (match t.maintenance with
-  | Some m -> ignore (Core.Maintenance.flush_all m)
-  | None -> ());
-  Atomic.set t.current (Snapshot.capture ~sizes:t.sizes ~specs:t.specs t.base)
+  (* Called under the writer mutex.  [Snapshot.advance] drains pending
+     deferred deltas first, so "published epoch" stays synonymous with
+     "no pending deltas anywhere"; the image itself is advanced by the
+     event suffix — cost proportional to what the writer touched, not to
+     the store. *)
+  let t0 = Unix.gettimeofday () in
+  let snap = Snapshot.advance t.source in
+  Atomic.set t.current snap;
+  let dt = Unix.gettimeofday () -. t0 in
+  let p = Atomic.get t.pub in
+  Atomic.set t.pub
+    {
+      publishes = p.publishes + 1;
+      last_latency_s = dt;
+      total_latency_s = p.total_latency_s +. dt;
+      last_copied = Snapshot.copied snap;
+      last_shared = Snapshot.shared snap;
+    }
 
 let update ?publish:(want_publish = true) t f =
   Mutex.protect t.writer (fun () ->

@@ -5,7 +5,11 @@
 
     - {e writers} go through {!update}, serialised by a single writer
       mutex; when a commit actually mutated the base, a fresh
-      {!Snapshot.t} is captured and published with one atomic store;
+      {!Snapshot.t} is published with one atomic store — advanced
+      copy-on-write from the previous epoch's image (only touched
+      instances are cloned, and the access support relations are shared
+      by reference with their tree versions pinned), so publication
+      costs what the writer touched, never a deep copy of the base;
     - {e readers} never block: {!pin} is an [Atomic.get], and every
       query entry point runs against a pinned immutable snapshot, so a
       reader races no one — not even a concurrent republication, which
@@ -31,13 +35,15 @@ val create :
   Gom.Store.t ->
   t
 (** Serve [base] with [max 1 jobs] executor domains (default 1) and the
-    given access-support specs, capturing the initial snapshot
-    immediately.  The base must not be mutated behind the server's back
-    afterwards — route every write through {!update}.  With
-    [?maintenance] (the live base's manager, when its relations run
-    under a deferred flush policy), every pending delta is flushed
-    before a snapshot is published, so published epochs are always
-    delta-free. *)
+    given access-support specs, opening a {!Snapshot.source} and
+    publishing the initial snapshot immediately (the one O(n) image;
+    every later publication is CoW).  The base must not be mutated
+    behind the server's back afterwards — route every write through
+    {!update}.  The spec'd relations are registered with [?maintenance]
+    (the live base's manager — its flush policy then governs them) or
+    with a private immediate-mode manager; either way every pending
+    delta is flushed before a snapshot is published, so published
+    epochs are always delta-free. *)
 
 val jobs : t -> int
 
@@ -66,6 +72,22 @@ val refresh : t -> unit
 val lag : t -> int
 (** How many epochs the published snapshot trails the live base
     (0 = fresh; positive only while publication is deferred). *)
+
+type publish_info = {
+  publishes : int;  (** Epochs published since creation (incl. the first). *)
+  last_latency_s : float;  (** Wall-clock cost of the last publication. *)
+  total_latency_s : float;
+  last_copied : int;
+      (** Instances deep-copied by the last publication (its dirty set). *)
+  last_shared : int;
+      (** Instances the last publication carried over by reference. *)
+}
+
+val publish_info : t -> publish_info
+(** Publication telemetry; wait-free.  [last_copied] versus
+    [last_shared] is the direct measure of the CoW win: a small write
+    against a large base copies a handful of instances and shares the
+    rest. *)
 
 (** {2 Query entry points}
 

@@ -15,10 +15,11 @@
    once, on exactly one of those arms.
 
    Brownout: when the queue crosses the high watermark, writes routed
-   through [update] stop publishing snapshots (the deep copy in
-   [Snapshot.capture] is the expensive part of a write, and epochs are
-   delta-free, so deferring publication is pure load relief — readers
-   just keep the previous epoch, with the staleness surfaced as
+   through [update] stop publishing snapshots (publication is CoW —
+   proportional to the writer's dirty set, not the base — but it still
+   drains deferred index deltas and clones touched instances, so
+   deferring it under overload is load relief; readers just keep the
+   previous epoch, with the staleness surfaced as
    [stale_epoch_served]).  Once the queue drains below the low
    watermark, the front catches the snapshot up through the circuit
    breaker — a refresh that keeps failing transiently trips the breaker

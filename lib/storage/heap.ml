@@ -1,31 +1,30 @@
+module Omap = Map.Make (Gom.Oid)
+module Smap = Map.Make (String)
+
 type placement = { first : int; span : int }
+type area = { pages : int list; (* reverse order of allocation *) used_slots : int }
 
-type area = {
-  mutable pages : int list; (* reverse order of allocation *)
-  mutable used_slots : int; (* slots used on the last page *)
-}
-
+(* Placements and areas live in persistent maps behind mutable roots:
+   the live heap mutates the roots in place, and [snapshot] forks an
+   immutable O(1) copy sharing the balanced trees — the heap counterpart
+   of [Gom.Frozen] epoch snapshots. *)
 type t = {
   config : Config.t;
   pager : Pager.t;
   size_of : Gom.Schema.type_name -> int;
-  store : Gom.Store.t;
-  placements : (Gom.Oid.t, placement) Hashtbl.t;
-  areas : (Gom.Schema.type_name, area) Hashtbl.t;
+  schema : Gom.Schema.t;
+  mutable placements : placement Omap.t;
+  mutable areas : area Smap.t;
 }
 
 let objects_per_page t ty = max 1 (t.config.Config.page_size / max 1 (t.size_of ty))
 
 let area t ty =
-  match Hashtbl.find_opt t.areas ty with
+  match Smap.find_opt ty t.areas with
   | Some a -> a
-  | None ->
-    let a = { pages = []; used_slots = 0 } in
-    Hashtbl.add t.areas ty a;
-    a
+  | None -> { pages = []; used_slots = 0 }
 
-let place t oid =
-  let ty = Gom.Store.type_of t.store oid in
+let place t ty oid =
   let size = max 1 (t.size_of ty) in
   let a = area t ty in
   if size > t.config.Config.page_size then begin
@@ -35,24 +34,26 @@ let place t oid =
     for _ = 2 to span do
       ignore (Pager.alloc t.pager)
     done;
-    a.pages <- first :: a.pages;
-    a.used_slots <- objects_per_page t ty (* force a fresh page next time *);
-    Hashtbl.replace t.placements oid { first; span }
+    let a =
+      { pages = first :: a.pages;
+        used_slots = objects_per_page t ty (* force a fresh page next time *) }
+    in
+    t.areas <- Smap.add ty a t.areas;
+    t.placements <- Omap.add oid { first; span } t.placements
   end
   else begin
     let opp = objects_per_page t ty in
     let page =
       match a.pages with
       | p :: _ when a.used_slots < opp ->
-        a.used_slots <- a.used_slots + 1;
+        t.areas <- Smap.add ty { a with used_slots = a.used_slots + 1 } t.areas;
         p
       | _ ->
         let p = Pager.alloc t.pager in
-        a.pages <- p :: a.pages;
-        a.used_slots <- 1;
+        t.areas <- Smap.add ty { pages = p :: a.pages; used_slots = 1 } t.areas;
         p
     in
-    Hashtbl.replace t.placements oid { first = page; span = 1 }
+    t.placements <- Omap.add oid { first = page; span = 1 } t.placements
   end
 
 let create ?(config = Config.default) ?(pager = Pager.create ()) ~size_of store =
@@ -61,25 +62,27 @@ let create ?(config = Config.default) ?(pager = Pager.create ()) ~size_of store 
       config;
       pager;
       size_of;
-      store;
-      placements = Hashtbl.create 1024;
-      areas = Hashtbl.create 32;
+      schema = Gom.Store.schema store;
+      placements = Omap.empty;
+      areas = Smap.empty;
     }
   in
   Gom.Store.fold_objects store ~init:() ~f:(fun () inst ->
-      place t (Gom.Instance.oid inst));
+      place t (Gom.Instance.ty inst) (Gom.Instance.oid inst));
   let (_ : Gom.Store.subscription) =
     Gom.Store.subscribe store (function
-    | Gom.Store.Created oid -> place t oid
-    | Gom.Store.Deleted { obj = oid; _ } -> Hashtbl.remove t.placements oid
-    | Gom.Store.Attr_set _ | Gom.Store.Set_inserted _ | Gom.Store.Set_removed _ -> ())
+      | Gom.Store.Created oid -> place t (Gom.Store.type_of store oid) oid
+      | Gom.Store.Deleted { obj = oid; _ } -> t.placements <- Omap.remove oid t.placements
+      | Gom.Store.Attr_set _ | Gom.Store.Set_inserted _ | Gom.Store.Set_removed _ -> ())
   in
   t
+
+let snapshot t = { t with placements = t.placements }
 
 let config t = t.config
 
 let placement t oid =
-  match Hashtbl.find_opt t.placements oid with
+  match Omap.find_opt oid t.placements with
   | Some p -> p
   | None -> raise Not_found
 
@@ -98,16 +101,12 @@ let write_object t stats oid =
   done
 
 let type_pages t ty =
-  match Hashtbl.find_opt t.areas ty with Some a -> a.pages | None -> []
+  match Smap.find_opt ty t.areas with Some a -> a.pages | None -> []
 
 let pages_of_type ?(deep = false) t ty =
-  let tys =
-    if deep then Gom.Schema.subtypes_closure (Gom.Store.schema t.store) ty else [ ty ]
-  in
+  let tys = if deep then Gom.Schema.subtypes_closure t.schema ty else [ ty ] in
   max 1 (List.fold_left (fun acc ty -> acc + List.length (type_pages t ty)) 0 tys)
 
 let scan_extent ?(deep = false) t stats ty =
-  let tys =
-    if deep then Gom.Schema.subtypes_closure (Gom.Store.schema t.store) ty else [ ty ]
-  in
+  let tys = if deep then Gom.Schema.subtypes_closure t.schema ty else [ ty ] in
   List.iter (fun ty -> List.iter (Stats.read stats) (type_pages t ty)) tys

@@ -21,6 +21,12 @@ val create :
     average object size per type (the paper's [size_i]); objects larger
     than a page span several consecutive pages. *)
 
+val snapshot : t -> t
+(** O(1) frozen fork: shares the persistent placement/area maps of the
+    live heap at this instant and is not subscribed to any store, so
+    later mutations of the live heap never reach it.  Published epoch
+    snapshots pair a {!Gom.Frozen} store image with a heap snapshot. *)
+
 val config : t -> Config.t
 
 val page_of : t -> Gom.Oid.t -> int

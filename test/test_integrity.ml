@@ -64,7 +64,7 @@ let rec uses_stitch = function
    both directions. *)
 let agrees_oracle engine env path =
   let n = Gom.Path.length path in
-  let store = env.E.store in
+  let store = E.live_store_exn env in
   List.for_all
     (fun (i, j) ->
       let sources = Gom.Store.extent ~deep:true store (Gom.Path.type_at path i) in

@@ -97,7 +97,7 @@ let prop_deadline_exact_or_expired =
       let engine = Snapshot.engine snap in
       let sources = Gom.Store.extent ~deep:true store (Gom.Path.type_at path 0) in
       let targets =
-        Gom.Store.extent ~deep:true (Snapshot.store snap) (Gom.Path.type_at path n)
+        Gom.Store_view.extent ~deep:true (Snapshot.store snap) (Gom.Path.type_at path n)
         |> List.map (fun o -> V.Ref o)
       in
       let run env =
@@ -479,7 +479,7 @@ let test_brownout_defers_publication () =
   let epoch_before = Server.epoch server in
   let o = Front.update front (fun st -> Gom.Store.new_object st t0) in
   check "write committed to live base" true
-    (Gom.Store.mem (Snapshot.store (Server.pin server)) o = false
+    (Gom.Store_view.mem (Snapshot.store (Server.pin server)) o = false
     && Server.lag server > 0);
   check "published epoch unmoved" true (Server.epoch server = epoch_before);
   (* First round serves from the stale epoch; the queue is still above
@@ -492,7 +492,7 @@ let test_brownout_defers_publication () =
   check "drained queue leaves brownout" false (Front.in_brownout front);
   check_int "snapshot caught up" 0 (Server.lag server);
   check "new epoch sees the deferred write" true
-    (Gom.Store.mem (Snapshot.store (Server.pin server)) o);
+    (Gom.Store_view.mem (Snapshot.store (Server.pin server)) o);
   let s = Front.stats front in
   check "stale serving surfaced in stats" true
     (s.Storage.Stats.s_stale_epoch_served >= 2);
