@@ -860,12 +860,310 @@ let run_benchmarks tests =
       Format.printf "%-45s %16.1f %8s@." name est r2s)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: hot-standby replication (BENCH_replication.json)            *)
+(* ------------------------------------------------------------------ *)
+
+let replication_dirs = ref []
+
+let fresh_repl_dir tag =
+  let d = Filename.temp_file ("asr-bench-" ^ tag) "" in
+  Sys.remove d;
+  Sys.mkdir d 0o700;
+  replication_dirs := d :: !replication_dirs;
+  d
+
+let cleanup_repl_dirs () =
+  List.iter
+    (fun dir ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Sys.rmdir dir with Sys_error _ -> ()
+      end)
+    !replication_dirs;
+  replication_dirs := []
+
+(* A replicated durable base over a generated T0-A1-T1 chain: every
+   mutation is one transaction flipping a T0 object's A1 edge, so the
+   primary's event rate is directly controllable. *)
+let repl_setup ~tag ~objects =
+  let half = objects / 2 in
+  let spec =
+    Workload.Generator.spec ~seed:11 ~counts:[ half; half ]
+      ~defined:[ max 1 (half * 9 / 10) ]
+      ~fan:[ 1 ] ()
+  in
+  let store, path = Workload.Generator.build spec in
+  let pdir = fresh_repl_dir (tag ^ "-p") and rdir = fresh_repl_dir (tag ^ "-r") in
+  let db = Durability.Db.create ~dir:pdir store in
+  ignore
+    (Durability.Db.register_asr db ~path:(Gom.Path.to_string path)
+       ~kind:Core.Extension.Full ());
+  (db, path, pdir, rdir)
+
+let repl_churn db path rng n =
+  let store = Durability.Db.store db in
+  let sources = Array.of_list (Gom.Store.extent store "T0") in
+  let attr = (Gom.Path.step path 1).Gom.Path.attr in
+  for _ = 1 to n do
+    let o = sources.(Random.State.int rng (Array.length sources)) in
+    match
+      Gom.Txn.with_txn store (fun () ->
+          let v = Gom.Store.get_attr store o attr in
+          Gom.Store.set_attr store o attr Gom.Value.Null;
+          match v with
+          | Gom.Value.Null -> ()
+          | v -> Gom.Store.set_attr store o attr v)
+    with
+    | Ok () -> ()
+    | Error e -> raise e
+  done
+
+let bench_replication ~quick () =
+  Format.printf
+    "replication: WAL shipping, apply throughput, lag, promotion latency@.@.";
+  Fun.protect ~finally:cleanup_repl_dirs @@ fun () ->
+  (* A. apply throughput and lag distribution: churn the primary in
+     batches, one pump round per batch (so the replica is always one
+     shipping round behind), sampling the lag after each round; then
+     drain and measure the apply side's sustained events/s. *)
+  let objects = if quick then 2_000 else 20_000 in
+  let batches = if quick then [ 1; 8; 32 ] else [ 1; 8; 64 ] in
+  let rounds = if quick then 30 else 100 in
+  (* One churn/pump run.  A clean channel catches up every round (the
+     lag samples are all zero — the bound the replica promises), so the
+     lag distribution is measured on a chaos channel, where drops and
+     partitions open real transient gaps the pump must close. *)
+  let run ~batch ~chaos =
+    let db, path, _pdir, rdir = repl_setup ~tag:"thr" ~objects in
+    let stats = Storage.Stats.create () in
+    let fault =
+      if chaos then
+        Some
+          (Durability.Fault.faulty_channel
+             (Replication.Channel.chaos ~seed:(401 + batch) ~upto:1_000_000))
+      else None
+    in
+    let channel = Replication.Channel.create ?fault ~stats () in
+    let primary = Replication.Primary.create ~frame_bytes:1024 db in
+    let replica = Replication.Replica.create ~stats ~dir:rdir () in
+    let session =
+      Replication.Session.create ~seed:(7 * batch) ~stats ~primary ~channel
+        ~replica ()
+    in
+    let rng = Random.State.make [| 23; batch |] in
+    let lags = ref [] in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      repl_churn db path rng batch;
+      ignore (Replication.Session.step session);
+      lags := float_of_int (Replication.Replica.lag_bytes replica) :: !lags
+    done;
+    ignore (Replication.Session.drain session);
+    let dt = Unix.gettimeofday () -. t0 in
+    let applied = Replication.Replica.applied_records replica in
+    let s = Storage.Stats.snapshot stats in
+    assert (
+      s.Storage.Stats.s_frames_shipped
+      = s.Storage.Stats.s_frames_applied + s.Storage.Stats.s_frames_dropped
+        + s.Storage.Stats.s_frames_retried);
+    assert (Replication.Replica.lag_bytes replica = 0);
+    Replication.Replica.close replica;
+    Durability.Db.close db;
+    (float_of_int applied /. dt, !lags, s.Storage.Stats.s_frames_shipped)
+  in
+  let series =
+    List.map
+      (fun batch ->
+        let events_s, _, shipped = run ~batch ~chaos:false in
+        let _, lags, _ = run ~batch ~chaos:true in
+        let sorted = Array.of_list (List.sort Float.compare lags) in
+        let percentile p =
+          let len = Array.length sorted in
+          sorted.(min (len - 1) (int_of_float (p *. float_of_int (len - 1) +. 0.5)))
+        in
+        let p50 = percentile 0.50 and p99 = percentile 0.99 in
+        Format.printf
+          "  batch %-4d %9.0f applied-records/s   chaos lag p50 %7.0fB p99 %7.0fB@."
+          batch events_s p50 p99;
+        Printf.sprintf
+          {|{"batch": %d, "applied_records_per_s": %.1f, "chaos_lag_p50_bytes": %.0f, "chaos_lag_p99_bytes": %.0f, "frames_shipped": %d}|}
+          batch events_s p50 p99 shipped)
+      batches
+  in
+  (* B. promotion latency versus base size: full catch-up, kill, then
+     time [Failover.promote] end to end — crash recovery, ASR rebuild
+     and verification, scrubbing, and the against-primary digest
+     comparison included. *)
+  let sizes = if quick then [ 2_000; 10_000 ] else [ 10_000; 100_000; 1_000_000 ] in
+  Format.printf "@.  promotion latency (recovery + verify + digest compare):@.";
+  let promo_rows =
+    List.map
+      (fun size ->
+        let db, path, pdir, rdir = repl_setup ~tag:"promo" ~objects:size in
+        let stats = Storage.Stats.create () in
+        let channel = Replication.Channel.create ~stats () in
+        let primary = Replication.Primary.create db in
+        let replica = Replication.Replica.create ~stats ~dir:rdir () in
+        let session =
+          Replication.Session.create ~stats ~primary ~channel ~replica ()
+        in
+        let rng = Random.State.make [| 29; size |] in
+        repl_churn db path rng (if quick then 20 else 50);
+        ignore (Replication.Session.drain session);
+        ignore (Replication.Session.kill session);
+        Replication.Replica.close replica;
+        Durability.Db.close db;
+        let t0 = Unix.gettimeofday () in
+        (match Replication.Failover.promote ~primary_dir:pdir ~dir:rdir () with
+        | Ok (ndb, report) ->
+          assert (Replication.Failover.promoted report);
+          Durability.Db.close ndb
+        | Error report ->
+          failwith (Replication.Failover.report_to_string report));
+        let dt = Unix.gettimeofday () -. t0 in
+        Format.printf "  %-10d objects   %8.1fms@." size (dt *. 1000.);
+        Printf.sprintf {|{"objects": %d, "promote_ms": %.3f}|} size (dt *. 1000.))
+      sizes
+  in
+  let json =
+    Printf.sprintf
+      {|{"bench": "replication", "quick": %b, "objects": %d, "rounds": %d, "series": [%s], "promotion": [%s]}|}
+      quick objects rounds
+      (String.concat ", " series)
+      (String.concat ", " promo_rows)
+  in
+  let file = "BENCH_replication.json" in
+  (try
+     let oc = open_out file in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (json ^ "\n"));
+     Format.printf "@.  written       : %s@." file
+   with Sys_error e -> Format.printf "  (could not write %s: %s)@." file e)
+
+(* The CI failover gate: kill the primary mid-churn at a random frame
+   over a chaos channel, promote the replica against the dead
+   primary's files, and record everything the workflow asserts on —
+   zero divergences, balanced frame counters, bounded final lag. *)
+let bench_failover_smoke () =
+  let seed =
+    match Sys.getenv_opt "FAILOVER_SEED" with
+    | Some s -> int_of_string s
+    | None ->
+      Random.self_init ();
+      Random.int 0x3FFFFFF
+  in
+  Format.printf "failover smoke: seed %d (reproduce with FAILOVER_SEED=%d)@."
+    seed seed;
+  Fun.protect ~finally:cleanup_repl_dirs @@ fun () ->
+  let rng = Random.State.make [| seed |] in
+  let kill_after = 5 + Random.State.int rng 40 in
+  let db, path, pdir, rdir = repl_setup ~tag:"smoke" ~objects:600 in
+  let stats = Storage.Stats.create () in
+  let fault =
+    Durability.Fault.faulty_channel
+      (Replication.Channel.chaos ~seed ~upto:10_000)
+  in
+  let channel = Replication.Channel.create ~fault ~stats () in
+  let primary = Replication.Primary.create ~frame_bytes:256 ~digest_every:4 db in
+  let replica = Replication.Replica.create ~stats ~dir:rdir () in
+  let session =
+    Replication.Session.create ~stats ~seed ~stop_after_sends:kill_after
+      ~primary ~channel ~replica ()
+  in
+  for _ = 1 to 12 do
+    repl_churn db path rng (1 + Random.State.int rng 6);
+    ignore (Replication.Session.step session)
+  done;
+  let lost = Replication.Session.kill session in
+  ignore (Replication.Session.drain session);
+  let diverged = Replication.Replica.diverged replica in
+  let applied_bytes = Replication.Replica.applied_bytes replica in
+  let committed = Replication.Primary.committed_bytes primary in
+  Replication.Replica.close replica;
+  Durability.Db.close db;
+  Format.printf
+    "killed after %d frames (%d in flight lost); replica %d/%d bytes@."
+    kill_after lost applied_bytes committed;
+  let outcome =
+    match diverged with
+    | Some what -> `Diverged what
+    | None -> (
+      match Replication.Failover.promote ~primary_dir:pdir ~dir:rdir () with
+      | Ok (ndb, report) ->
+        Durability.Db.close ndb;
+        `Promoted report
+      | Error report -> `Refused report
+      | exception Replication.Replica.Replica_error _ when applied_bytes = 0 ->
+        (* The kill can land before the seeding Reset ever delivers; an
+           unseeded directory is rightly unpromotable — the operator
+           re-seeds from backup — and not a gate failure. *)
+        `Never_seeded)
+  in
+  let s = Storage.Stats.snapshot stats in
+  let balanced =
+    s.Storage.Stats.s_frames_shipped
+    = s.Storage.Stats.s_frames_applied + s.Storage.Stats.s_frames_dropped
+      + s.Storage.Stats.s_frames_retried
+  in
+  let promoted, never_seeded, divergences, promote_json =
+    match outcome with
+    | `Promoted report ->
+      (true, false, 0, Replication.Failover.report_to_json report)
+    | `Never_seeded ->
+      Format.printf "replica never seeded; promotion not applicable@.";
+      (false, true, 0, "null")
+    | `Refused report ->
+      Format.printf "PROMOTION REFUSED: %s@."
+        (Replication.Failover.report_to_string report);
+      ( false,
+        false,
+        List.length report.Replication.Failover.f_divergences,
+        Replication.Failover.report_to_json report )
+    | `Diverged what ->
+      Format.printf "REPLICA DIVERGED: %s@." what;
+      (false, false, 1, "null")
+  in
+  let json =
+    Printf.sprintf
+      {|{"bench": "failover-smoke", "seed": %d, "kill_after_frames": %d, "frames_lost_in_flight": %d, "frames_shipped": %d, "frames_applied": %d, "frames_dropped": %d, "frames_retried": %d, "balanced": %b, "applied_bytes": %d, "primary_committed_bytes": %d, "final_lag_bytes": %d, "promoted": %b, "never_seeded": %b, "divergences": %d, "promotion": %s}|}
+      seed kill_after lost s.Storage.Stats.s_frames_shipped
+      s.Storage.Stats.s_frames_applied s.Storage.Stats.s_frames_dropped
+      s.Storage.Stats.s_frames_retried balanced applied_bytes committed
+      (committed - applied_bytes) promoted never_seeded divergences
+      promote_json
+  in
+  let file = "FAILOVER_smoke.json" in
+  (try
+     let oc = open_out file in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (json ^ "\n"));
+     Format.printf "written: %s@." file
+   with Sys_error e -> Format.printf "(could not write %s: %s)@." file e);
+  Format.printf "promoted %b, balanced counters %b, final lag %d bytes@."
+    promoted balanced (committed - applied_bytes);
+  if not (promoted || never_seeded) then exit 1
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let parallel = Array.exists (String.equal "--parallel") Sys.argv in
   let maintenance = Array.exists (String.equal "--maintenance-batch") Sys.argv in
   let serving = Array.exists (String.equal "--serving") Sys.argv in
-  if serving then begin
+  let replication = Array.exists (String.equal "--replication") Sys.argv in
+  let failover = Array.exists (String.equal "--failover-smoke") Sys.argv in
+  if failover then begin
+    Format.printf "=== failover mode: mid-churn kill + promotion smoke ===@.@.";
+    bench_failover_smoke ()
+  end
+  else if replication then begin
+    Format.printf "=== replication mode: hot-standby shipping benchmark ===@.@.";
+    bench_replication ~quick ()
+  end
+  else if serving then begin
     Format.printf "=== serving mode: overload-resilience benchmark ===@.@.";
     bench_serving ~quick ()
   end

@@ -956,6 +956,88 @@ let db_repair_cmd dir slice rounds json =
           (Printf.sprintf "REPAIR FAILED for: %s (still quarantined)"
              (String.concat ", " (List.rev !failed))))
 
+(* ---------------- replication commands ---------------- *)
+
+let db_replica_cmd dir follow frame_bytes digest_every chaos kill_after =
+  if frame_bytes < 1 then exit_usage "--frame-bytes must be >= 1";
+  if not (Sys.file_exists (Filename.concat follow "MANIFEST")) then
+    exit_usage (Printf.sprintf "%s holds no durable base to follow" follow);
+  with_db follow (fun pdb ->
+      let stats = Storage.Stats.create () in
+      let fault =
+        match chaos with
+        | Some seed ->
+          Format.printf "chaos seed %d (reproduce with --chaos %d)@." seed seed;
+          Some
+            (Durability.Fault.faulty_channel
+               (Replication.Channel.chaos ~seed ~upto:100_000))
+        | None -> None
+      in
+      let channel = Replication.Channel.create ?fault ~stats () in
+      let primary = Replication.Primary.create ~frame_bytes ~digest_every pdb in
+      let replica =
+        match Replication.Replica.create ~stats ~dir () with
+        | exception Replication.Replica.Replica_error m -> exit_data m
+        | r -> r
+      in
+      Fun.protect
+        ~finally:(fun () -> Replication.Replica.close replica)
+        (fun () ->
+          let session =
+            Replication.Session.create ~stats ?stop_after_sends:kill_after
+              ~primary ~channel ~replica ()
+          in
+          (match Replication.Session.drain session with
+          | exception Replication.Session.Stalled m -> exit_data m
+          | exception Replication.Primary.Replication_error m -> exit_data m
+          | steps -> Format.printf "quiescent after %d pump round(s)@." steps);
+          let s = Storage.Stats.snapshot stats in
+          Format.printf
+            "frames: %d shipped, %d applied, %d dropped, %d retried@."
+            s.Storage.Stats.s_frames_shipped s.Storage.Stats.s_frames_applied
+            s.Storage.Stats.s_frames_dropped s.Storage.Stats.s_frames_retried;
+          Format.printf
+            "replica: generation %d, %d/%d bytes applied (lag %d), %d \
+             record(s), %d epoch(s) published@."
+            (Replication.Replica.generation replica)
+            (Replication.Replica.applied_bytes replica)
+            (Replication.Primary.committed_bytes primary)
+            (Replication.Replica.lag_bytes replica)
+            (Replication.Replica.applied_records replica)
+            (Replication.Replica.epochs replica);
+          (match kill_after with
+          | Some k ->
+            Format.printf
+              "primary killed after frame %d; promote with: asr_cli db promote \
+               %s --primary %s@."
+              k dir follow
+          | None -> ());
+          match Replication.Replica.diverged replica with
+          | Some what -> exit_data ("REPLICA DIVERGED - " ^ what)
+          | None -> 0))
+
+let db_promote_cmd dir primary json =
+  let finish report code =
+    print_string (Replication.Failover.report_to_string report);
+    (match json with
+    | Some file ->
+      write_file file (Replication.Failover.report_to_json report);
+      Format.printf "wrote %s@." file
+    | None -> ());
+    code
+  in
+  match Replication.Failover.promote ?primary_dir:primary ~dir () with
+  | exception Replication.Replica.Replica_error m -> exit_usage m
+  | exception Durability.Db.Recovery_error m -> exit_data ("recovery failed: " ^ m)
+  | exception Gom.Serial.Corrupt m -> exit_data ("corrupt image: " ^ m)
+  | Ok (db, report) ->
+    Fun.protect
+      ~finally:(fun () -> Durability.Db.close db)
+      (fun () -> finish report 0)
+  | Error report ->
+    ignore (finish report 1);
+    exit_data "PROMOTION REFUSED - divergence against the primary's history"
+
 (* ---------------- cmdliner wiring ---------------- *)
 
 open Cmdliner
@@ -1245,6 +1327,57 @@ let db_repair_t =
   in
   Term.(const db_repair_cmd $ db_dir $ slice $ rounds $ json)
 
+let db_replica_t =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Replica directory (fresh, or resuming a previous follow).")
+  in
+  let follow =
+    Arg.(required & opt (some string) None & info [ "follow" ] ~docv:"PRIMARY"
+           ~doc:"Directory of the durable base to replicate.")
+  in
+  let frame_bytes =
+    Arg.(value & opt int 4096 & info [ "frame-bytes" ] ~docv:"N"
+           ~doc:"Cap each shipped log slice at $(docv) bytes.")
+  in
+  let digest_every =
+    Arg.(value & opt int 8 & info [ "digest-every" ] ~docv:"K"
+           ~doc:"Ship a store+relation digest frame every $(docv) data frames \
+                 (0 disables catch-up digests).")
+  in
+  let chaos =
+    Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED"
+           ~doc:"Inject seeded random channel faults (drops, duplicates, \
+                 reorders, corruption, partitions); the run replays exactly \
+                 from the printed seed.")
+  in
+  let kill_after =
+    Arg.(value & opt (some int) None & info [ "kill-after-frames" ] ~docv:"K"
+           ~doc:"Kill the primary after its $(docv)'th shipped frame — frames \
+                 already in flight may still deliver — leaving the replica \
+                 ready for $(b,db promote).")
+  in
+  Term.(
+    const db_replica_cmd $ dir $ follow $ frame_bytes $ digest_every $ chaos
+    $ kill_after)
+
+let db_promote_t =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Replica directory to promote.")
+  in
+  let primary =
+    Arg.(value & opt (some string) None & info [ "primary" ] ~docv:"DIR"
+           ~doc:"The dead primary's directory: verify the replica's log is a \
+                 byte prefix of its history and digest-compare the promoted \
+                 store and every relation against its snapshot+prefix replay.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable promotion report.")
+  in
+  Term.(const db_promote_cmd $ dir $ primary $ json)
+
 let db_cmd =
   Cmd.group
     (Cmd.info "db"
@@ -1293,6 +1426,19 @@ let db_cmd =
            ~doc:"Scrub, quarantine diverged partitions, rebuild them incrementally, \
                  re-verify and lift the quarantine.")
         db_repair_t;
+      Cmd.v
+        (Cmd.info "replica"
+           ~doc:"Tail a primary's write-ahead log into a hot standby: catch up \
+                 over a (optionally fault-injected) channel, verify shipped \
+                 digests, and report lag and frame accounting.")
+        db_replica_t;
+      Cmd.v
+        (Cmd.info "promote"
+           ~doc:"Promote a replica to primary: recover its files like a crashed \
+                 base, scrub every relation, and (with $(b,--primary)) fail on \
+                 any byte- or digest-located divergence from the dead \
+                 primary's history.")
+        db_promote_t;
     ]
 
 let cmds =

@@ -24,6 +24,20 @@ let spec_to_string s =
     (Option.value ~default:"-" s.s_dec)
     s.s_path
 
+let spec_of_string line =
+  match String.split_on_char ' ' line with
+  | kind :: dec :: path_parts when path_parts <> [] -> (
+    match Core.Extension.of_name kind with
+    | Some k ->
+      Some
+        {
+          s_kind = k;
+          s_dec = (if dec = "-" then None else Some dec);
+          s_path = String.concat " " path_parts;
+        }
+    | None -> None)
+  | _ -> None
+
 (* Replace a small control file atomically: temp + fsync + rename. *)
 let atomic_write path contents =
   let dir = Filename.dirname path in
@@ -128,6 +142,7 @@ let maintenance t = t.mgr
 let generation t = t.gen
 let dir t = t.t_dir
 let asrs t = List.rev t.handles
+let asr_specs t = t.specs
 let last_recovery t = t.recovery
 let wal_appended t = Wal.appended t.wal
 
@@ -186,7 +201,7 @@ let create ?fault ?(policy = Wal.Sync_on_commit) ~dir store =
   write_manifest dir gen [];
   make ~dir ~fault ~policy ~store ~gen ~specs:[] ~handles:[] ~wal ~recovery:None
 
-let build_spec_asr store spec =
+let spec_components store spec =
   let path =
     try Gom.Path.parse (Gom.Store.schema store) spec.s_path
     with Gom.Path.Path_error m -> recovery_error "asr %s: %s" spec.s_path m
@@ -199,7 +214,11 @@ let build_spec_asr store spec =
       try Core.Decomposition.of_string ~m s
       with Invalid_argument msg -> recovery_error "asr %s: %s" spec.s_path msg)
   in
-  (path, Core.Asr.create store path spec.s_kind dec)
+  (path, spec.s_kind, dec)
+
+let build_spec_asr store spec =
+  let path, kind, dec = spec_components store spec in
+  (path, Core.Asr.create store path kind dec)
 
 let open_ ?fault ?(policy = Wal.Sync_on_commit) ~dir () =
   let fault = match fault with Some f -> f | None -> default_fault () in

@@ -33,6 +33,48 @@ exception Recovery_error of string
 (** Damage recovery cannot interpret: unreadable manifest or snapshot,
     or a log record that does not apply to the snapshot. *)
 
+(** {2 Layout and registrations}
+
+    The on-disk vocabulary is exposed so other subsystems speaking the
+    same format — a replica materialising shipped segments into a
+    directory this module can later recover, failover verification
+    reading a dead primary's files — need not reinvent it. *)
+
+val manifest_file : string -> string
+(** [manifest_file dir] — the control file naming the live generation. *)
+
+val snapshot_file : string -> int -> string
+(** [snapshot_file dir gen] — generation [gen]'s atomic base image. *)
+
+val wal_file : string -> int -> string
+(** [wal_file dir gen] — generation [gen]'s write-ahead log. *)
+
+type spec = {
+  s_kind : Core.Extension.kind;
+  s_dec : string option;  (** decomposition boundary list; [None] = binary *)
+  s_path : string;  (** path expression, parsed against the schema *)
+}
+(** A persisted ASR registration, exactly one manifest line. *)
+
+val spec_to_string : spec -> string
+(** The manifest/wire form: [<kind> <dec|-> <path>]. *)
+
+val spec_of_string : string -> spec option
+(** Parse the wire form back; [None] on malformed input. *)
+
+val spec_components :
+  Gom.Store.t -> spec -> Gom.Path.t * Core.Extension.kind * Core.Decomposition.t
+(** Resolve a spec against a store's schema into the pieces
+    {!Core.Asr.create} (or [Parallel.Snapshot.source]'s spec list)
+    wants.  @raise Recovery_error on a malformed path/decomposition. *)
+
+val read_manifest : string -> int * spec list
+(** Read [dir]'s manifest: live generation and registered ASR specs.
+    @raise Recovery_error on a missing or malformed manifest. *)
+
+val write_manifest : string -> int -> spec list -> unit
+(** Atomically (temp + fsync + rename) replace [dir]'s manifest. *)
+
 type t
 
 val create :
@@ -79,6 +121,10 @@ val dir : t -> string
 
 val asrs : t -> Core.Asr.t list
 (** The registered, maintained access support relations. *)
+
+val asr_specs : t -> spec list
+(** Their persisted registrations, in registration order (parallel to
+    {!asrs}). *)
 
 val maintenance : t -> Core.Maintenance.t
 (** The handle's maintenance manager — the integrity subsystem's repair

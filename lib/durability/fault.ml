@@ -15,6 +15,15 @@ type read_fault =
 
 type read_plan = { fail_at_read : int; fault : read_fault }
 
+type channel_fault =
+  | Drop_frame
+  | Dup_frame
+  | Reorder_frames
+  | Corrupt_frame of int
+  | Partition of int
+
+type channel_plan = { fail_at_frame : int; channel_fault : channel_fault }
+
 type t = {
   mutable writes : int;
   plan : plan option;
@@ -23,9 +32,12 @@ type t = {
   mutable transient_left : int;
   mutable retries : int;
   mutable backoff_ticks : int;
+  channel_plans : channel_plan list;
+  mutable frames : int;
+  mutable partition_left : int;
 }
 
-let make ~plan ~read_plan =
+let make ?(channel_plans = []) ~plan ~read_plan () =
   {
     writes = 0;
     plan;
@@ -34,15 +46,25 @@ let make ~plan ~read_plan =
     transient_left = 0;
     retries = 0;
     backoff_ticks = 0;
+    channel_plans;
+    frames = 0;
+    partition_left = 0;
   }
 
-let real () = make ~plan:None ~read_plan:None
-let faulty plan = make ~plan:(Some plan) ~read_plan:None
-let faulty_reads ?writes read_plan = make ~plan:writes ~read_plan:(Some read_plan)
+let real () = make ~plan:None ~read_plan:None ()
+let faulty plan = make ~plan:(Some plan) ~read_plan:None ()
+
+let faulty_reads ?writes read_plan =
+  make ~plan:writes ~read_plan:(Some read_plan) ()
+
+let faulty_channel ?writes plans =
+  make ~channel_plans:plans ~plan:writes ~read_plan:None ()
+
 let writes t = t.writes
 let reads t = t.reads
 let retries t = t.retries
 let backoff_ticks t = t.backoff_ticks
+let frames t = t.frames
 
 type sim = {
   path : string;
@@ -169,6 +191,47 @@ let observe_read t =
 let read_through t path =
   let transform = tick t in
   transform (read_all path)
+
+(* ------------------------------------------------------------------ *)
+(* Channel (frame-level) injection                                     *)
+(* ------------------------------------------------------------------ *)
+
+type channel_action =
+  | Deliver
+  | Drop
+  | Duplicate
+  | Reorder
+  | Corrupt of int
+
+(* Count one frame send against the channel plans; returns what the
+   transport should do with the frame.  [Partition n] arms a failure
+   budget, like [Transient]: this send and the next [n - 1] raise
+   [Retryable] — the same class [with_retry] and the circuit breaker
+   absorb — and the link heals once the budget is spent. *)
+let channel_action t =
+  t.frames <- t.frames + 1;
+  let firing =
+    List.find_opt (fun p -> p.fail_at_frame = t.frames) t.channel_plans
+  in
+  (match firing with
+  | Some { channel_fault = Partition n; _ } ->
+    t.partition_left <- max t.partition_left n
+  | _ -> ());
+  if t.partition_left > 0 then begin
+    t.partition_left <- t.partition_left - 1;
+    raise
+      (Retryable
+         (Printf.sprintf "network partition (%d more)" t.partition_left))
+  end;
+  match firing with
+  | None -> Deliver
+  | Some { channel_fault; _ } -> (
+    match channel_fault with
+    | Drop_frame -> Drop
+    | Dup_frame -> Duplicate
+    | Reorder_frames -> Reorder
+    | Corrupt_frame k -> Corrupt k
+    | Partition _ -> Deliver)
 
 let with_retry ?(attempts = 3) ?stats t f =
   let rec go k =

@@ -58,6 +58,30 @@ type read_plan = {
   fault : read_fault;
 }
 
+(** Frame-level faults for a replication channel.  A channel is a third
+    traffic class next to writes and reads: each send of an encoded
+    frame counts one unit against [channel_plans], and the transport
+    acts on the returned {!channel_action}. *)
+type channel_fault =
+  | Drop_frame  (** The frame vanishes in flight; the sender must resend. *)
+  | Dup_frame  (** The frame is delivered twice; the receiver must dedup. *)
+  | Reorder_frames
+      (** The frame is held back and delivered after its successor. *)
+  | Corrupt_frame of int
+      (** Bitwise-not the last [k] bytes of the encoded frame; the
+          receiver's CRC check must reject it. *)
+  | Partition of int
+      (** Fail this send and the next [k - 1] with {!Retryable} — the
+          same class {!with_retry} and [Resilience.Breaker] absorb —
+          then the link heals. *)
+
+type channel_plan = {
+  fail_at_frame : int;
+      (** 1-based index of the frame send (counted across the
+          environment's whole lifetime) at which the fault fires. *)
+  channel_fault : channel_fault;
+}
+
 type t
 (** A file-operations environment. *)
 
@@ -69,6 +93,11 @@ val faulty : plan -> t
 val faulty_reads : ?writes:plan -> read_plan -> t
 (** An environment injecting the given read-side fault, optionally with
     a write-side crash plan as well. *)
+
+val faulty_channel : ?writes:plan -> channel_plan list -> t
+(** An environment injecting the given frame-level channel faults,
+    optionally with a write-side crash plan as well (for killing a
+    replica mid-apply while its feed is also misbehaving). *)
 
 val writes : t -> int
 (** Appends performed through this environment so far (both modes);
@@ -86,6 +115,31 @@ val backoff_ticks : t -> int
 (** Total deterministic backoff accumulated by {!with_retry}: the
     [k]'th retry adds [2^(k-1)] ticks.  Recorded, never slept, so
     sweeps stay instant and reproducible. *)
+
+val frames : t -> int
+(** Frame sends observed through this environment so far; used to size
+    channel fault sweeps the same way {!writes} sizes crash sweeps. *)
+
+(** {2 Channel injection} *)
+
+(** What the transport should do with one sent frame. *)
+type channel_action =
+  | Deliver
+  | Drop
+  | Duplicate
+  | Reorder
+  | Corrupt of int
+
+val channel_action : t -> channel_action
+(** Count one frame send against the environment's channel plans.
+    @raise Retryable while a {!channel_fault.Partition} budget is
+    unspent, so bounded-retry loops and circuit breakers classify link
+    outages exactly like transient storage faults. *)
+
+val corrupt_tail : string -> int -> string
+(** Bitwise-not the last [k] bytes — the torn-sector transformation all
+    the corruption faults apply, exposed for transports that damage
+    in-flight bytes the same way. *)
 
 type file
 

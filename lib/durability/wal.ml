@@ -185,6 +185,80 @@ let scan path =
   in
   go [] 0 0 0 0 false
 
+(* ---------------- incremental scanning ---------------- *)
+
+module Scanner = struct
+  exception Bad_record of { recno : int; off : int }
+
+  type group = { g_records : record list; g_end : int }
+
+  type t = {
+    mutable buf : string;  (* intact-but-unterminated tail bytes *)
+    mutable base : int;  (* absolute offset of [buf]'s first byte *)
+    mutable recno : int;
+    mutable in_txn : bool;
+    mutable open_group : record list;  (* reversed, since last boundary *)
+    mutable committed : int;
+    mutable committed_records : int;
+    mutable ready : group list;  (* reversed *)
+  }
+
+  let create () =
+    {
+      buf = "";
+      base = 0;
+      recno = 0;
+      in_txn = false;
+      open_group = [];
+      committed = 0;
+      committed_records = 0;
+      ready = [];
+    }
+
+  let seal t =
+    t.in_txn <- false;
+    t.committed <- t.base;
+    t.committed_records <- t.recno;
+    t.ready <- { g_records = List.rev t.open_group; g_end = t.base } :: t.ready;
+    t.open_group <- []
+
+  (* Same commit-boundary logic as [scan]: a record outside any
+     begin..commit/abort span commits by itself; a span commits (or
+     nets out) wholesale at its closing marker. *)
+  let rec drain t =
+    match String.index_opt t.buf '\n' with
+    | None -> ()
+    | Some nl ->
+      let line = String.sub t.buf 0 nl in
+      (match parse_frame ~recno:(t.recno + 1) line with
+      | None -> raise (Bad_record { recno = t.recno + 1; off = t.base })
+      | Some record ->
+        t.buf <- String.sub t.buf (nl + 1) (String.length t.buf - nl - 1);
+        t.base <- t.base + nl + 1;
+        t.recno <- t.recno + 1;
+        t.open_group <- record :: t.open_group;
+        (match record with
+        | Begin -> t.in_txn <- true
+        | Commit | Abort -> seal t
+        | _ when t.in_txn -> ()
+        | _ -> seal t));
+      drain t
+
+  let feed t s =
+    t.buf <- t.buf ^ s;
+    drain t
+
+  let take_groups t =
+    let gs = List.rev t.ready in
+    t.ready <- [];
+    gs
+
+  let committed_bytes t = t.committed
+  let committed_records t = t.committed_records
+  let fed_bytes t = t.base + String.length t.buf
+  let pending_records t = List.length t.open_group
+end
+
 exception Replay_error of string
 
 let replay store records =

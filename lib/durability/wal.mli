@@ -95,6 +95,55 @@ val scan : string -> scanned
     corrupt record — everything after it is untrusted tail.  A missing
     file reads as empty. *)
 
+(** {2 Incremental scanning}
+
+    [scan] wants the whole file; a replica tailing a shipped log gets
+    bytes piecemeal and must not re-read history on every frame.  A
+    {!Scanner.t} is the streaming form of the same committed-prefix
+    rule: feed it arbitrary byte slices in order and it emits whole
+    committed groups — each an autocommitted record or a closed
+    [begin]..[commit]/[abort] span — tagged with the absolute file
+    offset just past the group, so apply progress is expressible in
+    the primary's own byte coordinates. *)
+module Scanner : sig
+  exception Bad_record of { recno : int; off : int }
+  (** An intact-looking line failed its frame check.  Unlike [scan],
+      which tolerantly truncates (a torn {e tail} is expected after a
+      crash), a scanner consumes verified frames from a transport: mid
+      -stream damage means the feed itself is corrupt, and [off] — the
+      absolute offset of the bad line — locates it for the error
+      message.  Bytes after the last newline are simply buffered until
+      the rest arrives, so a partial final record never raises. *)
+
+  type group = {
+    g_records : record list;  (** the group, markers included *)
+    g_end : int;  (** absolute offset just past the group *)
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> unit
+  (** Append the next byte slice and parse as far as possible.
+      @raise Bad_record on mid-stream frame damage. *)
+
+  val take_groups : t -> group list
+  (** Committed groups completed since the last call, in log order. *)
+
+  val committed_bytes : t -> int
+  (** Absolute offset just past the last committed group. *)
+
+  val committed_records : t -> int
+  (** Records (markers included) in the committed prefix. *)
+
+  val fed_bytes : t -> int
+  (** Total bytes fed so far. *)
+
+  val pending_records : t -> int
+  (** Intact records past the committed point (an open span). *)
+end
+
 exception Replay_error of string
 
 val replay : Gom.Store.t -> record list -> int

@@ -1,0 +1,45 @@
+(** The fault-injectable shipping channel: an in-process, in-order
+    transport whose misbehaviour is scripted by
+    {!Durability.Fault.channel_plan}s, so every retry and reconciliation
+    path is deterministically reproducible.
+
+    Each {!send} counts one frame against the environment's channel
+    plans and acts on the verdict: deliver, drop (counted shipped {e
+    and} dropped), duplicate (two copies, both counted shipped),
+    reorder (hold the frame back one slot — an adjacent swap), or
+    corrupt (flip trailing bytes of the encoded frame, which the
+    receiver's CRC rejects).  A [Partition] plan makes {!send} raise
+    {!Durability.Fault.Retryable} before anything ships — the class the
+    session's circuit breaker absorbs. *)
+
+type t
+
+val create : ?fault:Durability.Fault.t -> ?stats:Storage.Stats.t -> unit -> t
+(** [?fault] defaults to a fault-free environment; [?stats] receives
+    the [frames_shipped]/[frames_dropped] accounting. *)
+
+val send : t -> Frame.t -> unit
+(** Encode and ship one frame.
+    @raise Durability.Fault.Retryable while a partition plan is live. *)
+
+val recv : t -> string option
+(** Next delivered encoded frame, in (possibly faulted) wire order. *)
+
+val in_flight : t -> int
+(** Frames delivered-but-not-yet-received (the held-back frame, if
+    any, included). *)
+
+val sends : t -> int
+(** Successful [send] calls so far (after fault classification, i.e.
+    excluding partition-refused attempts). *)
+
+val discard : t -> int
+(** Teardown: drop everything in flight, counting each copy as
+    [frames_dropped], and return how many were lost.  Models killing
+    the link with frames still buffered in it. *)
+
+val chaos : seed:int -> upto:int -> Durability.Fault.channel_plan list
+(** A seeded random plan hitting roughly one in six of the first
+    [upto] frames with a random fault class — the CLI's [--chaos] and
+    the QCheck property both draw from this generator so failures
+    replay from the printed seed. *)

@@ -1,0 +1,14 @@
+let store s = Gom.Crc32.string (Gom.Serial.store_to_string s)
+
+let extension rel =
+  (* Tuples come back in Tuple.compare order, so the digest is a
+     canonical function of the set, independent of construction order
+     or physical layout. *)
+  List.fold_left
+    (fun crc tu ->
+      Gom.Crc32.string ~init:crc (Relation.Tuple.to_string tu ^ "\n"))
+    (Gom.Crc32.string "")
+    (Relation.to_list rel)
+
+let of_asr a = extension (Core.Asr.extension_relation a)
+let to_hex = Gom.Crc32.to_hex

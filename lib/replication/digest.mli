@@ -1,0 +1,20 @@
+(** Scrubber-style state digests, the currency of divergence detection.
+
+    A digest is a CRC-32 over a canonical serialisation: the store's
+    {!Gom.Serial} image, or an access support relation's extension
+    tuples in {!Relation.Tuple.compare} order.  Two nodes holding the
+    same committed prefix produce bit-identical digests regardless of
+    how they arrived at the state (live maintenance, replay, rebuild),
+    which is exactly the property failover verification needs. *)
+
+val store : Gom.Store.t -> int32
+(** Digest of the full store image (objects, sets, name bindings). *)
+
+val extension : Relation.t -> int32
+(** Digest of a relation's tuples in canonical order. *)
+
+val of_asr : Core.Asr.t -> int32
+(** [extension] of the ASR's logical extension (pending deferred
+    deltas included, so flush cadence never perturbs the digest). *)
+
+val to_hex : int32 -> string

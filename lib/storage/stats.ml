@@ -25,6 +25,10 @@ type t = {
   mutable timed_out : int;
   mutable breaker_open : int;
   mutable stale_epoch_served : int;
+  mutable frames_shipped : int;
+  mutable frames_applied : int;
+  mutable frames_dropped : int;
+  mutable frames_retried : int;
   touched_r : (int, unit) Hashtbl.t;
   touched_w : (int, unit) Hashtbl.t;
   buffer : buffer option;
@@ -50,6 +54,10 @@ let create ?(buffer_capacity = 0) () =
     timed_out = 0;
     breaker_open = 0;
     stale_epoch_served = 0;
+    frames_shipped = 0;
+    frames_applied = 0;
+    frames_dropped = 0;
+    frames_retried = 0;
     touched_r = Hashtbl.create 256;
     touched_w = Hashtbl.create 64;
     buffer =
@@ -136,6 +144,14 @@ let note_shed t = t.shed <- t.shed + 1
 let note_timed_out t = t.timed_out <- t.timed_out + 1
 let note_breaker_open t = t.breaker_open <- t.breaker_open + 1
 let note_stale_epoch_served t = t.stale_epoch_served <- t.stale_epoch_served + 1
+let note_frame_shipped t = t.frames_shipped <- t.frames_shipped + 1
+let note_frame_applied t = t.frames_applied <- t.frames_applied + 1
+let note_frame_dropped t = t.frames_dropped <- t.frames_dropped + 1
+let note_frame_retried t = t.frames_retried <- t.frames_retried + 1
+let frames_shipped t = t.frames_shipped
+let frames_applied t = t.frames_applied
+let frames_dropped t = t.frames_dropped
+let frames_retried t = t.frames_retried
 let shed t = t.shed
 let timed_out t = t.timed_out
 let breaker_open t = t.breaker_open
@@ -168,6 +184,10 @@ type summary = {
   s_timed_out : int;
   s_breaker_open : int;
   s_stale_epoch_served : int;
+  s_frames_shipped : int;
+  s_frames_applied : int;
+  s_frames_dropped : int;
+  s_frames_retried : int;
 }
 
 let snapshot t =
@@ -191,6 +211,10 @@ let snapshot t =
     s_timed_out = t.timed_out;
     s_breaker_open = t.breaker_open;
     s_stale_epoch_served = t.stale_epoch_served;
+    s_frames_shipped = t.frames_shipped;
+    s_frames_applied = t.frames_applied;
+    s_frames_dropped = t.frames_dropped;
+    s_frames_retried = t.frames_retried;
   }
 
 let zero =
@@ -214,6 +238,10 @@ let zero =
     s_timed_out = 0;
     s_breaker_open = 0;
     s_stale_epoch_served = 0;
+    s_frames_shipped = 0;
+    s_frames_applied = 0;
+    s_frames_dropped = 0;
+    s_frames_retried = 0;
   }
 
 let merge a b =
@@ -237,6 +265,10 @@ let merge a b =
     s_timed_out = a.s_timed_out + b.s_timed_out;
     s_breaker_open = a.s_breaker_open + b.s_breaker_open;
     s_stale_epoch_served = a.s_stale_epoch_served + b.s_stale_epoch_served;
+    s_frames_shipped = a.s_frames_shipped + b.s_frames_shipped;
+    s_frames_applied = a.s_frames_applied + b.s_frames_applied;
+    s_frames_dropped = a.s_frames_dropped + b.s_frames_dropped;
+    s_frames_retried = a.s_frames_retried + b.s_frames_retried;
   }
 
 let absorb t s =
@@ -255,7 +287,11 @@ let absorb t s =
   t.shed <- t.shed + s.s_shed;
   t.timed_out <- t.timed_out + s.s_timed_out;
   t.breaker_open <- t.breaker_open + s.s_breaker_open;
-  t.stale_epoch_served <- t.stale_epoch_served + s.s_stale_epoch_served
+  t.stale_epoch_served <- t.stale_epoch_served + s.s_stale_epoch_served;
+  t.frames_shipped <- t.frames_shipped + s.s_frames_shipped;
+  t.frames_applied <- t.frames_applied + s.s_frames_applied;
+  t.frames_dropped <- t.frames_dropped + s.s_frames_dropped;
+  t.frames_retried <- t.frames_retried + s.s_frames_retried
 
 let summary_to_json ?(extra = []) s =
   let fields =
@@ -280,6 +316,10 @@ let summary_to_json ?(extra = []) s =
       ("timed_out", string_of_int s.s_timed_out);
       ("breaker_open", string_of_int s.s_breaker_open);
       ("stale_epoch_served", string_of_int s.s_stale_epoch_served);
+      ("frames_shipped", string_of_int s.s_frames_shipped);
+      ("frames_applied", string_of_int s.s_frames_applied);
+      ("frames_dropped", string_of_int s.s_frames_dropped);
+      ("frames_retried", string_of_int s.s_frames_retried);
     ]
     @ extra
   in
@@ -311,6 +351,10 @@ let reset t =
   t.timed_out <- 0;
   t.breaker_open <- 0;
   t.stale_epoch_served <- 0;
+  t.frames_shipped <- 0;
+  t.frames_applied <- 0;
+  t.frames_dropped <- 0;
+  t.frames_retried <- 0;
   match t.buffer with
   | Some b ->
     Hashtbl.reset b.pages;

@@ -141,6 +141,34 @@ val timed_out : t -> int
 val breaker_open : t -> int
 val stale_epoch_served : t -> int
 
+(** {2 Replication counters}
+
+    Frame accounting for the WAL-shipping channel.  Every encoded frame
+    put on the wire counts as shipped (a duplicated delivery counts
+    twice — two copies travelled); each delivered copy is then either
+    applied by the replica, dropped in flight or at teardown, or
+    rejected and retried (stale/duplicate sequence, CRC damage, gap).
+    At quiescence {e shipped = applied + dropped + retried} balances
+    exactly; the CI failover gate checks it. *)
+
+val note_frame_shipped : t -> unit
+(** Record one encoded frame handed to the channel (per copy). *)
+
+val note_frame_applied : t -> unit
+(** Record one delivered frame the replica verified and applied. *)
+
+val note_frame_dropped : t -> unit
+(** Record one frame copy lost in flight or discarded at teardown. *)
+
+val note_frame_retried : t -> unit
+(** Record one delivered frame the replica rejected, obliging the
+    primary to rewind and resend. *)
+
+val frames_shipped : t -> int
+val frames_applied : t -> int
+val frames_dropped : t -> int
+val frames_retried : t -> int
+
 val reset : t -> unit
 (** Clears everything, including totals and the buffer pool. *)
 
@@ -164,6 +192,10 @@ type summary = {
   s_timed_out : int;
   s_breaker_open : int;
   s_stale_epoch_served : int;
+  s_frames_shipped : int;
+  s_frames_applied : int;
+  s_frames_dropped : int;
+  s_frames_retried : int;
 }
 (** A point-in-time copy of every counter, decoupled from the live
     [t] (which keeps mutating). *)

@@ -31,4 +31,5 @@ let () =
       ("cost-queries", Test_cost_queries.suite);
       ("parallel", Test_parallel.suite);
       ("resilience", Test_resilience.suite);
+      ("replication", Test_replication.suite);
     ]
