@@ -1148,6 +1148,141 @@ let bench_failover_smoke () =
     promoted balanced (committed - applied_bytes);
   if not (promoted || never_seeded) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Part 8: horizontal sharding scatter-gather (BENCH_sharded.json)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock throughput of one probe workload served by the shard
+   group's scatter-gather router at 1/2/4/8 shards.  The workload is
+   dominated by origin-anchored forward batches — the grouped-routing
+   case, where each probe travels to its owner shard alone and the
+   per-shard fragments are ~1/N of the unsharded trees — with a slice
+   of backward batches exercising the scatter path.  Answers must be
+   byte-identical across every shard count (that is asserted, not just
+   reported); speedup is honest wall clock, so CI gates its scaling
+   assertion on the visible core count (recorded as [cores]). *)
+let bench_sharded ~quick () =
+  let spec =
+    if quick then
+      Workload.Generator.spec ~seed:31
+        ~counts:[ 120; 240; 480; 960 ]
+        ~defined:[ 110; 220; 440 ] ~fan:[ 2; 2; 2 ] ()
+    else
+      Workload.Generator.spec ~seed:31
+        ~counts:[ 800; 1600; 3200; 6400 ]
+        ~defined:[ 740; 1480; 2960 ] ~fan:[ 2; 2; 2 ] ()
+  in
+  let probe_sz = if quick then 16 else 64 in
+  let rounds = if quick then 3 else 10 in
+  let slice k xs =
+    let rec go acc cur cnt = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+        if cnt = k then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (cnt + 1) rest
+    in
+    go [] [] 0 xs
+  in
+  let run shards =
+    (* Each variant rebuilds the (identical) base from the seed: shard
+       stores are clones of the build, so variants never share state. *)
+    let store, path = Workload.Generator.build spec in
+    let n = Gom.Path.length path in
+    let m = Gom.Path.arity path - 1 in
+    let grp =
+      Shard.Group.create ~jobs:shards
+        ~size_of:(Workload.Generator.size_of spec)
+        ~placement:(Shard.Placement.make shards)
+        store
+    in
+    Shard.Group.register grp ~path ~kind:Core.Extension.Full
+      ~dec:(Core.Decomposition.binary ~m);
+    let fw_batches = slice probe_sz (Gom.Store.extent store "T0") in
+    let bw_batches =
+      (* One backward batch per eight forward ones: scatter stays on
+         the path without dominating the grouped workload. *)
+      slice probe_sz
+        (List.map (fun o -> Gom.Value.Ref o)
+           (Gom.Store.extent store (Printf.sprintf "T%d" n)))
+      |> List.filteri (fun i _ -> i mod 8 = 0)
+    in
+    let serve () =
+      let fwd =
+        List.map (fun srcs -> Shard.Group.forward_batch grp path ~i:0 ~j:n srcs)
+          fw_batches
+      in
+      let bwd =
+        List.map
+          (fun tgts -> Shard.Group.backward_batch grp path ~i:0 ~j:n ~targets:tgts)
+          bw_batches
+      in
+      (fwd, bwd)
+    in
+    let answers = serve () in
+    (* the warm serve above primed every shard's plan cache *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      ignore (serve ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let pages = Shard.Group.total_pages grp in
+    let summary = Shard.Group.stats_summary grp in
+    let probes =
+      List.fold_left (fun a b -> a + List.length b) 0 fw_batches
+      + List.fold_left (fun a b -> a + List.length b) 0 bw_batches
+    in
+    Shard.Group.close grp;
+    (dt, answers, pages, summary, probes)
+  in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let results = List.map (fun s -> (s, run s)) shard_counts in
+  let _, (dt1, reference, _, _, probes) = List.hd results in
+  List.iter
+    (fun (s, (_, answers, _, _, _)) ->
+      if answers <> reference then begin
+        Format.printf "  FAIL: answers at %d shard(s) differ from 1 shard@." s;
+        exit 1
+      end)
+    results;
+  let cores = Domain.recommended_domain_count () in
+  Format.printf
+    "sharded scatter-gather: %d probe(s)/round x %d round(s), %d core(s) visible@."
+    probes rounds cores;
+  Format.printf "  %-7s %10s %12s %9s  %s@." "shards" "elapsed" "probes/s" "speedup"
+    "pages/shard";
+  let rows =
+    List.map
+      (fun (s, (dt, _, pages, summary, _)) ->
+        let served = probes * rounds in
+        let pps = float_of_int served /. Float.max dt 1e-9 in
+        let speedup = dt1 /. Float.max dt 1e-9 in
+        let pages_s =
+          String.concat ","
+            (List.map string_of_int (Array.to_list pages))
+        in
+        Format.printf "  %-7d %9.3fs %12.1f %8.2fx  [%s]@." s dt pps speedup pages_s;
+        Printf.sprintf
+          {|{"shards": %d, "jobs": %d, "elapsed_s": %.6f, "probes_per_s": %.1f, "speedup_vs_1": %.3f, "grouped_batches": %d, "scatter_batches": %d, "pages_per_shard": [%s]}|}
+          s s dt pps speedup
+          summary.Storage.Stats.s_shard_grouped
+          summary.Storage.Stats.s_shard_scatter pages_s)
+      results
+  in
+  Format.printf "  deterministic : answers identical across all shard counts@.";
+  let json =
+    Printf.sprintf
+      {|{"bench": "sharded-scatter-gather", "quick": %b, "cores": %d, "probes_per_round": %d, "rounds": %d, "series": [%s]}|}
+      quick cores probes rounds (String.concat ", " rows)
+  in
+  let file = "BENCH_sharded.json" in
+  (try
+     let oc = open_out file in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (json ^ "\n"));
+     Format.printf "written: %s@." file
+   with Sys_error e -> Format.printf "(could not write %s: %s)@." file e)
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let parallel = Array.exists (String.equal "--parallel") Sys.argv in
@@ -1155,7 +1290,12 @@ let () =
   let serving = Array.exists (String.equal "--serving") Sys.argv in
   let replication = Array.exists (String.equal "--replication") Sys.argv in
   let failover = Array.exists (String.equal "--failover-smoke") Sys.argv in
-  if failover then begin
+  let sharded = Array.exists (String.equal "--sharded") Sys.argv in
+  if sharded then begin
+    Format.printf "=== sharded mode: scatter-gather scaling benchmark ===@.@.";
+    bench_sharded ~quick ()
+  end
+  else if failover then begin
     Format.printf "=== failover mode: mid-churn kill + promotion smoke ===@.@.";
     bench_failover_smoke ()
   end
@@ -1197,6 +1337,10 @@ let () =
     Format.printf " Overload-resilient serving@.";
     Format.printf "===============================================================@.@.";
     bench_serving ~quick:false ();
+    Format.printf "@.===============================================================@.";
+    Format.printf " Sharded scatter-gather execution@.";
+    Format.printf "===============================================================@.@.";
+    bench_sharded ~quick:false ();
     Format.printf "@.===============================================================@.";
     Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
     Format.printf "===============================================================@.@.";

@@ -121,7 +121,7 @@ let make_env base =
     exit_usage
       (Printf.sprintf "unknown base %S (available: %s)" other (String.concat ", " bases))
 
-let parse_index store path spec =
+let parse_index_spec path spec =
   (* "full" or "full:0,3,5" over the demo base's canonical path. *)
   let kind_s, dec_s =
     match String.index_opt spec ':' with
@@ -142,6 +142,10 @@ let parse_index store path spec =
       try Core.Decomposition.of_string ~m s
       with Invalid_argument msg -> exit_usage msg)
   in
+  (kind, dec)
+
+let parse_index store path spec =
+  let kind, dec = parse_index_spec path spec in
   Core.Asr.create store path kind dec
 
 let parse_flush_policy s =
@@ -171,9 +175,8 @@ let dump_cmd base file =
     (Gom.Store.fold_objects store ~init:0 ~f:(fun acc _ -> acc + 1));
   0
 
-(* Shared setup for query/explain: store + engine with any requested
-   index registered. *)
-let make_engine base file path_spec index_spec =
+(* Shared setup for query/explain: store + resolved index path. *)
+let make_base base file path_spec =
   let store, env, index_path =
     match file with
     | None -> make_env base
@@ -192,6 +195,10 @@ let make_engine base file path_spec index_spec =
       with Gom.Path.Path_error m -> exit_usage m)
     | None -> index_path
   in
+  (store, env, index_path)
+
+let make_engine base file path_spec index_spec =
+  let store, env, index_path = make_base base file path_spec in
   let indexes =
     match (index_spec, index_path) with
     | None, _ -> []
@@ -219,23 +226,92 @@ let stats_json engine =
       ]
     (Storage.Stats.snapshot env.Core.Exec.stats)
 
-let query_cmd base file path_spec index_spec flush_policy batch jobs texts =
+let print_query_results batch results =
+  List.iter
+    (fun (r : Gql.Eval.result) ->
+      if batch then
+        Format.printf "%4d pages  %4d row(s)  %s@." r.Gql.Eval.pages
+          (List.length r.Gql.Eval.rows)
+          (Gql.Eval.plan_to_string r.Gql.Eval.plan)
+      else begin
+        Format.printf "plan:  %s@." (Gql.Eval.plan_to_string r.Gql.Eval.plan);
+        Format.printf "pages: %d@." r.Gql.Eval.pages;
+        Format.printf "rows  (%d):@." (List.length r.Gql.Eval.rows);
+        List.iter
+          (fun row ->
+            Format.printf "  %s@."
+              (String.concat ", " (List.map Gom.Value.to_string row)))
+          r.Gql.Eval.rows
+      end)
+    results
+
+let compile_queries store texts =
+  (* Parse/type errors are usage errors: surface them before any worker
+     domain starts, so a typo exits 2 cleanly instead of mid-fan-out. *)
+  List.map
+    (fun text ->
+      match Gql.Parser.parse text with
+      | exception Gql.Parser.Parse_error m -> exit_usage ("parse error: " ^ m)
+      | ast -> (
+        match Gql.Typecheck.check store ast with
+        | exception Gql.Typecheck.Check_error m -> exit_usage ("type error: " ^ m)
+        | q -> q))
+    texts
+
+(* Sharded execution: the base is split into a shard group (shard 0
+   wraps the loaded store, the others are replicas carrying fragment
+   indexes), every query is evaluated on every shard's engine and the
+   per-shard row sets merge back into the unsharded answer. *)
+let query_sharded base file path_spec index_spec flush_policy batch jobs shards texts =
+  let store, _env, index_path = make_base base file path_spec in
+  let grp =
+    Shard.Group.create ~jobs:(max jobs shards)
+      ~placement:(Shard.Placement.make shards) store
+  in
+  Fun.protect
+    ~finally:(fun () -> Shard.Group.close grp)
+    (fun () ->
+      (match (index_spec, index_path) with
+      | None, _ -> ()
+      | Some spec, Some p ->
+        let kind, dec = parse_index_spec p spec in
+        Shard.Group.register grp ~path:p ~kind ~dec
+      | Some _, None -> exit_usage "--index over a file base requires --path");
+      (match flush_policy with
+      | Some s -> Shard.Group.set_policy grp (parse_flush_policy s)
+      | None -> ());
+      let compiled = compile_queries store texts in
+      let results =
+        List.map
+          (fun q ->
+            Gql.Eval.merge_results q
+              (List.init shards (fun k ->
+                   Gql.Eval.run ~engine:(Shard.Group.engine grp k) q)))
+          compiled
+      in
+      print_query_results batch results;
+      Format.printf "shards: %d (jobs %d), %d pending delta(s)@." shards
+        (Shard.Group.jobs grp) (Shard.Group.pending grp);
+      if batch then begin
+        let total = Shard.Group.stats_summary grp in
+        Array.iteri
+          (fun k (s : Storage.Stats.summary) ->
+            Format.printf "  shard %d: %d page(s) read, %d fallback(s), %d pages held@."
+              k s.Storage.Stats.s_total_reads s.Storage.Stats.s_fallbacks
+              (Shard.Group.total_pages grp).(k))
+          (Shard.Group.shard_summaries grp);
+        print_endline (Storage.Stats.summary_to_json total)
+      end;
+      0)
+
+let query_cmd base file path_spec index_spec flush_policy batch jobs shards texts =
+  if shards > 1 then
+    query_sharded base file path_spec index_spec flush_policy batch jobs shards texts
+  else begin
   let store, engine = make_engine base file path_spec index_spec in
   let maintenance = wire_maintenance engine flush_policy in
   let jobs = max 1 jobs in
-  (* Parse/type errors are usage errors: surface them before any worker
-     domain starts, so a typo exits 2 cleanly instead of mid-fan-out. *)
-  let compiled =
-    List.map
-      (fun text ->
-        match Gql.Parser.parse text with
-        | exception Gql.Parser.Parse_error m -> exit_usage ("parse error: " ^ m)
-        | ast -> (
-          match Gql.Typecheck.check store ast with
-          | exception Gql.Typecheck.Check_error m -> exit_usage ("type error: " ^ m)
-          | q -> q))
-      texts
-  in
+  let compiled = compile_queries store texts in
   let results =
     if jobs = 1 then List.map (fun q -> Gql.Eval.run ~engine q) compiled
     else begin
@@ -262,23 +338,7 @@ let query_cmd base file path_spec index_spec flush_policy batch jobs texts =
       List.map fst out
     end
   in
-  List.iter
-    (fun (r : Gql.Eval.result) ->
-      if batch then
-        Format.printf "%4d pages  %4d row(s)  %s@." r.Gql.Eval.pages
-          (List.length r.Gql.Eval.rows)
-          (Gql.Eval.plan_to_string r.Gql.Eval.plan)
-      else begin
-        Format.printf "plan:  %s@." (Gql.Eval.plan_to_string r.Gql.Eval.plan);
-        Format.printf "pages: %d@." r.Gql.Eval.pages;
-        Format.printf "rows  (%d):@." (List.length r.Gql.Eval.rows);
-        List.iter
-          (fun row ->
-            Format.printf "  %s@."
-              (String.concat ", " (List.map Gom.Value.to_string row)))
-          r.Gql.Eval.rows
-      end)
-    results;
+  print_query_results batch results;
   (match maintenance with
   | Some m ->
     Format.printf "maintenance: %s policy, %d pending delta(s)@."
@@ -290,6 +350,7 @@ let query_cmd base file path_spec index_spec flush_policy batch jobs texts =
     print_endline (stats_json engine)
   end;
   0
+  end
 
 (* ---------------- serve command ---------------- *)
 
@@ -758,8 +819,74 @@ let with_db dir f =
   | db ->
     Fun.protect ~finally:(fun () -> Durability.Db.close db) (fun () -> f db)
 
-let db_open_cmd dir base =
-  if Sys.file_exists (Filename.concat dir "MANIFEST") then
+(* Sharded durable base: roll the per-shard Dbs up into one report —
+   generation, object count, pending deltas, fragment pages and the
+   content CRC the agreement gate compares. *)
+let db_shard_status dir =
+  match Shard.Durable.open_ ~dir () with
+  | exception Shard.Durable.Shard_error m -> exit_data m
+  | exception Durability.Db.Recovery_error m -> exit_data ("recovery failed: " ^ m)
+  | exception Gom.Serial.Corrupt m -> exit_data ("corrupt image: " ^ m)
+  | d ->
+    Fun.protect
+      ~finally:(fun () -> Shard.Durable.close d)
+      (fun () ->
+        let grp = Shard.Durable.group d in
+        let n = Shard.Group.shards grp in
+        Format.printf "dir:        %s@." dir;
+        Format.printf "shards:     %d (%s placement)@." n
+          (Shard.Placement.to_string (Shard.Group.placement grp));
+        Format.printf "asrs:       %d spec(s), fragmented %d-way@."
+          (List.length (Shard.Durable.specs d)) n;
+        let gens = Shard.Durable.generations d in
+        let crcs = Shard.Durable.content_crc d in
+        let pages = Shard.Group.total_pages grp in
+        Array.iteri
+          (fun k db ->
+            let store = Durability.Db.store db in
+            Format.printf
+              "  shard %d: generation %d, %d object(s), %d pending delta(s), %d \
+               fragment page(s), crc %08lx@."
+              k gens.(k)
+              (Gom.Store.fold_objects store ~init:0 ~f:(fun acc _ -> acc + 1))
+              (Core.Maintenance.pending (Shard.Group.manager grp k))
+              pages.(k) crcs.(k))
+          (Shard.Durable.dbs d);
+        let agree = Array.for_all (fun c -> Int32.equal c crcs.(0)) crcs in
+        Format.printf "agreement:  %s@."
+          (if agree then "content CRCs agree across all shards"
+           else "DIVERGED (reopen with reconciliation)");
+        if agree then 0 else 1)
+
+let db_shard_init dir base shards =
+  let store, _, index_path = make_env base in
+  match
+    Shard.Durable.create ~placement:(Shard.Placement.make shards) ~dir store
+  with
+  | exception Shard.Durable.Shard_error m -> exit_data m
+  | d ->
+    Fun.protect
+      ~finally:(fun () -> Shard.Durable.close d)
+      (fun () ->
+        (* Fragment the demo base's canonical path out of the box, so a
+           fresh sharded base demonstrates per-shard index balance
+           without a separate registration step. *)
+        (match index_path with
+        | Some p ->
+          Shard.Durable.register d ~path:(Gom.Path.to_string p)
+            ~kind:Core.Extension.Full ()
+        | None -> ());
+        Format.printf
+          "initialised sharded durable base (%d shard(s)) from demo base %S@."
+          shards base;
+        0)
+
+let db_open_cmd dir base shards =
+  if Sys.file_exists (Shard.Durable.shards_file dir) then db_shard_status dir
+  else if
+    (not (Sys.file_exists (Filename.concat dir "MANIFEST"))) && shards > 1
+  then db_shard_init dir base shards
+  else if Sys.file_exists (Filename.concat dir "MANIFEST") then
     with_db dir (fun db ->
         (match Durability.Db.last_recovery db with
         | Some r -> print_recovery r
@@ -839,7 +966,8 @@ let db_flush_cmd dir policy_s =
       0)
 
 let db_status_cmd dir =
-  with_db dir (fun db ->
+  if Sys.file_exists (Shard.Durable.shards_file dir) then db_shard_status dir
+  else with_db dir (fun db ->
       db_status db;
       0)
 
@@ -1112,13 +1240,21 @@ let query_t =
                  the $(b,--batch) summary).  Results print in input order \
                  regardless of $(docv).")
   in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Split the base into $(docv) shards (hash placement on the \
+                 clustering column; any $(b,--index) materialises as one \
+                 owner-filtered fragment per shard) and answer each query by \
+                 scatter-gather: every shard evaluates it over its replica \
+                 and the merged rows equal the unsharded answer exactly.")
+  in
   let texts =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
            ~doc:"GOM-SQL text; repeatable.")
   in
   Term.(
     const query_cmd $ base $ file $ path $ index $ flush_policy_arg $ batch $ jobs
-    $ texts)
+    $ shards $ texts)
 
 let serve_t =
   let base =
@@ -1262,7 +1398,14 @@ let db_open_t =
     Arg.(value & opt string "company" & info [ "base" ] ~docv:"NAME"
            ~doc:"Demo base to initialise from if $(docv) is empty.")
   in
-  Term.(const db_open_cmd $ db_dir $ base)
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Initialise an empty directory as a $(docv)-shard durable \
+                 base: one write-ahead-logged Db per shard plus a cross-shard \
+                 manifest; $(b,db status) rolls the shards up and enforces \
+                 the generation-agreement gate.")
+  in
+  Term.(const db_open_cmd $ db_dir $ base $ shards)
 
 let db_append_t =
   let ops =

@@ -34,6 +34,9 @@ type t = {
   dec : Decomposition.t;
   config : Storage.Config.t;
   pager : Storage.Pager.t;
+  owner : (Relation.Tuple.t -> bool) option;
+      (* placement predicate: when set, this relation materialises only
+         the extension tuples the predicate owns (horizontal sharding) *)
   mutable extension : Relation.t;
   parts : part array;
   mutable deferred : bool;
@@ -53,6 +56,8 @@ type pool = {
 
 let id t = t.id
 let store t = t.store
+let owner t = t.owner
+let restrict t rel = match t.owner with Some f -> Relation.filter rel f | None -> rel
 let path t = t.path
 let kind t = t.kind
 let decomposition t = t.dec
@@ -149,7 +154,7 @@ let fresh_trees ~config ~pager ~width ~skey =
   }
 
 let create ?(config = Storage.Config.default) ?(pager = Storage.Pager.create ()) ?pool
-    store path kind dec =
+    ?owner store path kind dec =
   let m = Gom.Path.arity path - 1 in
   (match List.rev (Decomposition.boundaries dec) with
   | last :: _ when last = m -> ()
@@ -162,6 +167,9 @@ let create ?(config = Storage.Config.default) ?(pager = Storage.Pager.create ())
     match pool with Some p -> (p.pool_config, p.pool_pager) | None -> (config, pager)
   in
   let extension = Extension.compute store path kind in
+  let extension =
+    match owner with Some f -> Relation.filter extension f | None -> extension
+  in
   let tuples = Relation.to_list extension in
   let mk_part (lo, hi) =
     let width = hi - lo + 1 in
@@ -200,6 +208,7 @@ let create ?(config = Storage.Config.default) ?(pager = Storage.Pager.create ())
     dec;
     config;
     pager;
+    owner;
     extension;
     parts;
     deferred = false;
@@ -322,7 +331,7 @@ let refresh t =
   with_sealed t (fun () ->
       ignore (flush_unlocked t);
       remove_projections t (Relation.to_list t.extension);
-      t.extension <- Extension.compute t.store t.path t.kind;
+      t.extension <- restrict t (Extension.compute t.store t.path t.kind);
       let tuples = Relation.to_list t.extension in
       Array.iter
         (fun p ->
@@ -347,7 +356,11 @@ let scan_partition ?stats t i = Storage.Bptree.scan ?stats t.parts.(i).trees.fwd
 
 let insert_tuple ?stats t tup =
   if Array.length tup <> arity t then invalid_arg "Asr.insert_tuple: width mismatch";
-  if Relation.mem t.extension tup then false
+  if (match t.owner with Some f -> not (f tup) | None -> false) then
+    (* Not this relation's tuple under the placement predicate: the
+       owning shard materialises it; accepting it here would double it. *)
+    false
+  else if Relation.mem t.extension tup then false
   else begin
     t.extension <- Relation.add t.extension tup;
     if t.deferred then

@@ -206,9 +206,19 @@ let handle_change t index ~i ~obj ~targets =
     | Extension.Full ->
       let ps = prefixes_from_affected ~ci affected in
       if ps = [] then begin
-        let arr = Array.make (ci + 1) Gom.Value.Null in
-        arr.(ci) <- Gom.Value.Ref obj;
-        [ arr ]
+        (* No recorded inbound path: mark the prefix NULL.  A horizontal
+           fragment only records its {e owned} tuples, so an empty [ps]
+           there must be confirmed against the store — the object may
+           have inbound paths whose tuples live on other shards, and
+           fabricating the NULL marker here would invent a tuple outside
+           the global extension. *)
+        if i > 0 && Asr.owner index <> None && referenced_now t.store path ~pos:i ~oid:obj
+        then []
+        else begin
+          let arr = Array.make (ci + 1) Gom.Value.Null in
+          arr.(ci) <- Gom.Value.Ref obj;
+          [ arr ]
+        end
       end
       else ps
     | Extension.Left_complete ->

@@ -186,6 +186,15 @@ val analytic_decomposition : Gom.Path.t -> Core.Decomposition.t -> Core.Decompos
     model's object positions (its [m = n] simplification drops set-OID
     columns). *)
 
+val embedding_offset : index_path:Gom.Path.t -> query_path:Gom.Path.t -> int option
+(** First object-position offset at which the query path embeds in the
+    index path ([None] when it does not): positions [off..off+n] of the
+    index spell exactly the query's anchor type and attribute chain —
+    the same first-fit the planner uses when pricing a stitch.  Exposed
+    for the shard router, whose grouped-routing decision must know
+    whether {e every} index usable for a query anchors it at offset 0
+    (only then does a probe's answer live wholly on its owner shard). *)
+
 val candidates :
   ?env:Core.Exec.env -> t -> Gom.Path.t -> i:int -> j:int -> dir:Plan.dir -> candidate list
 (** Every legal strategy for [Q^(i,j)] over the path, priced, cheapest

@@ -270,6 +270,24 @@ let run ?env ~engine (q : T.t) =
     pages = Storage.Stats.op_accesses stats;
   }
 
+(* Scatter-gather merge for sharded execution: each shard evaluates the
+   query over its full replica (fragment indexes give it its own slice
+   of any backward stitch; navigation and residual filters are exact on
+   every shard), so the per-shard row sets union to the unsharded
+   answer.  Any row in the globally ordered first [limit] is within its
+   own shard's first [limit], so re-applying ordering and limit to the
+   deduplicated union reproduces the unsharded result exactly. *)
+let merge_results (q : T.t) results =
+  match results with
+  | [] -> invalid_arg "Eval.merge_results: no shard results"
+  | first :: _ ->
+    let rows = dedup_rows (List.concat_map (fun r -> r.rows) results) in
+    {
+      rows = order_and_limit q rows;
+      plan = first.plan;
+      pages = List.fold_left (fun acc r -> acc + r.pages) 0 results;
+    }
+
 let query ?env ~engine text =
   let ast = Parser.parse text in
   let env = resolve_env ~engine env in

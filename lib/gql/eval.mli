@@ -57,3 +57,12 @@ val run : ?env:Core.Exec.env -> engine:Engine.t -> Typecheck.t -> result
 val query : ?env:Core.Exec.env -> engine:Engine.t -> string -> result
 (** Parse, check and run in one step.
     @raise Parser.Parse_error or Typecheck.Check_error accordingly. *)
+
+val merge_results : Typecheck.t -> result list -> result
+(** Merge per-shard results of the {e same} query into the unsharded
+    answer: rows are unioned and deduplicated, ordering and limit are
+    re-applied, pages are summed.  Sound because every shard evaluates
+    over a full structural replica (only the index fragments differ),
+    so the per-shard row sets union exactly and the global ordered
+    first-[n] is contained in the per-shard ordered first-[n]s.
+    @raise Invalid_argument on an empty result list. *)

@@ -50,8 +50,9 @@ let outcome_to_string = function
    computation; retractions first so multiplicity fixes cannot clash. *)
 let diff index =
   let target =
-    Core.Extension.compute (Core.Asr.store index) (Core.Asr.path index)
-      (Core.Asr.kind index)
+    Core.Asr.restrict index
+      (Core.Extension.compute (Core.Asr.store index) (Core.Asr.path index)
+         (Core.Asr.kind index))
   in
   let current = Core.Asr.extension_relation index in
   let stale =

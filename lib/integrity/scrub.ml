@@ -166,8 +166,9 @@ let run ?deadline ?fault ?sample ?stats index =
   end;
   let truth =
     Relation.to_list
-      (Core.Extension.compute (Core.Asr.store index) (Core.Asr.path index)
-         (Core.Asr.kind index))
+      (Core.Asr.restrict index
+         (Core.Extension.compute (Core.Asr.store index) (Core.Asr.path index)
+            (Core.Asr.kind index)))
   in
   let parts = Core.Asr.partition_count index in
   let audit part =

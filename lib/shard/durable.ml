@@ -1,0 +1,255 @@
+[@@@alert "-legacy"]
+(* Store.copy builds replica stores and reconcile rebuilds — writer-side
+   whole-base clones, the use the alert keeps copy around for. *)
+
+exception Shard_error of string
+
+let shard_error fmt = Format.kasprintf (fun s -> raise (Shard_error s)) fmt
+
+(* ---------------- layout ---------------- *)
+
+let shards_file dir = Filename.concat dir "SHARDS"
+let shard_dir dir k = Filename.concat dir (Printf.sprintf "shard-%d" k)
+
+let shards_header = "asr-shards v1"
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* Atomic control-file replacement, same discipline as the per-shard
+   manifests (temp + fsync + rename). *)
+let atomic_write path contents =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc contents;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let write_shards_manifest dir ~placement specs =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (shards_header ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "shards %d\n" (Placement.shards placement));
+  Buffer.add_string buf
+    (Printf.sprintf "placement %s\n" (Placement.to_string placement));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "asr %s\n" (Durability.Db.spec_to_string s)))
+    specs;
+  atomic_write (shards_file dir) (Buffer.contents buf)
+
+let read_shards_manifest dir =
+  let path = shards_file dir in
+  let text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error m -> shard_error "cannot read shards manifest: %s" m
+  in
+  let lines =
+    String.split_on_char '\n' text |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match lines with
+  | h :: rest when h = shards_header ->
+    let shards = ref None and placement = ref None and specs = ref [] in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "shards"; n ] -> shards := int_of_string_opt n
+        | [ "placement"; p ] -> placement := Some p
+        | "asr" :: spec_parts -> (
+          match Durability.Db.spec_of_string (String.concat " " spec_parts) with
+          | Some s -> specs := s :: !specs
+          | None -> shard_error "shards manifest: malformed spec %S" line)
+        | _ -> shard_error "shards manifest: malformed line %S" line)
+      rest;
+    let n =
+      match !shards with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> shard_error "shards manifest: missing shard count"
+    in
+    let placement =
+      match !placement with
+      | Some p -> (
+        match Placement.of_string ~shards:n p with
+        | Some pl -> pl
+        | None -> shard_error "shards manifest: bad placement %S" p)
+      | None -> shard_error "shards manifest: missing placement"
+    in
+    (placement, List.rev !specs)
+  | h :: _ -> shard_error "shards manifest: unknown header %S" h
+  | [] -> shard_error "shards manifest: empty"
+
+(* ---------------- the handle ---------------- *)
+
+type t = {
+  t_dir : string;
+  placement : Placement.t;
+  mutable dbs : Durability.Db.t array;
+  mutable grp : Group.t;
+  mutable specs : Durability.Db.spec list;
+  reports : Durability.Db.report option array;
+  mutable closed : bool;
+}
+
+let group t = t.grp
+let dbs t = t.dbs
+let specs t = t.specs
+let reports t = t.reports
+let generations t = Array.map Durability.Db.generation t.dbs
+
+let store_crc store = Gom.Crc32.string (Gom.Serial.store_to_string store)
+
+let content_crc t = Array.map (fun db -> store_crc (Durability.Db.store db)) t.dbs
+
+(* Fragment relations are created straight over the shard stores and
+   registered with each shard Db's own maintenance manager — so the
+   Db's flush framing covers them — but never with [Db.register_asr]:
+   the per-shard manifest must stay empty of them, or an independent
+   shard recovery would rebuild the fragment unfiltered. *)
+let register_fragments grp spec =
+  let path, kind, dec =
+    try Durability.Db.spec_components (Group.primary grp) spec
+    with Durability.Db.Recovery_error m -> shard_error "%s" m
+  in
+  Group.register grp ~path ~kind ~dec
+
+let assemble ?jobs ~dir ~placement dbs =
+  let stores = Array.map Durability.Db.store dbs in
+  let envs = Array.map Durability.Db.env dbs in
+  let managers = Array.map Durability.Db.maintenance dbs in
+  let grp = Group.create_on ?jobs ~placement ~stores ~managers ~envs () in
+  ignore dir;
+  grp
+
+let create ?policy ?(faults = fun _ -> None) ?jobs
+    ?(placement = Placement.make 1) ~dir store =
+  if Sys.file_exists (shards_file dir) then
+    shard_error "%s already holds a shard group" dir;
+  mkdir_p dir;
+  let n = Placement.shards placement in
+  let stores =
+    Array.init n (fun k -> if k = 0 then store else Gom.Store.copy store)
+  in
+  let dbs =
+    Array.init n (fun k ->
+        Durability.Db.create ?fault:(faults k) ?policy ~dir:(shard_dir dir k)
+          stores.(k))
+  in
+  let grp = assemble ?jobs ~dir ~placement dbs in
+  write_shards_manifest dir ~placement [];
+  {
+    t_dir = dir;
+    placement;
+    dbs;
+    grp;
+    specs = [];
+    reports = Array.make n None;
+    closed = false;
+  }
+
+let open_ ?policy ?(faults = fun _ -> None) ?jobs ?(reconcile = false) ~dir () =
+  let placement, specs = read_shards_manifest dir in
+  let n = Placement.shards placement in
+  let dbs =
+    Array.init n (fun k ->
+        Durability.Db.open_ ?fault:(faults k) ?policy ~dir:(shard_dir dir k) ())
+  in
+  let crcs = Array.map (fun db -> store_crc (Durability.Db.store db)) dbs in
+  let diverged =
+    List.filter
+      (fun k -> not (Int32.equal crcs.(k) crcs.(0)))
+      (List.init n Fun.id)
+  in
+  let dbs =
+    if diverged = [] then dbs
+    else if not reconcile then begin
+      Array.iter Durability.Db.close dbs;
+      shard_error
+        "shard generations disagree (shards %s diverge from shard 0); refusing \
+         to serve — reopen with reconciliation"
+        (String.concat "," (List.map string_of_int diverged))
+    end
+    else begin
+      (* Adopt shard 0's recovered state: rebuild each disagreeing
+         shard directory as a fresh Db over a copy of it.  Shard 0 is
+         the write endpoint — its log holds the commit barriers — so
+         its recovered prefix is the transaction-consistent state the
+         group serves. *)
+      Array.mapi
+        (fun k db ->
+          if List.mem k diverged then begin
+            Durability.Db.close db;
+            rm_rf (shard_dir dir k);
+            let clone = Gom.Store.copy (Durability.Db.store dbs.(0)) in
+            Durability.Db.create ?fault:(faults k) ?policy
+              ~dir:(shard_dir dir k) clone
+          end
+          else db)
+        dbs
+    end
+  in
+  let grp = assemble ?jobs ~dir ~placement dbs in
+  List.iter (fun spec -> register_fragments grp spec) specs;
+  {
+    t_dir = dir;
+    placement;
+    dbs;
+    grp;
+    specs;
+    reports = Array.map Durability.Db.last_recovery dbs;
+    closed = false;
+  }
+
+let register t ~path ~kind ?dec () =
+  let spec = { Durability.Db.s_kind = kind; s_dec = dec; s_path = path } in
+  let dup =
+    List.exists
+      (fun s -> String.equal (Durability.Db.spec_to_string s)
+          (Durability.Db.spec_to_string spec))
+      t.specs
+  in
+  if dup then shard_error "duplicate registration: %s" (Durability.Db.spec_to_string spec);
+  register_fragments t.grp spec;
+  t.specs <- t.specs @ [ spec ];
+  write_shards_manifest t.t_dir ~placement:t.placement t.specs
+
+let flush_maintenance t =
+  Array.fold_left (fun acc db -> acc + Durability.Db.flush_maintenance db) 0 t.dbs
+
+let checkpoint t = Array.iter Durability.Db.checkpoint t.dbs
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Group.close t.grp;
+    Array.iter Durability.Db.close t.dbs
+  end

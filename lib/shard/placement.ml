@@ -1,0 +1,86 @@
+type strategy =
+  | Hash
+  | Range of int
+
+type t = { n : int; strategy : strategy }
+
+let make ?(strategy = Hash) shards =
+  if shards < 1 then invalid_arg "Placement.make: shards must be >= 1";
+  (match strategy with
+  | Range stride when stride < 1 ->
+    invalid_arg "Placement.make: range stride must be >= 1"
+  | Range _ | Hash -> ());
+  { n = shards; strategy }
+
+let shards t = t.n
+let strategy t = t.strategy
+
+let to_string t =
+  match t.strategy with
+  | Hash -> "hash"
+  | Range stride -> Printf.sprintf "range:%d" stride
+
+let of_string ~shards s =
+  if shards < 1 then None
+  else if String.equal s "hash" then Some { n = shards; strategy = Hash }
+  else
+    match String.index_opt s ':' with
+    | Some i when String.equal (String.sub s 0 i) "range" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some stride when stride >= 1 -> Some { n = shards; strategy = Range stride }
+      | Some _ | None -> None)
+    | Some _ | None -> None
+
+(* Knuth's multiplicative hash: identifiers are often consecutive, and
+   plain [mod n] would then correlate placement with creation order
+   (every range query hitting one shard).  The constant is 2^32 times
+   the golden ratio's fractional part; OCaml's 63-bit ints hold the
+   product without overflow for any realistic identifier. *)
+let mix id = (id * 2654435761) land max_int
+
+let shard_of_id t id =
+  match t.strategy with
+  | Hash -> mix id mod t.n
+  | Range stride -> id / stride mod t.n
+
+let shard_of_oid t o = shard_of_id t (Gom.Oid.to_int o)
+
+(* FNV-1a over the serialised value: elementary values have no
+   identifier, and the placement must survive process restarts, so the
+   hash is computed here rather than borrowed from [Hashtbl.hash].
+   The offset basis is the 64-bit FNV one truncated to OCaml's native
+   int range; wrap-around multiplication is the usual FNV behaviour. *)
+let fnv s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let shard_of_value t v =
+  match v with
+  | Gom.Value.Null -> 0
+  | Gom.Value.Ref o -> shard_of_oid t o
+  | v -> fnv (Gom.Value.to_string v) mod t.n
+
+let shard_of_tuple t (tup : Relation.Tuple.t) =
+  let rec leftmost i =
+    if i >= Array.length tup then 0
+    else if Gom.Value.is_null tup.(i) then leftmost (i + 1)
+    else shard_of_value t tup.(i)
+  in
+  leftmost 0
+
+let owner_pred t k tup = shard_of_tuple t tup = k
+
+let split t rel =
+  let width = Relation.width rel in
+  let buckets = Array.make t.n [] in
+  List.iter
+    (fun tup ->
+      let k = shard_of_tuple t tup in
+      buckets.(k) <- tup :: buckets.(k))
+    (Relation.to_list rel);
+  Array.map (fun tups -> Relation.of_list ~width (List.rev tups)) buckets

@@ -29,6 +29,8 @@ type t = {
   mutable frames_applied : int;
   mutable frames_dropped : int;
   mutable frames_retried : int;
+  mutable shard_grouped : int;
+  mutable shard_scatter : int;
   touched_r : (int, unit) Hashtbl.t;
   touched_w : (int, unit) Hashtbl.t;
   buffer : buffer option;
@@ -58,6 +60,8 @@ let create ?(buffer_capacity = 0) () =
     frames_applied = 0;
     frames_dropped = 0;
     frames_retried = 0;
+    shard_grouped = 0;
+    shard_scatter = 0;
     touched_r = Hashtbl.create 256;
     touched_w = Hashtbl.create 64;
     buffer =
@@ -152,6 +156,12 @@ let frames_shipped t = t.frames_shipped
 let frames_applied t = t.frames_applied
 let frames_dropped t = t.frames_dropped
 let frames_retried t = t.frames_retried
+
+let note_shard_grouped t = t.shard_grouped <- t.shard_grouped + 1
+let note_shard_scatter t = t.shard_scatter <- t.shard_scatter + 1
+let shard_grouped t = t.shard_grouped
+let shard_scatter t = t.shard_scatter
+
 let shed t = t.shed
 let timed_out t = t.timed_out
 let breaker_open t = t.breaker_open
@@ -188,6 +198,8 @@ type summary = {
   s_frames_applied : int;
   s_frames_dropped : int;
   s_frames_retried : int;
+  s_shard_grouped : int;
+  s_shard_scatter : int;
 }
 
 let snapshot t =
@@ -215,6 +227,8 @@ let snapshot t =
     s_frames_applied = t.frames_applied;
     s_frames_dropped = t.frames_dropped;
     s_frames_retried = t.frames_retried;
+    s_shard_grouped = t.shard_grouped;
+    s_shard_scatter = t.shard_scatter;
   }
 
 let zero =
@@ -242,6 +256,8 @@ let zero =
     s_frames_applied = 0;
     s_frames_dropped = 0;
     s_frames_retried = 0;
+    s_shard_grouped = 0;
+    s_shard_scatter = 0;
   }
 
 let merge a b =
@@ -269,6 +285,8 @@ let merge a b =
     s_frames_applied = a.s_frames_applied + b.s_frames_applied;
     s_frames_dropped = a.s_frames_dropped + b.s_frames_dropped;
     s_frames_retried = a.s_frames_retried + b.s_frames_retried;
+    s_shard_grouped = a.s_shard_grouped + b.s_shard_grouped;
+    s_shard_scatter = a.s_shard_scatter + b.s_shard_scatter;
   }
 
 let absorb t s =
@@ -291,7 +309,9 @@ let absorb t s =
   t.frames_shipped <- t.frames_shipped + s.s_frames_shipped;
   t.frames_applied <- t.frames_applied + s.s_frames_applied;
   t.frames_dropped <- t.frames_dropped + s.s_frames_dropped;
-  t.frames_retried <- t.frames_retried + s.s_frames_retried
+  t.frames_retried <- t.frames_retried + s.s_frames_retried;
+  t.shard_grouped <- t.shard_grouped + s.s_shard_grouped;
+  t.shard_scatter <- t.shard_scatter + s.s_shard_scatter
 
 let summary_to_json ?(extra = []) s =
   let fields =
@@ -320,6 +340,8 @@ let summary_to_json ?(extra = []) s =
       ("frames_applied", string_of_int s.s_frames_applied);
       ("frames_dropped", string_of_int s.s_frames_dropped);
       ("frames_retried", string_of_int s.s_frames_retried);
+      ("shard_grouped", string_of_int s.s_shard_grouped);
+      ("shard_scatter", string_of_int s.s_shard_scatter);
     ]
     @ extra
   in

@@ -169,6 +169,23 @@ val frames_applied : t -> int
 val frames_dropped : t -> int
 val frames_retried : t -> int
 
+(** {2 Shard-routing counters}
+
+    One count per batch the scatter-gather router dispatches: {e
+    grouped} batches partition their probes by owner shard (each probe
+    answered exactly once), {e scattered} ones fan every probe to every
+    shard and union the answers.  [grouped + scatter] equals the number
+    of routed batches — the shard regression tests check the balance. *)
+
+val note_shard_grouped : t -> unit
+(** Record one batch routed with probes grouped by owner shard. *)
+
+val note_shard_scatter : t -> unit
+(** Record one batch scattered to every shard. *)
+
+val shard_grouped : t -> int
+val shard_scatter : t -> int
+
 val reset : t -> unit
 (** Clears everything, including totals and the buffer pool. *)
 
@@ -196,6 +213,8 @@ type summary = {
   s_frames_applied : int;
   s_frames_dropped : int;
   s_frames_retried : int;
+  s_shard_grouped : int;
+  s_shard_scatter : int;
 }
 (** A point-in-time copy of every counter, decoupled from the live
     [t] (which keeps mutating). *)

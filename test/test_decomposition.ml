@@ -107,6 +107,71 @@ let prop_lossless =
       let dec = List.nth decs (dec_pick mod List.length decs) in
       lossless_on_store store path kind dec)
 
+(* ---- Theorem 3.9, horizontally: the shard placement's fragments
+   partition the extension, and each fragment still decomposes and
+   reconstructs losslessly.  (Closure argument: any tuple the
+   null-equality join of a fragment's partitions can assemble is a
+   valid path instantiation — hence in the full extension — and shares
+   its leftmost non-NULL column with a fragment tuple, hence has the
+   same owner and was in the fragment all along.) ---- *)
+
+let placement_lossless_on_store store path kind dec ~shards =
+  let ext = Core.Extension.compute store path kind in
+  let pl = Shard.Placement.make shards in
+  let frags = Array.to_list (Shard.Placement.split pl ext) in
+  let disjoint =
+    Relation.cardinal ext
+    = List.fold_left (fun acc f -> acc + Relation.cardinal f) 0 frags
+  in
+  let covers =
+    Relation.equal ext
+      (List.fold_left Relation.union (Relation.empty (Relation.width ext)) frags)
+  in
+  let owned =
+    List.for_all
+      (fun (k, f) ->
+        List.for_all
+          (Shard.Placement.owner_pred pl k)
+          (Relation.to_list f))
+      (List.mapi (fun k f -> (k, f)) frags)
+  in
+  let lossless =
+    List.for_all
+      (fun f -> Relation.equal f (Relation.reconstruct (D.split f dec)))
+      frags
+  in
+  disjoint && covers && owned && lossless
+
+let test_placement_lossless_company () =
+  let b = Workload.Schemas.Company.base () in
+  let store = b.Workload.Schemas.Company.store in
+  let path = Workload.Schemas.Company.name_path store in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun shards ->
+          check
+            (Printf.sprintf "placement lossless %s x%d"
+               (Core.Extension.name kind) shards)
+            true
+            (placement_lossless_on_store store path kind (D.binary ~m:5) ~shards))
+        [ 1; 2; 4; 8 ])
+    Core.Extension.all
+
+let prop_placement_lossless =
+  QCheck.Test.make
+    ~name:"Thm 3.9 horizontally: shard fragments partition and reconstruct"
+    ~count:80
+    QCheck.(pair arb_spec (pair (int_bound 3) (pair small_int (int_bound 3))))
+    (fun (spec, (kind_idx, (dec_pick, shard_pick))) ->
+      let store, path = Workload.Generator.build spec in
+      let kind = List.nth Core.Extension.all kind_idx in
+      let m = Gom.Path.arity path - 1 in
+      let decs = D.all ~m in
+      let dec = List.nth decs (dec_pick mod List.length decs) in
+      let shards = List.nth [ 1; 2; 4; 8 ] shard_pick in
+      placement_lossless_on_store store path kind dec ~shards)
+
 let prop_contiguous =
   QCheck.Test.make
     ~name:"extension tuples have contiguous defined spans" ~count:120
@@ -127,6 +192,9 @@ let suite =
     Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
     Alcotest.test_case "company projections" `Quick test_project_company;
     Alcotest.test_case "losslessness on the paper base" `Quick test_lossless_company_all;
+    Alcotest.test_case "placement losslessness on the paper base" `Quick
+      test_placement_lossless_company;
     Qc.to_alcotest prop_lossless;
+    Qc.to_alcotest prop_placement_lossless;
     Qc.to_alcotest prop_contiguous;
   ]

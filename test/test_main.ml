@@ -32,4 +32,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("resilience", Test_resilience.suite);
       ("replication", Test_replication.suite);
+      ("shard", Test_shard.suite);
     ]
