@@ -103,19 +103,19 @@ let advise_cmd profile p_up queries updates top =
 
 let bases = [ "robots"; "company" ]
 
-let make_env base =
+let make_env ?(buffer_pages = 0) base =
   match base with
   | "robots" ->
     let b = Workload.Schemas.Robot.base () in
     let store = b.Workload.Schemas.Robot.store in
     let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-    (store, (Core.Exec.make store heap),
+    (store, (Core.Exec.make ~buffer_pages store heap),
      Some (Workload.Schemas.Robot.location_path store))
   | "company" ->
     let b = Workload.Schemas.Company.base () in
     let store = b.Workload.Schemas.Company.store in
     let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-    (store, (Core.Exec.make store heap),
+    (store, (Core.Exec.make ~buffer_pages store heap),
      Some (Workload.Schemas.Company.name_path store))
   | other ->
     exit_usage
@@ -176,17 +176,17 @@ let dump_cmd base file =
   0
 
 (* Shared setup for query/explain: store + resolved index path. *)
-let make_base base file path_spec =
+let make_base ?(buffer_pages = 0) base file path_spec =
   let store, env, index_path =
     match file with
-    | None -> make_env base
+    | None -> make_env ~buffer_pages base
     | Some f -> (
       match Gom.Serial.load f with
       | exception Gom.Serial.Corrupt m -> exit_data ("corrupt base file: " ^ m)
       | exception Sys_error m -> exit_usage m
       | store ->
         let heap = Storage.Heap.create ~size_of:(fun _ -> 100) store in
-        (store, Core.Exec.make store heap, None))
+        (store, Core.Exec.make ~buffer_pages store heap, None))
   in
   let index_path =
     match path_spec with
@@ -197,8 +197,8 @@ let make_base base file path_spec =
   in
   (store, env, index_path)
 
-let make_engine base file path_spec index_spec =
-  let store, env, index_path = make_base base file path_spec in
+let make_engine ?buffer_pages base file path_spec index_spec =
+  let store, env, index_path = make_base ?buffer_pages base file path_spec in
   let indexes =
     match (index_spec, index_path) with
     | None, _ -> []
@@ -304,11 +304,13 @@ let query_sharded base file path_spec index_spec flush_policy batch jobs shards 
       end;
       0)
 
-let query_cmd base file path_spec index_spec flush_policy batch jobs shards texts =
+let query_cmd base file path_spec index_spec flush_policy batch jobs shards buffer_pages
+    texts =
   if shards > 1 then
     query_sharded base file path_spec index_spec flush_policy batch jobs shards texts
   else begin
-  let store, engine = make_engine base file path_spec index_spec in
+  let buffer_pages = max 0 buffer_pages in
+  let store, engine = make_engine ~buffer_pages base file path_spec index_spec in
   let maintenance = wire_maintenance engine flush_policy in
   let jobs = max 1 jobs in
   let compiled = compile_queries store texts in
@@ -325,7 +327,10 @@ let query_cmd base file path_spec index_spec flush_policy batch jobs shards text
         Parallel.Pool.run_all pool
           (List.map
              (fun q () ->
-               let env = Core.Exec.make_view env0.Core.Exec.view env0.Core.Exec.heap in
+               let env =
+                 Core.Exec.make_view ~buffer_pages env0.Core.Exec.view
+                   env0.Core.Exec.heap
+               in
                let r = Gql.Eval.run ~env ~engine q in
                (r, Storage.Stats.snapshot env.Core.Exec.stats))
              compiled)
@@ -413,9 +418,10 @@ let parse_workload store env path file =
         Parallel.Server.Backward { q_path = path; q_i = i; q_j = j; q_targets = targets })
     !lines
 
-let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat max_queue
-    deadline_ms shed_policy =
+let serve_cmd base file path_spec index_spec flush_policy jobs buffer_pages workload
+    repeat max_queue deadline_ms shed_policy =
   let jobs = max 1 jobs in
+  let buffer_pages = max 0 buffer_pages in
   let store, env, index_path =
     match file with
     | None -> make_env base
@@ -480,7 +486,7 @@ let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat m
     | Parallel.Server.Backward_answer ans ->
       List.fold_left (fun acc (_, os) -> acc + List.length os) 0 ans
   in
-  let server = Parallel.Server.create ~jobs ?maintenance ~specs store in
+  let server = Parallel.Server.create ~jobs ~buffer_pages ?maintenance ~specs store in
   (* The server owns a pool of domains: whatever the serve path raises
      (a failed query, a corrupt workload assertion), the pool must be
      joined on the way out, never leaked. *)
@@ -515,6 +521,15 @@ let serve_cmd base file path_spec index_spec flush_policy jobs workload repeat m
           p.Parallel.Server.publishes
           (p.Parallel.Server.last_latency_s *. 1000.)
           p.Parallel.Server.last_copied p.Parallel.Server.last_shared;
+        if buffer_pages > 0 then
+          Format.printf
+            "buffer: %d page(s)/worker; hit ratio %.1f%%; %d miss(es), %d \
+             eviction(s), %d prefetched@."
+            buffer_pages
+            (100. *. Storage.Stats.summary_hit_ratio summary)
+            summary.Storage.Stats.s_buffer_misses
+            summary.Storage.Stats.s_buffer_evictions
+            summary.Storage.Stats.s_prefetched;
         print_endline
           (Storage.Stats.summary_to_json
              ~extra:
@@ -796,6 +811,23 @@ let db_status db =
         (Gom.Path.to_string (Core.Asr.path a))
         (Core.Asr.pending_deltas a))
     (Durability.Db.asrs db);
+  let env = Durability.Db.env db in
+  let st = env.Core.Exec.stats in
+  (if Storage.Stats.has_buffer st then
+     Format.printf "buffer:     %d page(s); hit ratio %s; %d miss(es), %d eviction(s)@."
+       (Storage.Stats.buffer_capacity st)
+       (match Storage.Stats.hit_ratio st with
+       | Some r -> Printf.sprintf "%.1f%%" (100. *. r)
+       | None -> "n/a (no traffic yet)")
+       (Storage.Stats.buffer_misses st)
+       (Storage.Stats.buffer_evictions st)
+   else Format.printf "buffer:     none (unbuffered page accounting)@.");
+  (match Storage.Heap.recluster_progress env.Core.Exec.heap with
+  | Some (moved, planned) ->
+    Format.printf "recluster:  %d/%d move(s) applied%s@." moved planned
+      (if Storage.Heap.recluster_active env.Core.Exec.heap then " (running)"
+       else " (complete)")
+  | None -> Format.printf "recluster:  never run (creation-order layout)@.");
   (* What epoch publication costs against this base: the one-time O(n)
      image, then a CoW republication (no intervening writes here, so it
      copies nothing and shares every instance). *)
@@ -1252,9 +1284,17 @@ let query_t =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
            ~doc:"GOM-SQL text; repeatable.")
   in
+  let buffer_pages =
+    Arg.(value & opt int 0 & info [ "buffer-pages" ] ~docv:"N"
+           ~doc:"Attach an $(docv)-page buffer pool between the executor \
+                 and the pager: repeated page reads within the pool's \
+                 capacity become cache hits (no physical I/O), and the \
+                 report splits logical from physical page counts.  \
+                 0 (the default) keeps the unbuffered accounting.")
+  in
   Term.(
     const query_cmd $ base $ file $ path $ index $ flush_policy_arg $ batch $ jobs
-    $ shards $ texts)
+    $ shards $ buffer_pages $ texts)
 
 let serve_t =
   let base =
@@ -1307,9 +1347,16 @@ let serve_t =
            ~doc:"Overflow policy: $(b,newest), $(b,oldest) or $(b,deadline) \
                  (evict the entry with the least remaining budget).")
   in
+  let buffer_pages =
+    Arg.(value & opt int 0 & info [ "buffer-pages" ] ~docv:"N"
+           ~doc:"Give every worker domain a private $(docv)-page buffer \
+                 pool; the merged accounting then reports the cumulative \
+                 hit ratio, misses and evictions across workers.  \
+                 0 (the default) serves unbuffered.")
+  in
   Term.(
     const serve_cmd $ base $ file $ path $ index $ flush_policy_arg $ jobs
-    $ workload $ repeat $ max_queue $ deadline_ms $ shed_policy)
+    $ buffer_pages $ workload $ repeat $ max_queue $ deadline_ms $ shed_policy)
 
 let explain_t =
   let base =

@@ -55,6 +55,15 @@ type pool = {
 }
 
 let id t = t.id
+let seg t = "asr" ^ string_of_int t.id
+
+(* Tag page traffic from this relation's trees with its segment name so
+   the buffer pool can report per-segment hit ratios (planner warmth). *)
+let in_seg ?stats t f =
+  match stats with
+  | Some st -> Storage.Stats.in_segment st (seg t) f
+  | None -> f ()
+
 let store t = t.store
 let owner t = t.owner
 let restrict t rel = match t.owner with Some f -> Relation.filter rel f | None -> rel
@@ -297,8 +306,9 @@ let flush_unlocked ?stats t =
         Hashtbl.reset buf;
         flushed := !flushed + List.length deltas;
         let p = t.parts.(pi) in
-        Storage.Bptree.apply_many ?stats p.trees.fwd deltas;
-        Storage.Bptree.apply_many ?stats p.trees.bwd deltas
+        in_seg ?stats t (fun () ->
+            Storage.Bptree.apply_many ?stats p.trees.fwd deltas;
+            Storage.Bptree.apply_many ?stats p.trees.bwd deltas)
       end)
     t.pending;
   t.pending_total <- 0;
@@ -342,17 +352,22 @@ let partition_relation t i =
   let p = t.parts.(i) in
   Relation.of_list ~width:(p.hi - p.lo + 1) (Storage.Bptree.scan p.trees.fwd)
 
-let lookup_fwd ?stats t i key = Storage.Bptree.lookup ?stats t.parts.(i).trees.fwd key
+let lookup_fwd ?stats t i key =
+  in_seg ?stats t (fun () -> Storage.Bptree.lookup ?stats t.parts.(i).trees.fwd key)
 
-let lookup_bwd ?stats t i key = Storage.Bptree.lookup ?stats t.parts.(i).trees.bwd key
+let lookup_bwd ?stats t i key =
+  in_seg ?stats t (fun () -> Storage.Bptree.lookup ?stats t.parts.(i).trees.bwd key)
 
 let lookup_fwd_many ?stats t i keys =
-  Storage.Bptree.lookup_many ?stats t.parts.(i).trees.fwd keys
+  in_seg ?stats t (fun () ->
+      Storage.Bptree.lookup_many ?stats t.parts.(i).trees.fwd keys)
 
 let lookup_bwd_many ?stats t i keys =
-  Storage.Bptree.lookup_many ?stats t.parts.(i).trees.bwd keys
+  in_seg ?stats t (fun () ->
+      Storage.Bptree.lookup_many ?stats t.parts.(i).trees.bwd keys)
 
-let scan_partition ?stats t i = Storage.Bptree.scan ?stats t.parts.(i).trees.fwd
+let scan_partition ?stats t i =
+  in_seg ?stats t (fun () -> Storage.Bptree.scan ?stats t.parts.(i).trees.fwd)
 
 let insert_tuple ?stats t tup =
   if Array.length tup <> arity t then invalid_arg "Asr.insert_tuple: width mismatch";
@@ -369,12 +384,13 @@ let insert_tuple ?stats t tup =
         t.parts
     else
       with_sealed t (fun () ->
-          Array.iter
-            (fun p ->
-              let proj = project_tuple tup (p.lo, p.hi) in
-              Storage.Bptree.insert ?stats p.trees.fwd proj;
-              Storage.Bptree.insert ?stats p.trees.bwd proj)
-            t.parts);
+          in_seg ?stats t (fun () ->
+              Array.iter
+                (fun p ->
+                  let proj = project_tuple tup (p.lo, p.hi) in
+                  Storage.Bptree.insert ?stats p.trees.fwd proj;
+                  Storage.Bptree.insert ?stats p.trees.bwd proj)
+                t.parts));
     true
   end
 
@@ -387,12 +403,13 @@ let remove_tuple ?stats t tup =
         t.parts
     else
       with_sealed t (fun () ->
-          Array.iter
-            (fun p ->
-              let proj = project_tuple tup (p.lo, p.hi) in
-              Storage.Bptree.remove ?stats p.trees.fwd proj;
-              Storage.Bptree.remove ?stats p.trees.bwd proj)
-            t.parts);
+          in_seg ?stats t (fun () ->
+              Array.iter
+                (fun p ->
+                  let proj = project_tuple tup (p.lo, p.hi) in
+                  Storage.Bptree.remove ?stats p.trees.fwd proj;
+                  Storage.Bptree.remove ?stats p.trees.bwd proj)
+                t.parts));
     true
   end
   else false
@@ -418,25 +435,26 @@ let find_by_column ?stats t ~col v =
        the read half of the deferred pipeline's page savings. *)
     ignore st
   | Some st ->
-    let pi = partition_index_of_column t col in
-    let p = t.parts.(pi) in
-    if col = p.lo then ignore (Storage.Bptree.lookup ~stats:st p.trees.fwd v)
-    else if col = p.hi then ignore (Storage.Bptree.lookup ~stats:st p.trees.bwd v)
-    else ignore (Storage.Bptree.scan ~stats:st p.trees.fwd);
-    if matches <> [] then begin
-      for k = pi - 1 downto 0 do
-        let q = t.parts.(k) in
-        List.iter
-          (fun key -> ignore (Storage.Bptree.lookup ~stats:st q.trees.bwd key))
-          (distinct_values matches q.hi)
-      done;
-      for k = pi + 1 to Array.length t.parts - 1 do
-        let q = t.parts.(k) in
-        List.iter
-          (fun key -> ignore (Storage.Bptree.lookup ~stats:st q.trees.fwd key))
-          (distinct_values matches q.lo)
-      done
-    end);
+    Storage.Stats.in_segment st (seg t) (fun () ->
+        let pi = partition_index_of_column t col in
+        let p = t.parts.(pi) in
+        if col = p.lo then ignore (Storage.Bptree.lookup ~stats:st p.trees.fwd v)
+        else if col = p.hi then ignore (Storage.Bptree.lookup ~stats:st p.trees.bwd v)
+        else ignore (Storage.Bptree.scan ~stats:st p.trees.fwd);
+        if matches <> [] then begin
+          for k = pi - 1 downto 0 do
+            let q = t.parts.(k) in
+            List.iter
+              (fun key -> ignore (Storage.Bptree.lookup ~stats:st q.trees.bwd key))
+              (distinct_values matches q.hi)
+          done;
+          for k = pi + 1 to Array.length t.parts - 1 do
+            let q = t.parts.(k) in
+            List.iter
+              (fun key -> ignore (Storage.Bptree.lookup ~stats:st q.trees.fwd key))
+              (distinct_values matches q.lo)
+          done
+        end));
   matches
 
 let supports t ~i ~j =
@@ -498,16 +516,17 @@ let patch_partition_unlocked ?stats t i =
   let adjust proj delta =
     if delta <> 0 then begin
       incr fixes;
-      if delta > 0 then
-        for _ = 1 to delta do
-          Storage.Bptree.insert ?stats p.trees.fwd proj;
-          Storage.Bptree.insert ?stats p.trees.bwd proj
-        done
-      else
-        for _ = 1 to -delta do
-          Storage.Bptree.remove ?stats p.trees.fwd proj;
-          Storage.Bptree.remove ?stats p.trees.bwd proj
-        done
+      in_seg ?stats t (fun () ->
+          if delta > 0 then
+            for _ = 1 to delta do
+              Storage.Bptree.insert ?stats p.trees.fwd proj;
+              Storage.Bptree.insert ?stats p.trees.bwd proj
+            done
+          else
+            for _ = 1 to -delta do
+              Storage.Bptree.remove ?stats p.trees.fwd proj;
+              Storage.Bptree.remove ?stats p.trees.bwd proj
+            done)
     end
   in
   Hashtbl.iter

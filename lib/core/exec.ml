@@ -7,13 +7,18 @@ type env = {
       (* (Asr.id, tree version) pinned at snapshot publication *)
 }
 
-let make_view ?stats ?deadline ?(marks = []) view heap =
-  let stats = match stats with Some s -> s | None -> Storage.Stats.create () in
+let make_view ?stats ?buffer_pages ?deadline ?(marks = []) view heap =
+  let stats =
+    match (stats, buffer_pages) with
+    | Some s, _ -> s
+    | None, Some n when n > 0 -> Storage.Stats.create ~buffer_capacity:n ()
+    | None, _ -> Storage.Stats.create ()
+  in
   let deadline = match deadline with Some d -> d | None -> Deadline.none () in
   { view; heap; stats; deadline; marks }
 
-let make ?stats ?deadline store heap =
-  make_view ?stats ?deadline (Gom.Store_view.live store) heap
+let make ?stats ?buffer_pages ?deadline store heap =
+  make_view ?stats ?buffer_pages ?deadline (Gom.Store_view.live store) heap
 
 let live_store_exn env =
   match Gom.Store_view.live_store env.view with

@@ -41,15 +41,22 @@ type env = {
 }
 
 val make :
-  ?stats:Storage.Stats.t -> ?deadline:Deadline.t -> Gom.Store.t -> Storage.Heap.t -> env
+  ?stats:Storage.Stats.t ->
+  ?buffer_pages:int ->
+  ?deadline:Deadline.t ->
+  Gom.Store.t ->
+  Storage.Heap.t ->
+  env
 (** [make store heap] builds an environment over the live store (a
     [Live] view, no marks) with a fresh cold {!Storage.Stats.t}; pass
-    [?stats] to share or buffer one (e.g. the warm-cache ablation's LRU
-    pool).  [?deadline] defaults to {!Deadline.none} — no budget,
-    zero-cost checkpoints. *)
+    [?stats] to share or buffer one, or [?buffer_pages:n] (with [n > 0])
+    to create the fresh stats with an [n]-page buffer pool attached
+    (ignored when [?stats] is given).  [?deadline] defaults to
+    {!Deadline.none} — no budget, zero-cost checkpoints. *)
 
 val make_view :
   ?stats:Storage.Stats.t ->
+  ?buffer_pages:int ->
   ?deadline:Deadline.t ->
   ?marks:(int * int) list ->
   Gom.Store_view.t ->

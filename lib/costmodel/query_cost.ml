@@ -95,3 +95,15 @@ let q p x dec kind i j =
   else qnas p kind i j
 
 let q_no_support = qnas
+
+(* Equations 31-35 price every page access as a physical fault — true
+   for a cold buffer.  Against a warm pool a fraction [r] of accesses
+   hit resident pages; scale the analytical cost by the measured miss
+   share, floored so a fully-warm segment still costs something (the
+   logical work does not vanish). *)
+let warmed cost ~hit_ratio =
+  match hit_ratio with
+  | None -> cost
+  | Some r ->
+    let r = Float.max 0. (Float.min 1. r) in
+    cost *. (1. -. (0.95 *. r))

@@ -26,3 +26,11 @@ val q :
 
 val q_no_support : Profile.t -> query_kind -> int -> int -> float
 (** Alias of {!qnas}, for mix comparisons. *)
+
+val warmed : float -> hit_ratio:float option -> float
+(** Buffer-aware adjustment of an analytical cost: equations 31-35
+    price page accesses as physical faults, so against a buffer pool
+    whose measured hit ratio for the relevant segment is [r] the
+    expected physical cost is scaled by [1 - 0.95 r] (floored at 5% of
+    the cold cost — warm pages still cost logical work).  [None] (no
+    pool, or no traffic observed yet) leaves the cold cost unchanged. *)

@@ -77,7 +77,14 @@ type cache_info = { hits : int; misses : int; invalidations : int; entries : int
 
 type key = { k_path : string; k_i : int; k_j : int; k_dir : Plan.dir }
 
-type entry = { e_choice : choice; e_generation : int }
+type entry = { e_choice : choice; e_generation : int; e_warmth : int list }
+(* [e_warmth] is the buffer-warmth fingerprint the plan was priced
+   under: one decile bucket per segment (heap first, then registered
+   indexes), [-1] for segments with no measured traffic, [] for
+   unbuffered environments.  A cached plan is only reused while the
+   fingerprint still matches — warming or cooling the pool re-plans, so
+   nav/ASR choices can flip between cold and warm without waiting for a
+   store mutation to bump the generation. *)
 
 type t = {
   env : Core.Exec.env;
@@ -506,6 +513,22 @@ let steps_for index dir ~i ~j =
 
 let qkind = function Plan.Fwd -> QC.Fw | Plan.Bwd -> QC.Bw
 
+(* Buffer warmth, summarised per segment as a decile bucket (-1 when
+   the segment has no measured traffic).  The fingerprint orders the
+   heap first, then the registered indexes. *)
+let warmth_bucket = function
+  | None -> -1
+  | Some r -> int_of_float (Float.min 0.99 (Float.max 0. r) *. 10.)
+
+let warmth_fingerprint ~env indexes =
+  let st = env.Core.Exec.stats in
+  if not (Storage.Stats.has_buffer st) then []
+  else
+    warmth_bucket (Storage.Stats.segment_hit_ratio st "heap")
+    :: List.map
+         (fun a -> warmth_bucket (Storage.Stats.segment_hit_ratio st (Core.Asr.seg a)))
+         indexes
+
 let check_range path ~i ~j =
   let n = Gom.Path.length path in
   if not (0 <= i && i < j && j <= n) then
@@ -523,7 +546,16 @@ let candidates ?env t path ~i ~j ~dir =
     | Fwd -> Plan.Nav { path; i; j }
     | Bwd -> Plan.Extent_scan { path; i; j }
   in
-  let nav = { plan = nav_plan; est_cost = QC.qnas prof_q (qkind dir) i j } in
+  (* Buffer-aware pricing: equations 31-35 assume every access faults;
+     scale each candidate by the measured hit ratio of the segment it
+     would actually touch (navigation and extent scans read heap pages,
+     a stitch reads its index's trees), so nav-vs-ASR choices flip
+     correctly between cold and warm cache. *)
+  let seg_ratio seg = Storage.Stats.segment_hit_ratio env.Core.Exec.stats seg in
+  let nav =
+    { plan = nav_plan;
+      est_cost = QC.warmed (QC.qnas prof_q (qkind dir) i j) ~hit_ratio:(seg_ratio "heap") }
+  in
   let whole ipath off = off = 0 && Gom.Path.length ipath = Gom.Path.length path in
   let degraded = ref false in
   let supported =
@@ -550,7 +582,11 @@ let candidates ?env t path ~i ~j ~dir =
           else begin
             let prof_i = if whole ipath off then prof_q else profile_in ~env t ipath in
             let dec = analytic_decomposition ipath (Core.Asr.decomposition a) in
-            let est = QC.qsup prof_i (Core.Asr.kind a) dec (qkind dir) pi pj in
+            let est =
+              QC.warmed
+                (QC.qsup prof_i (Core.Asr.kind a) dec (qkind dir) pi pj)
+                ~hit_ratio:(seg_ratio (Core.Asr.seg a))
+            in
             Some
               { plan = Plan.Stitch { index = a; dir; i = pi; j = pj; steps }; est_cost = est }
           end
@@ -572,11 +608,14 @@ let candidates ?env t path ~i ~j ~dir =
 let choose_aux ?env t path ~i ~j ~dir =
   check_range path ~i ~j;
   let key = { k_path = Gom.Path.to_string path; k_i = i; k_j = j; k_dir = dir } in
+  let renv = resolve_env t env in
+  let fp = warmth_fingerprint ~env:renv (with_lock t (fun () -> t.indexes)) in
   let hit =
     with_lock t (fun () ->
         match Hashtbl.find_opt t.cache key with
         | Some e
           when e.e_generation = t.generation
+               && e.e_warmth = fp
                && plan_live_with t.indexes t.health e.e_choice.chosen ->
           t.hits <- t.hits + 1;
           Some (e.e_choice, true)
@@ -601,7 +640,8 @@ let choose_aux ?env t path ~i ~j ~dir =
     let choice = { chosen = best.plan; est_cost = best.est_cost; candidates = cands } in
     with_lock t (fun () ->
         if t.generation = gen0 then
-          Hashtbl.replace t.cache key { e_choice = choice; e_generation = gen0 });
+          Hashtbl.replace t.cache key
+            { e_choice = choice; e_generation = gen0; e_warmth = fp });
     (choice, false)
 
 let choose ?env t path ~i ~j ~dir = fst (choose_aux ?env t path ~i ~j ~dir)

@@ -21,9 +21,11 @@ type t = {
          [publish_info] reads never tear *)
   accountant : Storage.Stats.t;  (* cumulative, merged from worker sheaves *)
   acc_lock : Mutex.t;
+  buffer_pages : int;  (* per-worker buffer pool size; 0 = unbuffered *)
 }
 
-let create ?(jobs = 1) ?(sizes = fun _ -> 100) ?maintenance ~specs base =
+let create ?(jobs = 1) ?(buffer_pages = 0) ?(sizes = fun _ -> 100) ?maintenance ~specs
+    base =
   let jobs = max 1 jobs in
   let source = Snapshot.source ~sizes ?maintenance ~specs base in
   let t0 = Unix.gettimeofday () in
@@ -45,8 +47,13 @@ let create ?(jobs = 1) ?(sizes = fun _ -> 100) ?maintenance ~specs base =
           last_copied = Snapshot.copied snap;
           last_shared = Snapshot.shared snap;
         };
-    accountant = Storage.Stats.create ();
+    accountant =
+      (* Mirror the workers' pool size so the merged accountant's JSON
+         reports the serving configuration's capacity. *)
+      (if buffer_pages > 0 then Storage.Stats.create ~buffer_capacity:buffer_pages ()
+       else Storage.Stats.create ());
     acc_lock = Mutex.create ();
+    buffer_pages = max 0 buffer_pages;
   }
 
 let jobs t = t.jobs
@@ -123,7 +130,7 @@ let fan ?snapshot t probes run =
     Pool.run_all t.pool
       (List.map
          (fun c () ->
-           let env = Snapshot.env snap in
+           let env = Snapshot.env ~buffer_pages:t.buffer_pages snap in
            let res = run snap env c in
            (res, Storage.Stats.snapshot env.Core.Exec.stats))
          (chunk t.jobs probes))
@@ -186,7 +193,7 @@ let serve_deadlined ?snapshot t entries =
   let snap = match snapshot with Some s -> s | None -> pin t in
   let run_one k =
     let query, deadline = qs.(k) in
-    let env = Snapshot.env ~deadline snap in
+    let env = Snapshot.env ~buffer_pages:t.buffer_pages ~deadline snap in
     let outcome =
       try
         Answered

@@ -29,6 +29,7 @@ type t
 
 val create :
   ?jobs:int ->
+  ?buffer_pages:int ->
   ?sizes:(Gom.Schema.type_name -> int) ->
   ?maintenance:Core.Maintenance.t ->
   specs:Snapshot.spec list ->
@@ -43,7 +44,11 @@ val create :
     (the live base's manager — its flush policy then governs them) or
     with a private immediate-mode manager; either way every pending
     delta is flushed before a snapshot is published, so published
-    epochs are always delta-free. *)
+    epochs are always delta-free.
+
+    [?buffer_pages:n] (default 0 = unbuffered) gives each worker task's
+    private environment an [n]-page buffer pool; the merged accountant
+    then reports cumulative hit/miss/eviction tallies across tasks. *)
 
 val jobs : t -> int
 

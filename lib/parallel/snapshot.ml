@@ -99,4 +99,5 @@ let engine t = t.engine
 let indexes t = t.indexes
 let copied t = t.copied
 let shared t = t.shared
-let env ?deadline t = Core.Exec.make_view ?deadline ~marks:t.marks t.view t.heap
+let env ?buffer_pages ?deadline t =
+  Core.Exec.make_view ?buffer_pages ?deadline ~marks:t.marks t.view t.heap

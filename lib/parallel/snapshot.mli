@@ -86,8 +86,11 @@ val copied : t -> int
 val shared : t -> int
 (** Instances carried over from the previous epoch by reference. *)
 
-val env : ?deadline:Core.Deadline.t -> t -> Core.Exec.env
+val env : ?buffer_pages:int -> ?deadline:Core.Deadline.t -> t -> Core.Exec.env
 (** A fresh accounting environment over the snapshot (frozen view and
     heap, pinned index marks, private cold {!Storage.Stats.t}) — one per
-    domain, so page counting never races.  [?deadline] arms the
-    environment's cooperative cancellation budget (defaults to none). *)
+    domain, so page counting never races.  [?buffer_pages:n] attaches a
+    private [n]-page buffer pool to the environment's stats (each domain
+    warms its own pool — pools are not shared across domains).
+    [?deadline] arms the environment's cooperative cancellation budget
+    (defaults to none). *)

@@ -73,6 +73,49 @@ let cardinal t = t.cardinal
 let read stats page = match stats with Some s -> Stats.read s page | None -> ()
 let write stats page = match stats with Some s -> Stats.write s page | None -> ()
 
+(* Range and extent scans ride the leaf chain left-to-right, so the
+   upcoming leaves are known: stage the next few so a buffer pool pays
+   their physical I/O here, ahead of the demand reads.  The current
+   leaf is pinned across the staging so the prefetch can never evict
+   the very page the scan is standing on. *)
+let prefetch_depth = 4
+
+let prefetch_chain ?(will_follow = fun _ -> true) stats node =
+  match stats with
+  | None -> ()
+  | Some s ->
+    (* [will_follow n] says whether the caller's walk provably reads
+       [n]'s successor: staging a leaf the walk then abandons is
+       physical I/O paid for nothing, and would break the buffered <=
+       unbuffered physical-read bound the oracle suite checks.  Full
+       scans follow every link (the default); keyed runs stop where the
+       run does. *)
+    let rec ahead n node acc =
+      if n = 0 then List.rev acc
+      else
+        match node.body with
+        | Inner _ -> List.rev acc
+        | Leaf l -> (
+          match l.next with
+          | Some nx when will_follow node ->
+            (* Keep walking the chain but never stage an empty leaf:
+               [iter] skips them without a read. *)
+            let acc =
+              match nx.body with
+              | Leaf { entries = []; _ } -> acc
+              | Leaf _ | Inner _ -> nx.page :: acc
+            in
+            ahead (n - 1) nx acc
+          | Some _ | None -> List.rev acc)
+    in
+    let upcoming = ahead prefetch_depth node [] in
+    if upcoming <> [] then begin
+      Stats.pin_page s node.page;
+      Fun.protect
+        ~finally:(fun () -> Stats.unpin_page s node.page)
+        (fun () -> Stats.prefetch s upcoming)
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Bulk loading                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -400,6 +443,14 @@ let lookup_many ?stats t keys =
         | Inner _ -> ()
         | Leaf l ->
           read stats node.page;
+          prefetch_chain stats node
+            ~will_follow:(fun n ->
+              match n.body with
+              | Inner _ -> false
+              | Leaf l -> (
+                match List.rev l.entries with
+                | [] -> true
+                | last :: _ -> Gom.Value.compare (t.key_of last.tup) key <= 0));
           cursor := Some node;
           List.iter
             (fun e ->
@@ -445,6 +496,7 @@ let iter ?stats t f =
     | Leaf l ->
       if l.entries <> [] then begin
         read stats node.page;
+        prefetch_chain stats node;
         List.iter (fun e -> f e.tup) l.entries
       end;
       ( match l.next with Some nx -> walk nx | None -> ())

@@ -1,17 +1,38 @@
-(* LRU pool: page -> last-use stamp; eviction scans for the minimum
-   stamp (capacities are small, misses dominate the scan cost). *)
-type buffer = {
-  capacity : int;
-  pages : (int, int) Hashtbl.t;
-  mutable clock : int;
-}
+(* Page-access accounting with an optional buffer pool.
+
+   Accounting is split in two ledgers:
+
+   - {e logical} reads/writes: every distinct-per-operation page request,
+     counted identically whether or not a pool is attached (capacity 0
+     and capacity N agree by construction — the buffered/unbuffered
+     oracle in the test suite leans on this);
+   - {e physical} reads/writes ([op_reads] / [total_reads] and the write
+     twins): the requests the pool could not absorb — what actually hits
+     secondary storage.  Without a pool, physical = logical (the paper's
+     cold model).
+
+   Frames are keyed by (segment, page): heap pages and every ASR's tree
+   pages come from independent pagers whose identifiers collide, so the
+   active segment (dynamically scoped via [in_segment]) namespaces the
+   pool and carries per-segment hit/miss tallies for buffer-aware plan
+   pricing. *)
+
+type seg_counts = { mutable sh : int; mutable sm : int }
 
 type t = {
   mutable op_reads : int;
   mutable op_writes : int;
   mutable total_reads : int;
   mutable total_writes : int;
+  mutable op_logical_reads : int;
+  mutable op_logical_writes : int;
+  mutable logical_reads : int;
+  mutable logical_writes : int;
   mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable prefetched : int;
+  mutable prefetch_hits : int;
   mutable scrubs : int;
   mutable fallbacks : int;
   mutable retries : int;
@@ -33,16 +54,26 @@ type t = {
   mutable shard_scatter : int;
   touched_r : (int, unit) Hashtbl.t;
   touched_w : (int, unit) Hashtbl.t;
-  buffer : buffer option;
+  pool : Buffer.t option;
+  mutable seg : string;  (* active segment; "" outside any [in_segment] *)
+  segs : (string, seg_counts) Hashtbl.t;
 }
 
-let create ?(buffer_capacity = 0) () =
+let create ?(buffer_capacity = 0) ?buffer_policy () =
   {
     op_reads = 0;
     op_writes = 0;
     total_reads = 0;
     total_writes = 0;
+    op_logical_reads = 0;
+    op_logical_writes = 0;
+    logical_reads = 0;
+    logical_writes = 0;
     hits = 0;
+    misses = 0;
+    evictions = 0;
+    prefetched = 0;
+    prefetch_hits = 0;
     scrubs = 0;
     fallbacks = 0;
     retries = 0;
@@ -64,61 +95,118 @@ let create ?(buffer_capacity = 0) () =
     shard_scatter = 0;
     touched_r = Hashtbl.create 256;
     touched_w = Hashtbl.create 64;
-    buffer =
+    pool =
       (if buffer_capacity > 0 then
-         Some { capacity = buffer_capacity; pages = Hashtbl.create (2 * buffer_capacity); clock = 0 }
+         Some (Buffer.create ?policy:buffer_policy ~capacity:buffer_capacity ())
        else None);
+    seg = "";
+    segs = Hashtbl.create 8;
   }
 
 let begin_op t =
   t.op_reads <- 0;
   t.op_writes <- 0;
+  t.op_logical_reads <- 0;
+  t.op_logical_writes <- 0;
   Hashtbl.reset t.touched_r;
   Hashtbl.reset t.touched_w
 
-let buffer_touch b page =
-  b.clock <- b.clock + 1;
-  Hashtbl.replace b.pages page b.clock
+let in_segment t seg f =
+  let prev = t.seg in
+  t.seg <- seg;
+  Fun.protect ~finally:(fun () -> t.seg <- prev) f
 
-let buffer_admit b page =
-  if not (Hashtbl.mem b.pages page) then begin
-    if Hashtbl.length b.pages >= b.capacity then begin
-      (* Evict the least recently used page. *)
-      let victim = ref None in
-      Hashtbl.iter
-        (fun p stamp ->
-          match !victim with
-          | Some (_, s) when s <= stamp -> ()
-          | _ -> victim := Some (p, stamp))
-        b.pages;
-      match !victim with Some (p, _) -> Hashtbl.remove b.pages p | None -> ()
-    end
-  end;
-  buffer_touch b page
+let seg_counts t seg =
+  match Hashtbl.find_opt t.segs seg with
+  | Some c -> c
+  | None ->
+    let c = { sh = 0; sm = 0 } in
+    Hashtbl.add t.segs seg c;
+    c
 
 let read t page =
-  let buffered =
-    match t.buffer with
-    | Some b when Hashtbl.mem b.pages page ->
-      buffer_touch b page;
-      true
-    | Some _ | None -> false
-  in
-  if buffered then t.hits <- t.hits + 1
-  else if not (Hashtbl.mem t.touched_r page) then begin
+  if not (Hashtbl.mem t.touched_r page) then begin
     Hashtbl.add t.touched_r page ();
-    t.op_reads <- t.op_reads + 1;
-    t.total_reads <- t.total_reads + 1;
-    match t.buffer with Some b -> buffer_admit b page | None -> ()
+    t.op_logical_reads <- t.op_logical_reads + 1;
+    t.logical_reads <- t.logical_reads + 1;
+    match t.pool with
+    | None ->
+      t.op_reads <- t.op_reads + 1;
+      t.total_reads <- t.total_reads + 1
+    | Some b -> (
+      let c = seg_counts t t.seg in
+      match Buffer.reference b (t.seg, page) with
+      | Buffer.Hit ->
+        t.hits <- t.hits + 1;
+        c.sh <- c.sh + 1
+      | Buffer.Prefetch_hit ->
+        (* The I/O was already paid by the prefetch; warmth-wise this is
+           a miss the prefetcher hid, not evidence of a hot page. *)
+        t.prefetch_hits <- t.prefetch_hits + 1;
+        c.sm <- c.sm + 1
+      | Buffer.Miss { evicted } ->
+        t.misses <- t.misses + 1;
+        t.op_reads <- t.op_reads + 1;
+        t.total_reads <- t.total_reads + 1;
+        if evicted then t.evictions <- t.evictions + 1;
+        c.sm <- c.sm + 1)
   end
 
 let write t page =
   if not (Hashtbl.mem t.touched_w page) then begin
     Hashtbl.add t.touched_w page ();
+    t.op_logical_writes <- t.op_logical_writes + 1;
+    t.logical_writes <- t.logical_writes + 1;
+    (* Write-through: every distinct write reaches storage, pool or not;
+       the written page enters the pool so later reads of it hit. *)
     t.op_writes <- t.op_writes + 1;
-    t.total_writes <- t.total_writes + 1
-  end;
-  match t.buffer with Some b -> buffer_admit b page | None -> ()
+    t.total_writes <- t.total_writes + 1;
+    match t.pool with
+    | None -> ()
+    | Some b -> (
+      match Buffer.reference b (t.seg, page) with
+      | Buffer.Miss { evicted = true } -> t.evictions <- t.evictions + 1
+      | Buffer.Miss { evicted = false } | Buffer.Hit | Buffer.Prefetch_hit -> ())
+  end
+
+let prefetch t pages =
+  match t.pool with
+  | None -> () (* prefetching into no pool is meaningless *)
+  | Some b ->
+    (* Two guards keep buffered physical I/O <= the unbuffered run's on
+       every workload (property-tested) — speculation must never cost
+       more than it saves:
+       - skip pages this operation already touched: their upcoming
+         demand reads are suppressed by distinct-page accounting (the
+         touched set is raw-id keyed, preserving unbuffered op counts),
+         so a staged frame could never be referenced;
+       - bound the staging by the pool size: more pages than frames
+         exist would evict prefetched-but-unread frames (a 1-frame pool
+         would thrash). *)
+    let pages = List.filter (fun p -> not (Hashtbl.mem t.touched_r p)) pages in
+    let rec take n = function
+      | p :: tl when n > 0 -> p :: take (n - 1) tl
+      | _ -> []
+    in
+    let pages = take (Buffer.capacity b) pages in
+    List.iter
+      (fun page ->
+        match Buffer.prefetch b (t.seg, page) with
+        | `Resident -> ()
+        | `Admitted evicted ->
+          (* Speculative fetch: physical I/O paid now, charged to the
+             operation that issued the prefetch. *)
+          t.prefetched <- t.prefetched + 1;
+          t.op_reads <- t.op_reads + 1;
+          t.total_reads <- t.total_reads + 1;
+          if evicted then t.evictions <- t.evictions + 1)
+      pages
+
+let pin_page t page =
+  match t.pool with Some b -> Buffer.pin b (t.seg, page) | None -> ()
+
+let unpin_page t page =
+  match t.pool with Some b -> Buffer.unpin b (t.seg, page) | None -> ()
 
 let op_reads t = t.op_reads
 let op_writes t = t.op_writes
@@ -126,8 +214,33 @@ let op_accesses t = t.op_reads + t.op_writes
 let total_reads t = t.total_reads
 let total_writes t = t.total_writes
 let total_accesses t = t.total_reads + t.total_writes
+let op_logical_reads t = t.op_logical_reads
+let op_logical_writes t = t.op_logical_writes
+let logical_reads t = t.logical_reads
+let logical_writes t = t.logical_writes
 let buffer_hits t = t.hits
-let buffer_capacity t = match t.buffer with Some b -> b.capacity | None -> 0
+let buffer_misses t = t.misses
+let buffer_evictions t = t.evictions
+let prefetched t = t.prefetched
+let prefetch_hits t = t.prefetch_hits
+let buffer_capacity t = match t.pool with Some b -> Buffer.capacity b | None -> 0
+let has_buffer t = t.pool <> None
+
+let hit_ratio t =
+  let denom = t.hits + t.misses + t.prefetch_hits in
+  if t.pool = None || denom = 0 then None
+  else Some (float_of_int t.hits /. float_of_int denom)
+
+let segment_hit_ratio t seg =
+  if t.pool = None then None
+  else
+    match Hashtbl.find_opt t.segs seg with
+    | Some c when c.sh + c.sm > 0 ->
+      Some (float_of_int c.sh /. float_of_int (c.sh + c.sm))
+    | Some _ | None -> None
+
+let segment_accesses t seg =
+  match Hashtbl.find_opt t.segs seg with Some c -> c.sh + c.sm | None -> 0
 
 let note_scrub t = t.scrubs <- t.scrubs + 1
 let note_fallback t = t.fallbacks <- t.fallbacks + 1
@@ -179,7 +292,13 @@ type summary = {
   s_op_writes : int;
   s_total_reads : int;
   s_total_writes : int;
+  s_logical_reads : int;
+  s_logical_writes : int;
   s_buffer_hits : int;
+  s_buffer_misses : int;
+  s_buffer_evictions : int;
+  s_prefetched : int;
+  s_prefetch_hits : int;
   s_buffer_capacity : int;
   s_scrubs : int;
   s_fallbacks : int;
@@ -208,7 +327,13 @@ let snapshot t =
     s_op_writes = t.op_writes;
     s_total_reads = t.total_reads;
     s_total_writes = t.total_writes;
+    s_logical_reads = t.logical_reads;
+    s_logical_writes = t.logical_writes;
     s_buffer_hits = t.hits;
+    s_buffer_misses = t.misses;
+    s_buffer_evictions = t.evictions;
+    s_prefetched = t.prefetched;
+    s_prefetch_hits = t.prefetch_hits;
     s_buffer_capacity = buffer_capacity t;
     s_scrubs = t.scrubs;
     s_fallbacks = t.fallbacks;
@@ -237,7 +362,13 @@ let zero =
     s_op_writes = 0;
     s_total_reads = 0;
     s_total_writes = 0;
+    s_logical_reads = 0;
+    s_logical_writes = 0;
     s_buffer_hits = 0;
+    s_buffer_misses = 0;
+    s_buffer_evictions = 0;
+    s_prefetched = 0;
+    s_prefetch_hits = 0;
     s_buffer_capacity = 0;
     s_scrubs = 0;
     s_fallbacks = 0;
@@ -266,7 +397,13 @@ let merge a b =
     s_op_writes = a.s_op_writes + b.s_op_writes;
     s_total_reads = a.s_total_reads + b.s_total_reads;
     s_total_writes = a.s_total_writes + b.s_total_writes;
+    s_logical_reads = a.s_logical_reads + b.s_logical_reads;
+    s_logical_writes = a.s_logical_writes + b.s_logical_writes;
     s_buffer_hits = a.s_buffer_hits + b.s_buffer_hits;
+    s_buffer_misses = a.s_buffer_misses + b.s_buffer_misses;
+    s_buffer_evictions = a.s_buffer_evictions + b.s_buffer_evictions;
+    s_prefetched = a.s_prefetched + b.s_prefetched;
+    s_prefetch_hits = a.s_prefetch_hits + b.s_prefetch_hits;
     s_buffer_capacity = max a.s_buffer_capacity b.s_buffer_capacity;
     s_scrubs = a.s_scrubs + b.s_scrubs;
     s_fallbacks = a.s_fallbacks + b.s_fallbacks;
@@ -292,7 +429,13 @@ let merge a b =
 let absorb t s =
   t.total_reads <- t.total_reads + s.s_total_reads;
   t.total_writes <- t.total_writes + s.s_total_writes;
+  t.logical_reads <- t.logical_reads + s.s_logical_reads;
+  t.logical_writes <- t.logical_writes + s.s_logical_writes;
   t.hits <- t.hits + s.s_buffer_hits;
+  t.misses <- t.misses + s.s_buffer_misses;
+  t.evictions <- t.evictions + s.s_buffer_evictions;
+  t.prefetched <- t.prefetched + s.s_prefetched;
+  t.prefetch_hits <- t.prefetch_hits + s.s_prefetch_hits;
   t.scrubs <- t.scrubs + s.s_scrubs;
   t.fallbacks <- t.fallbacks + s.s_fallbacks;
   t.retries <- t.retries + s.s_retries;
@@ -313,6 +456,10 @@ let absorb t s =
   t.shard_grouped <- t.shard_grouped + s.s_shard_grouped;
   t.shard_scatter <- t.shard_scatter + s.s_shard_scatter
 
+let summary_hit_ratio s =
+  let denom = s.s_buffer_hits + s.s_buffer_misses + s.s_prefetch_hits in
+  if denom = 0 then 0. else float_of_int s.s_buffer_hits /. float_of_int denom
+
 let summary_to_json ?(extra = []) s =
   let fields =
     [
@@ -321,7 +468,14 @@ let summary_to_json ?(extra = []) s =
       ("total_reads", string_of_int s.s_total_reads);
       ("total_writes", string_of_int s.s_total_writes);
       ("total_accesses", string_of_int (s.s_total_reads + s.s_total_writes));
+      ("logical_reads", string_of_int s.s_logical_reads);
+      ("logical_writes", string_of_int s.s_logical_writes);
       ("buffer_hits", string_of_int s.s_buffer_hits);
+      ("buffer_misses", string_of_int s.s_buffer_misses);
+      ("buffer_evictions", string_of_int s.s_buffer_evictions);
+      ("prefetched", string_of_int s.s_prefetched);
+      ("prefetch_hits", string_of_int s.s_prefetch_hits);
+      ("buffer_hit_ratio", Printf.sprintf "%.4f" (summary_hit_ratio s));
       ("buffer_capacity", string_of_int s.s_buffer_capacity);
       ("scrubs", string_of_int s.s_scrubs);
       ("fallbacks", string_of_int s.s_fallbacks);
@@ -345,21 +499,27 @@ let summary_to_json ?(extra = []) s =
     ]
     @ extra
   in
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "{";
+  let buf = Stdlib.Buffer.create 256 in
+  Stdlib.Buffer.add_string buf "{";
   List.iteri
     (fun i (k, v) ->
-      if i > 0 then Buffer.add_string buf ", ";
-      Buffer.add_string buf (Printf.sprintf "%S: %s" k v))
+      if i > 0 then Stdlib.Buffer.add_string buf ", ";
+      Stdlib.Buffer.add_string buf (Printf.sprintf "%S: %s" k v))
     fields;
-  Buffer.add_string buf "}";
-  Buffer.contents buf
+  Stdlib.Buffer.add_string buf "}";
+  Stdlib.Buffer.contents buf
 
 let reset t =
   begin_op t;
   t.total_reads <- 0;
   t.total_writes <- 0;
+  t.logical_reads <- 0;
+  t.logical_writes <- 0;
   t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.prefetched <- 0;
+  t.prefetch_hits <- 0;
   t.scrubs <- 0;
   t.fallbacks <- 0;
   t.retries <- 0;
@@ -377,8 +537,7 @@ let reset t =
   t.frames_applied <- 0;
   t.frames_dropped <- 0;
   t.frames_retried <- 0;
-  match t.buffer with
-  | Some b ->
-    Hashtbl.reset b.pages;
-    b.clock <- 0
-  | None -> ()
+  t.shard_grouped <- 0;
+  t.shard_scatter <- 0;
+  Hashtbl.reset t.segs;
+  match t.pool with Some b -> Buffer.reset b | None -> ()

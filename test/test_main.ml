@@ -12,6 +12,7 @@ let () =
       ("relation", Test_relation.suite);
       ("extension", Test_extension.suite);
       ("storage", Test_storage.suite);
+      ("clustering", Test_clustering.suite);
       ("bptree", Test_bptree.suite);
       ("decomposition", Test_decomposition.suite);
       ("asr", Test_asr.suite);

@@ -156,6 +156,198 @@ let test_heap_deep_extent () =
   check_int "deep pages include subtype extents" 2
     (H.pages_of_type ~deep:true heap "Base")
 
+(* --- Buffer module mechanics (policy, pins, prefetch outcomes) --- *)
+
+module B = Storage.Buffer
+
+let test_buffer_clock_second_chance () =
+  let b = B.create ~policy:B.Clock ~capacity:3 () in
+  ignore (B.reference b ("s", 1));
+  ignore (B.reference b ("s", 2));
+  ignore (B.reference b ("s", 3));
+  (* Admitting 4 sweeps the whole ring (clearing every ref bit) and
+     evicts 1, the frame under the hand. *)
+  (match B.reference b ("s", 4) with
+  | B.Miss { evicted = true } -> ()
+  | _ -> Alcotest.fail "expected an evicting miss");
+  check "hand victim gone" false (B.mem b ("s", 1));
+  (* Re-reference 2: its bit is set again, so the next eviction must
+     give it a second chance and take 3 — even though 3 is behind 2 in
+     hand order. *)
+  ignore (B.reference b ("s", 2));
+  ignore (B.reference b ("s", 5));
+  check "second-chanced page survives" true (B.mem b ("s", 2));
+  check "unreferenced page evicted" false (B.mem b ("s", 3));
+  check "fresh admission resident" true (B.mem b ("s", 4))
+
+let test_buffer_pin_nesting () =
+  let b = B.create ~capacity:2 () in
+  ignore (B.reference b ("s", 1));
+  B.pin b ("s", 1);
+  B.pin b ("s", 1) (* nested *);
+  ignore (B.reference b ("s", 2));
+  ignore (B.reference b ("s", 3)) (* must evict 2, never pinned 1 *);
+  check "pinned frame survives eviction" true (B.mem b ("s", 1));
+  B.unpin b ("s", 1) (* one pin remains *);
+  ignore (B.reference b ("s", 4));
+  check "still pinned after one unpin" true (B.mem b ("s", 1));
+  B.unpin b ("s", 1);
+  ignore (B.reference b ("s", 5));
+  ignore (B.reference b ("s", 6));
+  check "fully unpinned frame evictable" false (B.mem b ("s", 1));
+  B.unpin b ("s", 99) (* unknown frame: no-op *)
+
+let test_buffer_all_pinned_overflows () =
+  let b = B.create ~capacity:1 () in
+  ignore (B.reference b ("s", 1));
+  B.pin b ("s", 1);
+  (match B.reference b ("s", 2) with
+  | B.Miss { evicted = false } -> ()
+  | _ -> Alcotest.fail "expected a non-evicting overflow miss");
+  check "overflow admitted" true (B.mem b ("s", 2));
+  check_int "transient overflow" 2 (B.resident b)
+
+let test_buffer_prefetch_outcomes () =
+  let b = B.create ~capacity:4 () in
+  (match B.prefetch b ("s", 1) with
+  | `Admitted false -> ()
+  | _ -> Alcotest.fail "expected speculative admission");
+  (match B.reference b ("s", 1) with
+  | B.Prefetch_hit -> ()
+  | _ -> Alcotest.fail "first demand read should be a prefetch hit");
+  (match B.reference b ("s", 1) with
+  | B.Hit -> ()
+  | _ -> Alcotest.fail "later reads are plain hits");
+  (match B.prefetch b ("s", 1) with
+  | `Resident -> ()
+  | _ -> Alcotest.fail "prefetching a resident page is a no-op")
+
+let test_buffer_segment_namespacing () =
+  let b = B.create ~capacity:4 () in
+  ignore (B.reference b ("heap", 1));
+  (match B.reference b ("asr0", 1) with
+  | B.Miss _ -> ()
+  | _ -> Alcotest.fail "page 1 of another segment must be a distinct frame");
+  check_int "two frames" 2 (B.resident b)
+
+let test_stats_prefetch_accounting () =
+  let st = S.create ~buffer_capacity:8 () in
+  S.begin_op st;
+  S.prefetch st [ 1; 2 ];
+  check_int "prefetch pays physical I/O now" 2 (S.total_reads st);
+  check_int "prefetched counted" 2 (S.prefetched st);
+  S.read st 1;
+  check_int "demand read after prefetch is free" 2 (S.total_reads st);
+  check_int "prefetch hit recorded" 1 (S.prefetch_hits st);
+  check_int "logical reads still counted" 1 (S.logical_reads st);
+  (* Within-operation repeats never reach the pool (distinct-page
+     accounting); a fresh operation's read is a plain hit. *)
+  S.begin_op st;
+  S.read st 1;
+  check_int "later demand read is a plain hit" 1 (S.buffer_hits st)
+
+let test_stats_segment_hit_ratio () =
+  let st = S.create ~buffer_capacity:8 () in
+  (* Page 1 of the heap and page 1 of a tree pager are different pages:
+     the pool must key frames by (segment, page).  Separate operations,
+     because within-op distinct-page suppression is by raw identifier
+     (preserving the unbuffered op_reads semantics). *)
+  S.begin_op st;
+  S.in_segment st "heap" (fun () -> S.read st 1);
+  S.begin_op st;
+  S.in_segment st "asr0" (fun () -> S.read st 1);
+  check_int "colliding ids in distinct segments both miss" 2 (S.buffer_misses st);
+  S.begin_op st;
+  S.in_segment st "heap" (fun () -> S.read st 1);
+  (match S.segment_hit_ratio st "heap" with
+  | Some r -> check "heap warmed to 1/2" true (abs_float (r -. 0.5) < 1e-9)
+  | None -> Alcotest.fail "heap segment has traffic");
+  (match S.segment_hit_ratio st "asr0" with
+  | Some r -> check "asr0 still cold" true (r < 1e-9)
+  | None -> Alcotest.fail "asr0 segment has traffic");
+  check "untouched segment has no ratio" true
+    (S.segment_hit_ratio st "asr99" = None)
+
+(* --- Reclustering --- *)
+
+let test_recluster_moves_and_occupancy () =
+  let store, heap = heap_setup () in
+  (* 8 Big objects (500B) per 4056B page: 20 objects over 3 pages. *)
+  let objs = Array.of_list (List.init 20 (fun _ -> Gom.Store.new_object store "Big")) in
+  let o_first = objs.(0) and o_last = objs.(19) in
+  check "initially on different pages" true
+    (H.page_of heap o_first <> H.page_of heap o_last);
+  let outcome = H.recluster heap ~plan:[ [ o_first; o_last ] ] in
+  check_int "considered" 2 outcome.H.rc_considered;
+  check_int "moved" 2 outcome.H.rc_moved;
+  check_int "one shared target page" 1 outcome.H.rc_target_pages;
+  check "co-located after recluster" true
+    (H.page_of heap o_first = H.page_of heap o_last);
+  (* Occupancy, not bump areas, is the extent ground truth: the two
+     source pages still hold survivors, plus the fresh target page. *)
+  check_int "extent spans 4 pages now" 4 (H.pages_of_type heap "Big");
+  let st = S.create () in
+  S.begin_op st;
+  H.scan_extent heap st "Big";
+  check_int "scan touches occupancy pages" 4 (S.op_reads st);
+  match H.recluster_progress heap with
+  | Some (moved, planned) ->
+    check_int "progress moved" 2 moved;
+    check_int "progress planned" 2 planned
+  | None -> Alcotest.fail "progress visible after a run"
+
+let test_recluster_slices_and_abort () =
+  let store, heap = heap_setup () in
+  let objs = Array.of_list (List.init 20 (fun _ -> Gom.Store.new_object store "Big")) in
+  let plan = [ [ objs.(0); objs.(10) ]; [ objs.(1); objs.(11) ] ] in
+  let job = H.recluster_start ~slice:1 heap ~plan in
+  check "job active" true (H.recluster_active heap);
+  check "second start rejected" true
+    (try ignore (H.recluster_start heap ~plan); false
+     with Invalid_argument _ -> true);
+  (match H.recluster_step job with
+  | `More -> ()
+  | `Done _ -> Alcotest.fail "4 moves at slice 1 need several steps");
+  H.recluster_abort job;
+  check "abort deactivates" false (H.recluster_active heap);
+  (* The already-applied move stays; the rest of the plan was dropped. *)
+  (match H.recluster_progress heap with
+  | Some (moved, planned) ->
+    check_int "one slice applied" 1 moved;
+    check_int "planned recorded" 4 planned
+  | None -> Alcotest.fail "progress visible after abort");
+  (* A fresh job can start after the abort and runs to completion. *)
+  let outcome = H.recluster heap ~plan:[ [ objs.(2); objs.(12) ] ] in
+  check_int "post-abort job moves" 2 outcome.H.rc_moved
+
+let test_recluster_skips_deleted_and_large () =
+  let store, heap = heap_setup () in
+  let small_a = Gom.Store.new_object store "Big" in
+  let small_b = Gom.Store.new_object store "Big" in
+  let doomed = Gom.Store.new_object store "Big" in
+  (* A second type sized over a page: its objects span several pages and
+     must never be moved. *)
+  let s = Gom.Store.schema store in
+  ignore s;
+  let job = H.recluster_start ~slice:64 heap ~plan:[ [ small_a; small_b; doomed ] ] in
+  Gom.Store.delete store doomed;
+  (match H.recluster_step job with
+  | `Done o ->
+    check_int "deleted object skipped" 2 o.H.rc_moved;
+    check_int "plan named three" 3 o.H.rc_considered
+  | `More -> Alcotest.fail "single slice covers the plan");
+  check "survivors co-located" true (H.page_of heap small_a = H.page_of heap small_b)
+
+let test_recluster_large_objects_stay () =
+  let store, heap = heap_setup ~size:10000 () in
+  let a = Gom.Store.new_object store "Big" in
+  let b = Gom.Store.new_object store "Big" in
+  let p_a = H.page_of heap a in
+  let outcome = H.recluster heap ~plan:[ [ a; b ] ] in
+  check_int "multi-page objects never move" 0 outcome.H.rc_moved;
+  check_int "placement untouched" p_a (H.page_of heap a);
+  check_int "span untouched" 3 (H.span_of heap a)
+
 let test_heap_delete_forgets () =
   let store, heap = heap_setup () in
   let o = Gom.Store.new_object store "Big" in
@@ -178,4 +370,17 @@ let suite =
     Alcotest.test_case "large objects span pages" `Quick test_heap_large_objects;
     Alcotest.test_case "deep extents" `Quick test_heap_deep_extent;
     Alcotest.test_case "deletion forgets placement" `Quick test_heap_delete_forgets;
+    Alcotest.test_case "buffer clock second chance" `Quick test_buffer_clock_second_chance;
+    Alcotest.test_case "buffer pin nesting" `Quick test_buffer_pin_nesting;
+    Alcotest.test_case "buffer all-pinned overflow" `Quick test_buffer_all_pinned_overflows;
+    Alcotest.test_case "buffer prefetch outcomes" `Quick test_buffer_prefetch_outcomes;
+    Alcotest.test_case "buffer segment namespacing" `Quick test_buffer_segment_namespacing;
+    Alcotest.test_case "stats prefetch accounting" `Quick test_stats_prefetch_accounting;
+    Alcotest.test_case "stats segment hit ratio" `Quick test_stats_segment_hit_ratio;
+    Alcotest.test_case "recluster moves and occupancy" `Quick
+      test_recluster_moves_and_occupancy;
+    Alcotest.test_case "recluster slices and abort" `Quick test_recluster_slices_and_abort;
+    Alcotest.test_case "recluster skips deleted" `Quick test_recluster_skips_deleted_and_large;
+    Alcotest.test_case "recluster leaves large objects" `Quick
+      test_recluster_large_objects_stay;
   ]
